@@ -1,0 +1,128 @@
+// Engineering micro-benchmarks (google-benchmark): the blockchain
+// substrate — proof-of-work mining/verification, block assembly and full
+// validation, and Section 4.3 evidence construction/verification.
+
+#include <benchmark/benchmark.h>
+
+#include "src/chain/blockchain.h"
+#include "src/chain/pow.h"
+#include "src/chain/wallet.h"
+#include "src/contracts/evidence_builder.h"
+#include "src/contracts/htlc_contract.h"
+
+namespace ac3::chain {
+namespace {
+
+const crypto::KeyPair kAlice = crypto::KeyPair::FromSeed(1);
+const crypto::KeyPair kBob = crypto::KeyPair::FromSeed(2);
+
+ChainParams ParamsWithDifficulty(uint32_t bits) {
+  ChainParams params = TestChainParams();
+  params.difficulty_bits = bits;
+  return params;
+}
+
+void BM_MineHeader(benchmark::State& state) {
+  const uint32_t bits = static_cast<uint32_t>(state.range(0));
+  Rng rng(11);
+  uint64_t salt = 0;
+  for (auto _ : state) {
+    BlockHeader header;
+    header.chain_id = 0;
+    header.height = ++salt;  // Vary the pre-image so each mine is fresh.
+    header.difficulty_bits = bits;
+    MineHeader(&header, &rng);
+    benchmark::DoNotOptimize(header.nonce);
+  }
+}
+BENCHMARK(BM_MineHeader)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_VerifyPow(benchmark::State& state) {
+  Rng rng(12);
+  BlockHeader header;
+  header.difficulty_bits = 10;
+  MineHeader(&header, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CheckProofOfWork(header));
+  }
+}
+BENCHMARK(BM_VerifyPow);
+
+void BM_AssembleAndSubmitBlock(benchmark::State& state) {
+  const int txs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Blockchain chain(ParamsWithDifficulty(4),
+                     {TxOutput{100000, kAlice.public_key()}});
+    Wallet alice(kAlice, chain.id());
+    std::vector<Transaction> batch;
+    LedgerState scratch = chain.StateAtHead();
+    for (int i = 0; i < txs; ++i) {
+      auto tx = alice.BuildTransfer(scratch, kBob.public_key(), 10, 1,
+                                    static_cast<uint64_t>(i));
+      if (tx.ok()) {
+        // Apply to scratch so subsequent transfers chain on change outputs.
+        (void)ApplyTransaction(&scratch, *tx,
+                               BlockEnv{chain.id(), 1, 100});
+        batch.push_back(*tx);
+      }
+    }
+    Rng rng(13);
+    state.ResumeTiming();
+    auto block = chain.AssembleBlock(chain.head()->hash, batch,
+                                     kAlice.public_key(), 100, &rng);
+    benchmark::DoNotOptimize(block.ok());
+    if (block.ok()) {
+      benchmark::DoNotOptimize(chain.SubmitBlock(*block, 100).ok());
+    }
+  }
+}
+BENCHMARK(BM_AssembleAndSubmitBlock)->Arg(1)->Arg(8)->Arg(32);
+
+struct EvidenceFixture {
+  Blockchain chain;
+  crypto::Hash256 tx_id;
+
+  EvidenceFixture(uint32_t depth)
+      : chain(ParamsWithDifficulty(4), {TxOutput{100000, kAlice.public_key()}}) {
+    Wallet alice(kAlice, chain.id());
+    Rng rng(14);
+    auto tx = alice.BuildTransfer(chain.StateAtHead(), kBob.public_key(), 10,
+                                  1, 1);
+    tx_id = tx->Id();
+    TimePoint now = 0;
+    auto mine = [&](const std::vector<Transaction>& txs) {
+      now += 100;
+      auto block = chain.AssembleBlock(chain.head()->hash, txs,
+                                       kAlice.public_key(), now, &rng);
+      (void)chain.SubmitBlock(*block, now);
+    };
+    mine({*tx});
+    for (uint32_t i = 0; i < depth; ++i) mine({});
+  }
+};
+
+void BM_BuildTxEvidence(benchmark::State& state) {
+  EvidenceFixture fixture(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(contracts::BuildTxEvidence(
+        fixture.chain, fixture.chain.genesis()->hash, fixture.tx_id));
+  }
+}
+BENCHMARK(BM_BuildTxEvidence)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_VerifyTxEvidence(benchmark::State& state) {
+  EvidenceFixture fixture(static_cast<uint32_t>(state.range(0)));
+  auto evidence = contracts::BuildTxEvidence(
+      fixture.chain, fixture.chain.genesis()->hash, fixture.tx_id);
+  const BlockHeader checkpoint = fixture.chain.genesis()->block.header;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(contracts::VerifyHeaderChainEvidence(
+        checkpoint, fixture.chain.params().difficulty_bits, *evidence,
+        static_cast<uint32_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_VerifyTxEvidence)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace ac3::chain

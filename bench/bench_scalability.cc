@@ -1,0 +1,126 @@
+// Section 5.2 — "the atomicity coordination of AC2Ts is embarrassingly
+// parallel; different witness networks can be used to coordinate different
+// AC2Ts."
+//
+// The harness runs a fixed batch of concurrent two-party AC2Ts over shared
+// asset chains while varying the number of witness networks the swaps are
+// spread across. The witness chains are deliberately capacity-starved
+// (2 transactions per block) so a single witness network visibly queues
+// SCw deployments and state changes.
+//
+// Expected shape: completion time falls (and per-swap latency tightens) as
+// witness networks are added, while the asset chains — the real
+// bottleneck per Section 5.2 — stay the same.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+
+namespace ac3 {
+namespace {
+
+constexpr int kSwaps = 12;
+constexpr TimePoint kDeadline = Minutes(60);
+
+struct BatchResult {
+  double makespan_ms = 0;   ///< Start of batch to last swap completion.
+  double mean_latency_ms = 0;
+  int committed = 0;
+};
+
+BatchResult RunBatch(int witness_networks, uint64_t seed) {
+  core::ScenarioOptions options;
+  options.participants = 2 * kSwaps;
+  options.asset_chains = 2;
+  options.witness_chain = false;
+  options.funding = 5000;
+  options.seed = seed;
+  core::ScenarioWorld world(options);
+
+  // Capacity-starved witness chains (one transaction per slow block): the
+  // coordination bottleneck when all swaps share one.
+  std::vector<chain::ChainId> witnesses;
+  for (int w = 0; w < witness_networks; ++w) {
+    chain::ChainParams params = chain::TestWitnessParams();
+    params.name = "Witness" + std::to_string(w);
+    params.max_block_txs = 1;
+    params.block_interval = Milliseconds(300);
+    std::vector<chain::TxOutput> funding;
+    for (auto* p : world.all_participants()) {
+      funding.push_back(chain::TxOutput{5000, p->pk()});
+    }
+    chain::MiningConfig mining;
+    mining.miner_count = 3;
+    mining.max_propagation_delay = Milliseconds(5);
+    witnesses.push_back(world.env()->AddChain(params, funding, mining));
+  }
+  world.StartMining();
+
+  protocols::Ac3wnConfig config = benchutil::FastAc3wnConfig();
+  config.publish_patience = Seconds(120);
+
+  std::vector<std::unique_ptr<protocols::Ac3wnSwapEngine>> engines;
+  for (int s = 0; s < kSwaps; ++s) {
+    protocols::Participant* a = world.participant(2 * s);
+    protocols::Participant* b = world.participant(2 * s + 1);
+    graph::Ac2tGraph graph = graph::MakeTwoPartySwap(
+        a->pk(), b->pk(), world.asset_chain(0), 100, world.asset_chain(1), 80,
+        /*timestamp=*/s);
+    engines.push_back(std::make_unique<protocols::Ac3wnSwapEngine>(
+        world.env(), graph, std::vector<protocols::Participant*>{a, b},
+        witnesses[s % witness_networks], config));
+  }
+  for (auto& engine : engines) {
+    if (!engine->Start().ok()) return BatchResult{};
+  }
+  (void)world.env()->sim()->RunUntilCondition(
+      [&]() {
+        return std::all_of(engines.begin(), engines.end(),
+                           [](const auto& e) { return e->Done(); });
+      },
+      kDeadline);
+
+  BatchResult result;
+  double total_latency = 0;
+  for (auto& engine : engines) {
+    auto report = engine->Run(kDeadline);  // Finalizes; already done.
+    if (!report.ok()) continue;
+    if (report->committed) ++result.committed;
+    total_latency += static_cast<double>(report->Latency());
+    result.makespan_ms = std::max(
+        result.makespan_ms, static_cast<double>(report->end_time));
+  }
+  result.mean_latency_ms = total_latency / kSwaps;
+  return result;
+}
+
+}  // namespace
+}  // namespace ac3
+
+int main() {
+  using namespace ac3;
+
+  benchutil::PrintHeader(
+      "Section 5.2 — coordination scalability: a batch of concurrent AC2Ts\n"
+      "spread across W capacity-starved witness networks (1 tx/block)");
+
+  std::printf("batch: %d two-party swaps over 2 shared asset chains\n\n",
+              kSwaps);
+  std::printf("%10s | %10s | %14s | %16s\n", "witnesses", "committed",
+              "makespan (ms)", "mean latency (ms)");
+  benchutil::PrintRule(60);
+  for (int w : {1, 2, 4, 8}) {
+    BatchResult result = RunBatch(w, 9100 + static_cast<uint64_t>(w));
+    std::printf("%10d | %7d/%-2d | %14.0f | %16.0f\n", w, result.committed,
+                kSwaps, result.makespan_ms, result.mean_latency_ms);
+  }
+  benchutil::PrintRule(60);
+  std::printf(
+      "\nshape check: with one starved witness network the batch queues on\n"
+      "SCw transactions; adding witness networks shrinks makespan and mean\n"
+      "latency toward the asset-chain floor — coordination itself is\n"
+      "embarrassingly parallel, exactly Section 5.2's argument.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Shared scaffolding for the experiment harnesses: engine configurations,
+// ring-graph construction over a ScenarioWorld, a measured estimate of the
+// paper's Δ, and fixed-width table printing.
+
+#ifndef AC3_BENCH_BENCH_UTIL_H_
+#define AC3_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/scenario.h"
+#include "src/graph/ac2t_graph.h"
+#include "src/protocols/ac3tw_swap.h"
+#include "src/protocols/ac3wn_swap.h"
+#include "src/protocols/herlihy_swap.h"
+
+namespace ac3::benchutil {
+
+inline protocols::Ac3wnConfig FastAc3wnConfig() {
+  protocols::Ac3wnConfig config;
+  config.delta = Seconds(2);
+  config.confirm_depth = 1;
+  config.witness_depth_d = 2;
+  config.poll_interval = Milliseconds(20);
+  config.resubmit_interval = Milliseconds(800);
+  config.publish_patience = Seconds(20);
+  return config;
+}
+
+inline protocols::Ac3twConfig FastAc3twConfig() {
+  protocols::Ac3twConfig config;
+  config.delta = Seconds(2);
+  config.confirm_depth = 1;
+  config.poll_interval = Milliseconds(20);
+  config.resubmit_interval = Milliseconds(800);
+  config.publish_patience = Seconds(20);
+  return config;
+}
+
+inline protocols::HtlcConfig FastHtlcConfig() {
+  protocols::HtlcConfig config;
+  config.delta = Seconds(2);
+  config.confirm_depth = 1;
+  config.poll_interval = Milliseconds(20);
+  config.resubmit_interval = Milliseconds(800);
+  return config;
+}
+
+/// A directed ring over the world's participants (diameter = size), cycling
+/// through the available asset chains.
+inline graph::Ac2tGraph MakeRingOverWorld(core::ScenarioWorld* world, int n,
+                                          chain::Amount amount = 100) {
+  std::vector<crypto::PublicKey> pks;
+  std::vector<chain::ChainId> chains;
+  for (int i = 0; i < n; ++i) {
+    pks.push_back(world->participant(i)->pk());
+    chains.push_back(
+        world->asset_chain(i % static_cast<int>(world->asset_chains().size())));
+  }
+  return graph::MakeRing(pks, chains, amount, world->env()->sim()->Now());
+}
+
+/// Measures Δ empirically: the time for one participant to publish a
+/// contract-bearing transaction and have it publicly recognized
+/// (confirm_depth blocks deep) on asset chain 0 of a fresh world identical
+/// to `options`. This grounds "latency in Δs" for the simulated curves.
+inline double MeasureDeltaMs(const core::ScenarioOptions& options,
+                             uint32_t confirm_depth) {
+  core::ScenarioWorld world(options);
+  world.StartMining();
+  protocols::Participant* alice = world.participant(0);
+  const TimePoint start = world.env()->sim()->Now();
+  auto tx_id = alice->SubmitTransfer(world.asset_chain(0),
+                                     world.participant(1)->pk(), 1, 1);
+  if (!tx_id.ok()) return 0.0;
+  const chain::Blockchain* chain = world.env()->blockchain(world.asset_chain(0));
+  Status confirmed = world.env()->sim()->RunUntilCondition(
+      [&]() {
+        auto location = chain->FindTx(*tx_id);
+        if (!location.has_value()) return false;
+        auto depth = chain->ConfirmationsOf(location->entry->hash);
+        return depth.has_value() && *depth >= confirm_depth;
+      },
+      Minutes(5));
+  if (!confirmed.ok()) return 0.0;
+  return static_cast<double>(world.env()->sim()->Now() - start);
+}
+
+/// printf-style row helpers so every harness prints aligned tables.
+inline void PrintRule(int width = 72) {
+  std::string rule(static_cast<size_t>(width), '-');
+  std::printf("%s\n", rule.c_str());
+}
+
+inline void PrintHeader(const std::string& title, int width = 72) {
+  PrintRule(width);
+  std::printf("%s\n", title.c_str());
+  PrintRule(width);
+}
+
+}  // namespace ac3::benchutil
+
+#endif  // AC3_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,78 @@
+// Witness-network advisor: Section 6.3's economics as a tool.
+//
+// Given the dollar value of an AC2T, rank candidate witness networks by the
+// confirmation depth d they need (d > Va*dh/Ch), the wall-clock finality
+// that implies, and the rental cost a 51% attacker would have to burn —
+// then run the swap on a simulated witness using the recommended d.
+//
+//   $ ./build/examples/choose_witness [asset_value_usd]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/analysis/witness_selection.h"
+#include "src/core/scenario.h"
+#include "src/graph/ac2t_graph.h"
+#include "src/protocols/ac3wn_swap.h"
+
+using namespace ac3;
+
+int main(int argc, char** argv) {
+  const double asset_value = argc > 1 ? std::atof(argv[1]) : 1e6;
+
+  const std::vector<chain::ChainParams> candidates = {
+      chain::BitcoinParams(), chain::EthereumParams(), chain::LitecoinParams(),
+      chain::BitcoinCashParams()};
+
+  std::printf("asset value at stake: $%.0f\n\n", asset_value);
+  std::printf("%12s | %9s | %13s | %15s\n", "witness", "depth d",
+              "finality (h)", "attack cost ($)");
+  std::printf("%s\n", std::string(58, '-').c_str());
+  auto ranked = analysis::RankWitnessNetworks(candidates, asset_value);
+  for (const auto& choice : ranked) {
+    std::printf("%12s | %9u | %13.2f | %15.0f\n", choice.chain_name.c_str(),
+                choice.required_depth, choice.finality_hours,
+                choice.attack_cost_usd);
+  }
+  const analysis::WitnessChoice& best = ranked.front();
+  std::printf("\nrecommendation: witness on %s with d = %u (%.2f h to "
+              "finality; rewriting the decision would cost an attacker "
+              "$%.0f > $%.0f at stake)\n\n",
+              best.chain_name.c_str(), best.required_depth,
+              best.finality_hours, best.attack_cost_usd, asset_value);
+
+  // Demonstrate the depth discipline on a simulated witness: the engine
+  // refuses to act on the SCw decision until it is buried under d blocks.
+  // (Scaled-down d so the demo completes quickly; the discipline is
+  // identical at d = 21.)
+  const uint32_t demo_d = 4;
+  std::printf("running a demo swap with witness depth d = %u ...\n", demo_d);
+  core::ScenarioOptions options;
+  options.seed = 88;
+  core::ScenarioWorld world(options);
+  world.StartMining();
+  graph::Ac2tGraph graph = graph::MakeTwoPartySwap(
+      world.participant(0)->pk(), world.participant(1)->pk(),
+      world.asset_chain(0), 300, world.asset_chain(1), 200, 0);
+  protocols::Ac3wnConfig config;
+  config.confirm_depth = 1;
+  config.witness_depth_d = demo_d;
+  protocols::Ac3wnSwapEngine engine(world.env(), graph,
+                                    world.all_participants(),
+                                    world.witness_chain(), config);
+  auto report = engine.Run(Minutes(10));
+  if (!report.ok()) {
+    std::printf("engine error: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", report->Summary().c_str());
+  for (const auto& [phase, at] : report->phases) {
+    std::printf("  %-30s t=%lld ms\n", phase.c_str(),
+                static_cast<long long>(at - report->start_time));
+  }
+  std::printf(
+      "\nnote how the gap between the authorize submission and the buried\n"
+      "decision is ~d witness blocks: that is the price of 51%%-attack\n"
+      "safety, and exactly the quantity Section 6.3's inequality sizes.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Supply-chain settlement: the complex AC2T graphs of Figure 7 that no
+// single-leader protocol can execute (Section 5.3).
+//
+// Scenario: three trading firms settle a circular obligation — each owes
+// the one to its left AND the one to its right (Figure 7a's bidirectional
+// ring); separately, two unrelated pairs want their deliveries to settle
+// atomically as one deal (Figure 7b's disconnected graph).
+//
+// The example first shows Nolan/Herlihy *refusing* both graphs (no vertex
+// removal makes them acyclic), then AC3WN executing both atomically.
+//
+//   $ ./build/examples/supply_chain
+
+#include <cstdio>
+
+#include "src/core/scenario.h"
+#include "src/graph/ac2t_graph.h"
+#include "src/protocols/ac3wn_swap.h"
+#include "src/protocols/herlihy_swap.h"
+
+using namespace ac3;
+
+namespace {
+
+void RunGraph(const char* title, int participants,
+              graph::Ac2tGraph (*make)(const std::vector<crypto::PublicKey>&,
+                                       const std::vector<chain::ChainId>&,
+                                       chain::Amount, TimePoint)) {
+  std::printf("==== %s ====\n", title);
+  core::ScenarioOptions options;
+  options.participants = participants;
+  options.asset_chains = participants;
+  options.seed = 3500 + static_cast<uint64_t>(participants);
+  core::ScenarioWorld world(options);
+  world.StartMining();
+
+  graph::Ac2tGraph graph = make(world.participant_keys(),
+                                world.asset_chains(), 150,
+                                world.env()->sim()->Now());
+  std::printf("graph: %s, Diam=%u, single leader: %s\n",
+              graph.Describe().c_str(), graph.Diameter(),
+              graph.FindSingleLeader().has_value() ? "yes" : "none");
+
+  // The HTLC baseline must refuse: there is no leader whose removal leaves
+  // the graph acyclic, so sequential publishing cannot be made safe.
+  protocols::HerlihySwapEngine htlc(world.env(), graph,
+                                    world.all_participants(),
+                                    protocols::HtlcConfig{});
+  Status htlc_start = htlc.Start();
+  std::printf("Nolan/Herlihy: %s\n", htlc_start.ok()
+                                         ? "accepted (unexpected!)"
+                                         : htlc_start.ToString().c_str());
+
+  // AC3WN executes it: the witness network decides, not the publish order.
+  protocols::Ac3wnConfig config;
+  config.confirm_depth = 1;
+  config.witness_depth_d = 2;
+  protocols::Ac3wnSwapEngine engine(world.env(), graph,
+                                    world.all_participants(),
+                                    world.witness_chain(), config);
+  auto report = engine.Run(Minutes(10));
+  if (!report.ok()) {
+    std::printf("AC3WN error: %s\n\n", report.status().ToString().c_str());
+    return;
+  }
+  std::printf("AC3WN:         %s\n\n", report->Summary().c_str());
+}
+
+}  // namespace
+
+int main() {
+  RunGraph("Figure 7a — cyclic settlement ring (3 firms, mutual obligations)",
+           3, graph::MakeFigure7aCyclic);
+  RunGraph("Figure 7b — two unrelated swaps settled as one atomic deal",
+           4, graph::MakeFigure7bDisconnected);
+  std::printf(
+      "AC3WN coordinates any agreed graph: the commit/abort decision lives\n"
+      "in SCw on the witness network, so the graph's shape is irrelevant\n"
+      "(Section 5.3).\n");
+  return 0;
+}

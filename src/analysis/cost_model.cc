@@ -1,0 +1,25 @@
+#include "src/analysis/cost_model.h"
+
+namespace ac3::analysis {
+
+chain::Amount HerlihyFee(uint32_t n_edges, chain::Amount deploy_fee,
+                         chain::Amount call_fee) {
+  return static_cast<chain::Amount>(n_edges) * (deploy_fee + call_fee);
+}
+
+chain::Amount Ac3wnFee(uint32_t n_edges, chain::Amount deploy_fee,
+                       chain::Amount call_fee) {
+  return static_cast<chain::Amount>(n_edges + 1) * (deploy_fee + call_fee);
+}
+
+double Ac3wnOverheadRatio(uint32_t n_edges) {
+  return n_edges == 0 ? 0.0 : 1.0 / static_cast<double>(n_edges);
+}
+
+double ScwDollarCost(double eth_cost_at_300, double usd_per_ether) {
+  // The contract's gas footprint is rate-independent; only the ETH/USD rate
+  // scales the dollar figure.
+  return eth_cost_at_300 * (usd_per_ether / 300.0);
+}
+
+}  // namespace ac3::analysis

@@ -1,0 +1,38 @@
+// Section 6.2 closed-form monetary-cost models.
+//
+// "The overall AC2T fee of Herlihy's protocol is N·(fd + ffc) while the
+//  overall AC2T fee of the AC3WN protocol is (N+1)·(fd + ffc). ... AC3WN
+//  imposes a monetary cost overhead of 1/N the transaction fee of Herlihy's
+//  protocol."
+
+#ifndef AC3_ANALYSIS_COST_MODEL_H_
+#define AC3_ANALYSIS_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "src/chain/params.h"
+
+namespace ac3::analysis {
+
+/// Herlihy fee: N contracts, each deployed once and settled once.
+chain::Amount HerlihyFee(uint32_t n_edges, chain::Amount deploy_fee,
+                         chain::Amount call_fee);
+
+/// AC3WN fee: the N asset contracts plus SCw's deployment and one state
+/// change.
+chain::Amount Ac3wnFee(uint32_t n_edges, chain::Amount deploy_fee,
+                       chain::Amount call_fee);
+
+/// The relative overhead of AC3WN over Herlihy: exactly 1/N under equal
+/// fees.
+double Ac3wnOverheadRatio(uint32_t n_edges);
+
+/// Dollar cost of deploying + driving SCw, the paper's back-of-envelope:
+/// `eth_cost_at_300` is the measured cost at a $300/ETH rate (≈$4 for a
+/// contract of SCw's size [27]); scaling to `usd_per_ether` reproduces
+/// "currently ≈$2 at $140/ETH".
+double ScwDollarCost(double eth_cost_at_300, double usd_per_ether);
+
+}  // namespace ac3::analysis
+
+#endif  // AC3_ANALYSIS_COST_MODEL_H_

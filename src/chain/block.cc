@@ -1,0 +1,68 @@
+#include "src/chain/block.h"
+
+#include "src/crypto/merkle.h"
+
+namespace ac3::chain {
+
+namespace {
+Result<crypto::Hash256> ReadHash(ByteReader* r) {
+  AC3_ASSIGN_OR_RETURN(Bytes raw, r->GetRaw(crypto::Hash256::kSize));
+  std::array<uint8_t, crypto::Hash256::kSize> arr{};
+  std::copy(raw.begin(), raw.end(), arr.begin());
+  return crypto::Hash256(arr);
+}
+}  // namespace
+
+Bytes BlockHeader::Encode() const {
+  ByteWriter w;
+  w.PutU32(chain_id);
+  w.PutU64(height);
+  w.PutRaw(prev_hash.bytes(), crypto::Hash256::kSize);
+  w.PutRaw(tx_root.bytes(), crypto::Hash256::kSize);
+  w.PutRaw(receipt_root.bytes(), crypto::Hash256::kSize);
+  w.PutI64(time);
+  w.PutU32(difficulty_bits);
+  w.PutU64(nonce);
+  return w.Take();
+}
+
+Result<BlockHeader> BlockHeader::Decode(ByteReader* reader) {
+  BlockHeader h;
+  AC3_ASSIGN_OR_RETURN(h.chain_id, reader->GetU32());
+  AC3_ASSIGN_OR_RETURN(h.height, reader->GetU64());
+  AC3_ASSIGN_OR_RETURN(h.prev_hash, ReadHash(reader));
+  AC3_ASSIGN_OR_RETURN(h.tx_root, ReadHash(reader));
+  AC3_ASSIGN_OR_RETURN(h.receipt_root, ReadHash(reader));
+  AC3_ASSIGN_OR_RETURN(h.time, reader->GetI64());
+  AC3_ASSIGN_OR_RETURN(h.difficulty_bits, reader->GetU32());
+  AC3_ASSIGN_OR_RETURN(h.nonce, reader->GetU64());
+  return h;
+}
+
+crypto::Hash256 BlockHeader::Hash() const {
+  return crypto::Hash256::DoubleOf(Encode());
+}
+
+std::vector<crypto::Hash256> Block::TxLeaves() const {
+  std::vector<crypto::Hash256> leaves;
+  leaves.reserve(txs.size());
+  for (const Transaction& tx : txs) leaves.push_back(tx.Id());
+  return leaves;
+}
+
+std::vector<crypto::Hash256> Block::ReceiptLeaves() const {
+  std::vector<crypto::Hash256> leaves;
+  leaves.reserve(receipts.size());
+  for (const Receipt& receipt : receipts) leaves.push_back(receipt.LeafHash());
+  return leaves;
+}
+
+crypto::Hash256 Block::ComputeTxRoot() const {
+  return crypto::MerkleTree::RootOf(TxLeaves());
+}
+
+crypto::Hash256 Block::ComputeReceiptRoot() const {
+  return crypto::MerkleTree::RootOf(ReceiptLeaves());
+}
+
+}  // namespace ac3::chain

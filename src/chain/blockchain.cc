@@ -1,0 +1,297 @@
+#include "src/chain/blockchain.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/chain/pow.h"
+#include "src/common/logging.h"
+
+namespace ac3::chain {
+
+Blockchain::Blockchain(ChainParams params, std::vector<TxOutput> allocations)
+    : params_(std::move(params)) {
+  // Synthetic genesis: a coinbase materializing the initial allocations.
+  Transaction genesis_tx;
+  genesis_tx.type = TxType::kCoinbase;
+  genesis_tx.chain_id = params_.id;
+  genesis_tx.outputs = std::move(allocations);
+  genesis_tx.nonce = 0;
+
+  Block genesis_block;
+  genesis_block.header.chain_id = params_.id;
+  genesis_block.header.height = 0;
+  genesis_block.header.time = 0;
+  genesis_block.header.difficulty_bits = 0;  // Genesis needs no PoW.
+  genesis_block.txs.push_back(genesis_tx);
+  Receipt genesis_receipt;
+  genesis_receipt.tx_id = genesis_tx.Id();
+  genesis_receipt.note = "genesis";
+  genesis_block.receipts.push_back(genesis_receipt);
+  genesis_block.header.tx_root = genesis_block.ComputeTxRoot();
+  genesis_block.header.receipt_root = genesis_block.ComputeReceiptRoot();
+
+  BlockEntry entry;
+  entry.block = genesis_block;
+  entry.hash = genesis_block.header.Hash();
+  entry.total_work = 0;
+  entry.arrival_time = 0;
+  entry.arrival_seq = next_arrival_seq_++;
+  entry.state = GenesisState(genesis_tx);
+  auto included = std::make_shared<std::set<crypto::Hash256>>();
+  included->insert(genesis_tx.Id());
+  entry.included_txs = included;
+  entry.tx_index[genesis_tx.Id()] = 0;
+
+  auto [it, inserted] = entries_.emplace(entry.hash, std::move(entry));
+  assert(inserted);
+  genesis_ = &it->second;
+  head_ = genesis_;
+}
+
+const BlockEntry* Blockchain::Get(const crypto::Hash256& hash) const {
+  auto it = entries_.find(hash);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Status Blockchain::ValidateAgainstParent(const Block& block,
+                                         const BlockEntry& parent,
+                                         std::vector<Receipt>* receipts,
+                                         LedgerState* post_state) const {
+  const BlockHeader& header = block.header;
+  if (header.chain_id != params_.id) {
+    return Status::InvalidArgument("block for another chain");
+  }
+  if (header.height != parent.block.header.height + 1) {
+    return Status::InvalidArgument("height does not extend parent");
+  }
+  if (header.difficulty_bits != params_.difficulty_bits) {
+    return Status::VerificationFailed("wrong difficulty");
+  }
+  if (!CheckProofOfWork(header)) {
+    return Status::VerificationFailed("proof of work does not meet target");
+  }
+  if (header.tx_root != block.ComputeTxRoot()) {
+    return Status::VerificationFailed("tx merkle root mismatch");
+  }
+  if (header.receipt_root != block.ComputeReceiptRoot()) {
+    return Status::VerificationFailed("receipt merkle root mismatch");
+  }
+  if (block.txs.size() > params_.max_block_txs + 1) {  // +1 for coinbase.
+    return Status::InvalidArgument("block over capacity");
+  }
+  // No transaction may repeat on this branch.
+  for (size_t i = 1; i < block.txs.size(); ++i) {
+    if (parent.included_txs->count(block.txs[i].Id()) > 0) {
+      return Status::InvalidArgument("transaction already included on branch");
+    }
+  }
+
+  *post_state = parent.state;  // Copy-on-apply snapshot.
+  AC3_ASSIGN_OR_RETURN(*receipts, ApplyBlockBody(post_state, block, params_));
+
+  // The block's declared receipts must match deterministic re-execution.
+  if (receipts->size() != block.receipts.size()) {
+    return Status::VerificationFailed("receipt count mismatch");
+  }
+  for (size_t i = 0; i < receipts->size(); ++i) {
+    if ((*receipts)[i].Encode() != block.receipts[i].Encode()) {
+      return Status::VerificationFailed("receipt mismatch at index " +
+                                        std::to_string(i));
+    }
+  }
+  return Status::OK();
+}
+
+Status Blockchain::SubmitBlock(const Block& block, TimePoint arrival_time) {
+  const crypto::Hash256 hash = block.header.Hash();
+  if (entries_.count(hash) > 0) {
+    return Status::AlreadyExists("block already known");
+  }
+  const BlockEntry* parent = Get(block.header.prev_hash);
+  if (parent == nullptr) {
+    return Status::NotFound("parent block unknown (orphan)");
+  }
+
+  std::vector<Receipt> receipts;
+  LedgerState post_state;
+  AC3_RETURN_IF_ERROR(
+      ValidateAgainstParent(block, *parent, &receipts, &post_state));
+
+  BlockEntry entry;
+  entry.block = block;
+  entry.hash = hash;
+  entry.total_work =
+      parent->total_work + WorkForDifficulty(block.header.difficulty_bits);
+  entry.arrival_time = arrival_time;
+  entry.arrival_seq = next_arrival_seq_++;
+  entry.state = std::move(post_state);
+  auto included = std::make_shared<std::set<crypto::Hash256>>(
+      *parent->included_txs);
+  for (uint32_t i = 0; i < block.txs.size(); ++i) {
+    const Transaction& tx = block.txs[i];
+    const crypto::Hash256 tx_id = tx.Id();
+    included->insert(tx_id);
+    entry.tx_index[tx_id] = i;
+    if (tx.type == TxType::kCall) {
+      entry.calls.push_back(
+          CallRecord{tx.contract_id, tx.function, i, receipts[i].success});
+    }
+  }
+  entry.included_txs = included;
+
+  auto [it, inserted] = entries_.emplace(hash, std::move(entry));
+  assert(inserted);
+
+  // Longest-chain rule: adopt strictly heavier branches only, so the
+  // first-seen block wins ties (Section 2.1: "miners accept the first
+  // received mined block").
+  if (it->second.total_work > head_->total_work) {
+    if (head_->hash != block.header.prev_hash) {
+      AC3_LOG(kInfo) << params_.name << ": reorg to "
+                     << hash.ShortHex() << " at height "
+                     << block.header.height;
+    }
+    head_ = &it->second;
+  }
+  return Status::OK();
+}
+
+bool Blockchain::IsCanonical(const crypto::Hash256& hash) const {
+  return ConfirmationsOf(hash).has_value();
+}
+
+std::optional<uint64_t> Blockchain::ConfirmationsOf(
+    const crypto::Hash256& hash) const {
+  const BlockEntry* target = Get(hash);
+  if (target == nullptr) return std::nullopt;
+  const BlockEntry* cursor = head_;
+  while (cursor->block.header.height > target->block.header.height) {
+    cursor = Get(cursor->block.header.prev_hash);
+    assert(cursor != nullptr);
+  }
+  if (cursor->hash != hash) return std::nullopt;
+  return head_->block.header.height - target->block.header.height;
+}
+
+const BlockEntry* Blockchain::StableBlock(uint32_t depth) const {
+  const BlockEntry* cursor = head_;
+  for (uint32_t i = 0; i < depth && cursor != genesis_; ++i) {
+    cursor = Get(cursor->block.header.prev_hash);
+    assert(cursor != nullptr);
+  }
+  return cursor;
+}
+
+Result<std::vector<BlockHeader>> Blockchain::HeadersAfter(
+    const crypto::Hash256& ancestor_hash) const {
+  if (!IsCanonical(ancestor_hash)) {
+    return Status::NotFound("ancestor not on canonical chain");
+  }
+  std::vector<BlockHeader> headers;
+  const BlockEntry* cursor = head_;
+  while (cursor->hash != ancestor_hash) {
+    headers.push_back(cursor->block.header);
+    cursor = Get(cursor->block.header.prev_hash);
+    assert(cursor != nullptr);
+  }
+  std::reverse(headers.begin(), headers.end());
+  return headers;
+}
+
+std::optional<Blockchain::TxLocation> Blockchain::FindTx(
+    const crypto::Hash256& tx_id) const {
+  const BlockEntry* cursor = head_;
+  for (;;) {
+    auto it = cursor->tx_index.find(tx_id);
+    if (it != cursor->tx_index.end()) {
+      return TxLocation{cursor, it->second};
+    }
+    if (cursor == genesis_) return std::nullopt;
+    cursor = Get(cursor->block.header.prev_hash);
+    assert(cursor != nullptr);
+  }
+}
+
+std::optional<Blockchain::TxLocation> Blockchain::FindCall(
+    const crypto::Hash256& contract_id, const std::string& function,
+    bool require_success) const {
+  const BlockEntry* cursor = head_;
+  for (;;) {
+    for (const CallRecord& call : cursor->calls) {
+      if (call.contract_id == contract_id && call.function == function &&
+          (!require_success || call.success)) {
+        return TxLocation{cursor, call.tx_index};
+      }
+    }
+    if (cursor == genesis_) return std::nullopt;
+    cursor = Get(cursor->block.header.prev_hash);
+    assert(cursor != nullptr);
+  }
+}
+
+Result<contracts::ContractPtr> Blockchain::ContractAtHead(
+    const crypto::Hash256& id) const {
+  return head_->state.GetContract(id);
+}
+
+Result<Block> Blockchain::AssembleBlock(
+    const crypto::Hash256& parent_hash,
+    const std::vector<Transaction>& candidates,
+    const crypto::PublicKey& miner, TimePoint now, Rng* rng) const {
+  const BlockEntry* parent = Get(parent_hash);
+  if (parent == nullptr) return Status::NotFound("unknown parent");
+
+  BlockEnv env{params_.id, parent->block.header.height + 1, now};
+
+  // Selection pass: FIFO, skip invalid / duplicate transactions.
+  LedgerState working = parent->state;
+  std::vector<Transaction> chosen;
+  std::set<crypto::Hash256> chosen_ids;
+  Amount total_fees = 0;
+  for (const Transaction& tx : candidates) {
+    if (chosen.size() >= params_.max_block_txs) break;
+    const crypto::Hash256 tx_id = tx.Id();
+    if (parent->included_txs->count(tx_id) > 0 || chosen_ids.count(tx_id) > 0) {
+      continue;
+    }
+    LedgerState scratch = working;  // Roll back cleanly on failure.
+    auto receipt = ApplyTransaction(&scratch, tx, env);
+    if (!receipt.ok()) {
+      AC3_LOG(kDebug) << params_.name << ": skip tx " << tx_id.ShortHex()
+                      << " — " << receipt.status().ToString();
+      continue;
+    }
+    working = std::move(scratch);
+    chosen.push_back(tx);
+    chosen_ids.insert(tx_id);
+    total_fees += tx.fee;
+  }
+
+  // Coinbase pays the reward plus the collected fees to the miner.
+  Transaction coinbase;
+  coinbase.type = TxType::kCoinbase;
+  coinbase.chain_id = params_.id;
+  coinbase.outputs.push_back(
+      TxOutput{params_.block_reward + total_fees, miner});
+  coinbase.nonce = rng->NextU64();  // Uniquify across blocks.
+
+  Block block;
+  block.header.chain_id = params_.id;
+  block.header.height = env.height;
+  block.header.prev_hash = parent_hash;
+  block.header.time = now;
+  block.header.difficulty_bits = params_.difficulty_bits;
+  block.txs.push_back(std::move(coinbase));
+  for (Transaction& tx : chosen) block.txs.push_back(std::move(tx));
+
+  // Deterministic re-execution to produce the declared receipts.
+  LedgerState verify_state = parent->state;
+  AC3_ASSIGN_OR_RETURN(block.receipts,
+                       ApplyBlockBody(&verify_state, block, params_));
+  block.header.tx_root = block.ComputeTxRoot();
+  block.header.receipt_root = block.ComputeReceiptRoot();
+  MineHeader(&block.header, rng);
+  return block;
+}
+
+}  // namespace ac3::chain

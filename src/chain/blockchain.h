@@ -1,0 +1,147 @@
+// The blockchain: a fork tree of validated blocks with the longest-chain
+// (most cumulative work) rule.
+//
+// Every validated block keeps its own post-state snapshot, so contract
+// state is a pure function of the branch — a reorg "reverts" contract state
+// simply by the head moving (DESIGN.md, design decision 1). This is the
+// machinery behind the paper's fork discussion (Section 4.2): two
+// conflicting SCw states can transiently live on two forks, and the chain
+// converges to one of them.
+
+#ifndef AC3_CHAIN_BLOCKCHAIN_H_
+#define AC3_CHAIN_BLOCKCHAIN_H_
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/chain/block.h"
+#include "src/chain/ledger.h"
+#include "src/chain/params.h"
+#include "src/common/random.h"
+
+namespace ac3::chain {
+
+/// A contract call included in a block (index into block.txs).
+struct CallRecord {
+  crypto::Hash256 contract_id;
+  std::string function;
+  uint32_t tx_index = 0;
+  bool success = false;
+};
+
+/// A validated block plus branch-local derived data.
+struct BlockEntry {
+  Block block;
+  crypto::Hash256 hash;
+  /// Cumulative expected work from genesis (longest-chain metric).
+  double total_work = 0;
+  /// When the block reached the store (simulated time).
+  TimePoint arrival_time = 0;
+  /// First-seen order; ties in total work keep the earlier block.
+  uint64_t arrival_seq = 0;
+  /// State after applying this block to its parent's state.
+  LedgerState state;
+  /// All transaction ids included on this branch, genesis..this block.
+  std::shared_ptr<const std::set<crypto::Hash256>> included_txs;
+  /// Transaction id -> index within this block.
+  std::unordered_map<crypto::Hash256, uint32_t> tx_index;
+  /// Contract calls in this block (for watching redeem/refund events).
+  std::vector<CallRecord> calls;
+};
+
+class Blockchain {
+ public:
+  /// Creates the chain with a genesis block materializing `allocations`
+  /// (initial asset owners, e.g. experiment participants' funding).
+  Blockchain(ChainParams params, std::vector<TxOutput> allocations);
+
+  const ChainParams& params() const { return params_; }
+  ChainId id() const { return params_.id; }
+
+  // ----------------------------------------------------------- block store
+
+  /// Fully validates `block` (PoW, linkage, roots, transaction execution,
+  /// receipt equality) and stores it. The canonical head moves only when
+  /// the new branch has strictly more work.
+  Status SubmitBlock(const Block& block, TimePoint arrival_time);
+
+  const BlockEntry* genesis() const { return genesis_; }
+  /// Canonical tip.
+  const BlockEntry* head() const { return head_; }
+  const BlockEntry* Get(const crypto::Hash256& hash) const;
+  /// Height of the canonical tip.
+  uint64_t height() const { return head_->block.header.height; }
+  size_t block_count() const { return entries_.size(); }
+  const std::unordered_map<crypto::Hash256, BlockEntry>& entries() const {
+    return entries_;
+  }
+
+  // ------------------------------------------------------ canonical queries
+
+  /// True when `hash` lies on the canonical chain.
+  bool IsCanonical(const crypto::Hash256& hash) const;
+
+  /// Number of canonical blocks mined after `hash` ("buried under N
+  /// blocks"); nullopt when the block is not canonical.
+  std::optional<uint64_t> ConfirmationsOf(const crypto::Hash256& hash) const;
+
+  /// The canonical block `depth` below the head (clamped at genesis): the
+  /// paper's "stable block at depth d".
+  const BlockEntry* StableBlock(uint32_t depth) const;
+
+  /// Canonical headers strictly after `ancestor_hash`, oldest first —
+  /// the raw material of Section 4.3 evidence.
+  Result<std::vector<BlockHeader>> HeadersAfter(
+      const crypto::Hash256& ancestor_hash) const;
+
+  /// Where a transaction landed on the canonical chain.
+  struct TxLocation {
+    const BlockEntry* entry = nullptr;
+    uint32_t index = 0;
+  };
+  std::optional<TxLocation> FindTx(const crypto::Hash256& tx_id) const;
+
+  /// Newest canonical call of `function` on `contract_id` (optionally only
+  /// successful ones). This is how participants observe on-chain events —
+  /// e.g. a redeem call revealing the hashlock secret.
+  std::optional<TxLocation> FindCall(const crypto::Hash256& contract_id,
+                                     const std::string& function,
+                                     bool require_success) const;
+
+  /// Contract snapshot at the canonical head.
+  Result<contracts::ContractPtr> ContractAtHead(
+      const crypto::Hash256& id) const;
+
+  const LedgerState& StateAtHead() const { return head_->state; }
+
+  /// The synthetic genesis transaction (its outputs fund the allocations).
+  const Transaction& genesis_tx() const { return genesis_->block.txs[0]; }
+
+  // --------------------------------------------------------------- mining
+
+  /// Builds a valid block on `parent_hash` from `candidates` (FIFO,
+  /// capacity-capped, structurally-invalid and already-included ones
+  /// skipped), mines its PoW, and returns it WITHOUT submitting.
+  Result<Block> AssembleBlock(const crypto::Hash256& parent_hash,
+                              const std::vector<Transaction>& candidates,
+                              const crypto::PublicKey& miner,
+                              TimePoint now, Rng* rng) const;
+
+ private:
+  Status ValidateAgainstParent(const Block& block, const BlockEntry& parent,
+                               std::vector<Receipt>* receipts,
+                               LedgerState* post_state) const;
+
+  ChainParams params_;
+  std::unordered_map<crypto::Hash256, BlockEntry> entries_;
+  const BlockEntry* genesis_ = nullptr;
+  const BlockEntry* head_ = nullptr;
+  uint64_t next_arrival_seq_ = 0;
+};
+
+}  // namespace ac3::chain
+
+#endif  // AC3_CHAIN_BLOCKCHAIN_H_

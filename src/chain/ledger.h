@@ -1,0 +1,81 @@
+// Ledger state and deterministic transaction execution.
+//
+// A LedgerState is the materialized state of one branch of a blockchain:
+// the UTXO set (the paper's asset ownership model, Section 2.2) plus the
+// deployed contract snapshots. States are value types; the blockchain keeps
+// one per block, so forks naturally own divergent contract states.
+//
+// ApplyTransaction is the single execution path shared by miners (block
+// assembly) and validators (block verification): "the validation is
+// explicitly enforced in the storage layer" (Section 2.3).
+
+#ifndef AC3_CHAIN_LEDGER_H_
+#define AC3_CHAIN_LEDGER_H_
+
+#include <map>
+
+#include "src/chain/block.h"
+#include "src/chain/params.h"
+#include "src/chain/receipt.h"
+#include "src/chain/transaction.h"
+#include "src/contracts/contract.h"
+
+namespace ac3::chain {
+
+/// Snapshot of one branch's state.
+struct LedgerState {
+  /// Unspent outputs: the current ownership of every liquid asset.
+  std::map<OutPoint, TxOutput> utxos;
+  /// Live contract snapshots by contract id.
+  std::map<crypto::Hash256, contracts::ContractPtr> contracts;
+
+  /// Sum of all liquid (UTXO) value.
+  Amount LiquidValue() const;
+  /// Sum of all value locked inside contracts.
+  Amount LockedValue() const;
+  /// Liquid + locked: conserved by every non-coinbase transaction.
+  Amount TotalValue() const { return LiquidValue() + LockedValue(); }
+
+  /// Balance owned by `owner` across the UTXO set.
+  Amount BalanceOf(const crypto::PublicKey& owner) const;
+
+  /// Looks up a contract snapshot.
+  Result<contracts::ContractPtr> GetContract(const crypto::Hash256& id) const;
+};
+
+/// Block-level execution environment handed to contracts as implicit
+/// parameters.
+struct BlockEnv {
+  ChainId chain_id = 0;
+  uint64_t height = 0;
+  TimePoint time = 0;
+};
+
+/// Validates and applies one non-coinbase transaction to `state` in place.
+///
+/// Outcomes:
+///  * OK + success receipt        — applied, state advanced.
+///  * OK + success=false receipt  — a contract guard failed; fees and
+///                                  inputs were still consumed (the
+///                                  Ethereum "reverted but included" model).
+///  * error Status                — structurally invalid (bad signature,
+///                                  missing input, value imbalance, unknown
+///                                  contract). Such a transaction may not
+///                                  appear in a valid block at all.
+Result<Receipt> ApplyTransaction(LedgerState* state, const Transaction& tx,
+                                 const BlockEnv& env);
+
+/// Applies a full block body (coinbase included) to `state`, returning the
+/// receipts in transaction order. Enforces the coinbase value rule
+/// (outputs <= block reward + total fees).
+Result<std::vector<Receipt>> ApplyBlockBody(LedgerState* state,
+                                            const Block& block,
+                                            const ChainParams& params);
+
+/// Builds the genesis state from initial allocations. The allocations are
+/// materialized as outputs of a synthetic genesis transaction.
+LedgerState GenesisState(const Transaction& genesis_tx);
+
+}  // namespace ac3::chain
+
+#endif  // AC3_CHAIN_LEDGER_H_

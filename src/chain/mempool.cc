@@ -1,0 +1,46 @@
+#include "src/chain/mempool.h"
+
+#include <algorithm>
+
+namespace ac3::chain {
+
+Status Mempool::Submit(const Transaction& tx, TimePoint arrival) {
+  const crypto::Hash256 id = tx.Id();
+  if (ids_.count(id) > 0) {
+    return Status::AlreadyExists("transaction already in mempool");
+  }
+  entries_.push_back(Entry{arrival, tx, id});
+  ids_.insert(id);
+  return Status::OK();
+}
+
+std::vector<Transaction> Mempool::CandidatesAt(
+    TimePoint now, const std::set<crypto::Hash256>& already_included) const {
+  std::vector<const Entry*> visible;
+  for (const Entry& entry : entries_) {
+    if (entry.arrival <= now && already_included.count(entry.id) == 0) {
+      visible.push_back(&entry);
+    }
+  }
+  std::stable_sort(visible.begin(), visible.end(),
+                   [](const Entry* a, const Entry* b) {
+                     return a->arrival < b->arrival;
+                   });
+  std::vector<Transaction> out;
+  out.reserve(visible.size());
+  for (const Entry* entry : visible) out.push_back(entry->tx);
+  return out;
+}
+
+void Mempool::Prune(const std::set<crypto::Hash256>& included) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const Entry& entry) {
+                                  return included.count(entry.id) > 0;
+                                }),
+                 entries_.end());
+  std::erase_if(ids_, [&](const crypto::Hash256& id) {
+    return included.count(id) > 0;
+  });
+}
+
+}  // namespace ac3::chain

@@ -1,0 +1,50 @@
+// Mempool: pending transactions awaiting inclusion.
+//
+// End-users "multicast their transaction messages to mining nodes"
+// (Section 2.1); the mempool models the union of miners' pending sets with
+// per-transaction arrival times — a miner assembling at time t only sees
+// transactions that arrived by t.
+
+#ifndef AC3_CHAIN_MEMPOOL_H_
+#define AC3_CHAIN_MEMPOOL_H_
+
+#include <set>
+#include <vector>
+
+#include "src/chain/transaction.h"
+#include "src/common/sim_time.h"
+#include "src/common/status.h"
+
+namespace ac3::chain {
+
+class Mempool {
+ public:
+  /// Queues `tx`; duplicates by id are rejected.
+  Status Submit(const Transaction& tx, TimePoint arrival);
+
+  /// Transactions visible at `now` and not in `already_included`
+  /// (the assembling branch's cumulative tx set), in arrival order.
+  std::vector<Transaction> CandidatesAt(
+      TimePoint now, const std::set<crypto::Hash256>& already_included) const;
+
+  /// Drops entries whose ids appear in `included` (canonical cleanup).
+  void Prune(const std::set<crypto::Hash256>& included);
+
+  size_t size() const { return entries_.size(); }
+  bool Contains(const crypto::Hash256& tx_id) const {
+    return ids_.count(tx_id) > 0;
+  }
+
+ private:
+  struct Entry {
+    TimePoint arrival;
+    Transaction tx;
+    crypto::Hash256 id;
+  };
+  std::vector<Entry> entries_;
+  std::set<crypto::Hash256> ids_;
+};
+
+}  // namespace ac3::chain
+
+#endif  // AC3_CHAIN_MEMPOOL_H_

@@ -1,0 +1,177 @@
+#include "src/chain/mining.h"
+
+#include <cassert>
+
+#include "src/chain/pow.h"
+#include "src/common/logging.h"
+
+namespace ac3::chain {
+
+MiningNetwork::MiningNetwork(sim::Simulation* sim, Blockchain* chain,
+                             Mempool* mempool, MiningConfig config)
+    : sim_(sim),
+      chain_(chain),
+      mempool_(mempool),
+      config_(config),
+      rng_(sim->rng()->Fork()) {
+  assert(config_.miner_count > 0);
+  for (int i = 0; i < config_.miner_count; ++i) {
+    miner_keys_.push_back(crypto::KeyPair::Generate(&rng_));
+  }
+}
+
+void MiningNetwork::Start() {
+  if (running_) return;
+  running_ = true;
+  ScheduleNext();
+}
+
+void MiningNetwork::Stop() {
+  running_ = false;
+  pending_.Cancel();
+}
+
+void MiningNetwork::ScheduleNext() {
+  const double mean =
+      static_cast<double>(chain_->params().block_interval);
+  Duration wait =
+      static_cast<Duration>(rng_.NextExponential(mean)) + 1;
+  pending_ = sim_->After(wait, [this]() { ProduceBlock(); });
+}
+
+Duration MiningNetwork::GossipDelay(const crypto::Hash256& block_hash,
+                                    int miner) const {
+  auto producer_it = producer_.find(block_hash);
+  if (producer_it != producer_.end() && producer_it->second == miner) {
+    return 0;  // Producers see their own block instantly.
+  }
+  if (config_.max_propagation_delay <= 0) return 0;
+  // Deterministic per-(block, miner) delay so replays are reproducible.
+  uint64_t state = block_hash.Prefix64() ^
+                   (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(miner + 1));
+  uint64_t draw = SplitMix64(&state);
+  return static_cast<Duration>(
+      draw % (static_cast<uint64_t>(config_.max_propagation_delay) + 1));
+}
+
+const BlockEntry* MiningNetwork::VisibleHead(int miner, TimePoint now) const {
+  const BlockEntry* best = chain_->genesis();
+  for (const auto& [hash, entry] : chain_->entries()) {
+    if (entry.arrival_time + GossipDelay(hash, miner) > now) continue;
+    if (entry.total_work > best->total_work ||
+        (entry.total_work == best->total_work &&
+         entry.arrival_seq < best->arrival_seq)) {
+      best = &entry;
+    }
+  }
+  return best;
+}
+
+void MiningNetwork::ProduceBlock() {
+  if (!running_) return;
+  const TimePoint now = sim_->Now();
+  const int miner = static_cast<int>(
+      rng_.NextBelow(static_cast<uint64_t>(config_.miner_count)));
+  const BlockEntry* parent = VisibleHead(miner, now);
+
+  std::vector<Transaction> candidates =
+      mempool_->CandidatesAt(now, *parent->included_txs);
+  auto block = chain_->AssembleBlock(parent->hash, candidates,
+                                     miner_keys_[miner].public_key(), now,
+                                     &rng_);
+  if (block.ok()) {
+    const crypto::Hash256 hash = block->header.Hash();
+    Status submitted = chain_->SubmitBlock(*block, now);
+    if (submitted.ok()) {
+      producer_[hash] = miner;
+      ++blocks_mined_;
+      AC3_LOG(kDebug) << chain_->params().name << ": miner " << miner
+                      << " mined " << hash.ShortHex() << " h="
+                      << block->header.height << " txs="
+                      << block->txs.size() - 1;
+    } else {
+      AC3_LOG(kWarn) << chain_->params().name
+                     << ": submit failed: " << submitted.ToString();
+    }
+  }
+  ScheduleNext();
+}
+
+Result<std::vector<Block>> MiningNetwork::BuildPrivateBranch(
+    const crypto::Hash256& parent_hash, size_t length,
+    const std::vector<Transaction>& txs, TimePoint start_time) {
+  std::vector<Block> branch;
+  crypto::Hash256 parent = parent_hash;
+
+  // Stage the branch through a scratch validation by assembling each block
+  // against the real chain extended with the staged prefix. We reuse
+  // AssembleBlock for the first block (it must see the parent in the
+  // store); later blocks are built manually on staged state.
+  const BlockEntry* parent_entry = chain_->Get(parent);
+  if (parent_entry == nullptr) return Status::NotFound("unknown parent");
+
+  LedgerState state = parent_entry->state;
+  std::set<crypto::Hash256> included = *parent_entry->included_txs;
+  uint64_t height = parent_entry->block.header.height;
+  crypto::KeyPair attacker = crypto::KeyPair::Generate(&rng_);
+
+  for (size_t i = 0; i < length; ++i) {
+    const TimePoint timestamp = start_time + static_cast<Duration>(i);
+    BlockEnv env{chain_->params().id, height + 1, timestamp};
+
+    Block block;
+    block.header.chain_id = chain_->params().id;
+    block.header.height = height + 1;
+    block.header.prev_hash = parent;
+    block.header.time = timestamp;
+    block.header.difficulty_bits = chain_->params().difficulty_bits;
+
+    Amount total_fees = 0;
+    std::vector<Transaction> body;
+    if (i == 0) {
+      for (const Transaction& tx : txs) {
+        if (included.count(tx.Id()) > 0) continue;
+        LedgerState scratch = state;
+        if (!ApplyTransaction(&scratch, tx, env).ok()) continue;
+        state = std::move(scratch);
+        body.push_back(tx);
+        total_fees += tx.fee;
+      }
+    }
+
+    Transaction coinbase;
+    coinbase.type = TxType::kCoinbase;
+    coinbase.chain_id = chain_->params().id;
+    coinbase.outputs.push_back(TxOutput{
+        chain_->params().block_reward + total_fees, attacker.public_key()});
+    coinbase.nonce = rng_.NextU64();
+    block.txs.push_back(coinbase);
+    for (Transaction& tx : body) block.txs.push_back(std::move(tx));
+
+    // Receipts via the canonical execution path.
+    LedgerState verify = i == 0 ? parent_entry->state : state;
+    if (i == 0) verify = parent_entry->state;
+    AC3_ASSIGN_OR_RETURN(block.receipts,
+                         ApplyBlockBody(&verify, block, chain_->params()));
+    state = verify;
+    for (const Transaction& tx : block.txs) included.insert(tx.Id());
+
+    block.header.tx_root = block.ComputeTxRoot();
+    block.header.receipt_root = block.ComputeReceiptRoot();
+    MineHeader(&block.header, &rng_);
+
+    parent = block.header.Hash();
+    height = block.header.height;
+    branch.push_back(std::move(block));
+  }
+  return branch;
+}
+
+Status MiningNetwork::PublishBranch(const std::vector<Block>& branch) {
+  for (const Block& block : branch) {
+    AC3_RETURN_IF_ERROR(chain_->SubmitBlock(block, sim_->Now()));
+  }
+  return Status::OK();
+}
+
+}  // namespace ac3::chain

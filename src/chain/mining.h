@@ -1,0 +1,85 @@
+// The mining process: Poisson block production with propagation-delayed
+// miner views, which is where forks come from.
+//
+// Chain-level block arrival is a Poisson process with the chain's mean
+// block interval (the standard PoW model). At each arrival one of the
+// miners wins; it builds on the heaviest block *it can see* — a block
+// becomes visible to miner m only at (publish_time + gossip delay(block,
+// m)). When two blocks land within a gossip window on the same parent, the
+// chain forks naturally, and the longest-chain rule later resolves it —
+// exactly the dynamics the witness network's depth-d discipline defends
+// against (Section 4.2, Lemma 5.3).
+//
+// An adversarial facility mines a private branch on a chosen parent and
+// releases it later — the "fork the witness blockchain for d blocks" attack
+// of Section 6.3.
+
+#ifndef AC3_CHAIN_MINING_H_
+#define AC3_CHAIN_MINING_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/chain/blockchain.h"
+#include "src/chain/mempool.h"
+#include "src/crypto/schnorr.h"
+#include "src/sim/simulation.h"
+
+namespace ac3::chain {
+
+struct MiningConfig {
+  /// Number of honest miners (distinct views / coinbase identities).
+  int miner_count = 4;
+  /// Maximum gossip delay; per-(block, miner) delays are deterministic
+  /// uniform draws in [0, max].
+  Duration max_propagation_delay = Milliseconds(40);
+};
+
+class MiningNetwork {
+ public:
+  MiningNetwork(sim::Simulation* sim, Blockchain* chain, Mempool* mempool,
+                MiningConfig config);
+
+  /// Begins producing blocks (schedules the first Poisson arrival).
+  void Start();
+  /// Stops after the current pending arrival is cancelled.
+  void Stop();
+  bool running() const { return running_; }
+
+  /// Head visible to `miner` at `now`: heaviest entry whose gossip has
+  /// reached the miner.
+  const BlockEntry* VisibleHead(int miner, TimePoint now) const;
+
+  /// Mines `length` blocks privately on top of `parent_hash` (including
+  /// `txs` in the first block) without submitting them. Timestamps start at
+  /// `start_time`. Used by fork-attack experiments.
+  Result<std::vector<Block>> BuildPrivateBranch(
+      const crypto::Hash256& parent_hash, size_t length,
+      const std::vector<Transaction>& txs, TimePoint start_time);
+
+  /// Publishes a previously built branch (submits all blocks now).
+  Status PublishBranch(const std::vector<Block>& branch);
+
+  uint64_t blocks_mined() const { return blocks_mined_; }
+
+ private:
+  void ScheduleNext();
+  void ProduceBlock();
+  Duration GossipDelay(const crypto::Hash256& block_hash, int miner) const;
+
+  sim::Simulation* sim_;
+  Blockchain* chain_;
+  Mempool* mempool_;
+  MiningConfig config_;
+  Rng rng_;
+  std::vector<crypto::KeyPair> miner_keys_;
+  /// Which miner produced each block (producers see their block at once).
+  std::unordered_map<crypto::Hash256, int> producer_;
+  sim::EventHandle pending_;
+  bool running_ = false;
+  uint64_t blocks_mined_ = 0;
+};
+
+}  // namespace ac3::chain
+
+#endif  // AC3_CHAIN_MINING_H_

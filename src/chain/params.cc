@@ -1,0 +1,92 @@
+#include "src/chain/params.h"
+
+namespace ac3::chain {
+
+namespace {
+/// Capacity so that (max_block_txs / block_interval_s) / kThroughputScale
+/// reproduces the paper's Table 1 tps figure for the chain.
+size_t CapacityFor(double real_tps, Duration interval) {
+  double capacity = real_tps * ToSeconds(interval) * kThroughputScale;
+  return capacity < 1.0 ? 1 : static_cast<size_t>(capacity + 0.5);
+}
+}  // namespace
+
+ChainParams BitcoinParams() {
+  ChainParams p;
+  p.name = "Bitcoin";
+  p.block_interval = Milliseconds(600);
+  p.difficulty_bits = 10;
+  p.real_tps = 7.0;
+  p.real_blocks_per_hour = 6.0;
+  p.attack_cost_per_hour_usd = 300'000.0;  // Paper §6.3 figure.
+  p.max_block_txs = CapacityFor(p.real_tps, p.block_interval);
+  p.stable_depth = 6;
+  return p;
+}
+
+ChainParams EthereumParams() {
+  ChainParams p;
+  p.name = "Ethereum";
+  p.block_interval = Milliseconds(150);
+  p.difficulty_bits = 10;
+  p.real_tps = 25.0;
+  p.real_blocks_per_hour = 240.0;
+  p.attack_cost_per_hour_usd = 100'000.0;  // crypto51.app-era estimate.
+  p.max_block_txs = CapacityFor(p.real_tps, p.block_interval);
+  p.stable_depth = 6;
+  return p;
+}
+
+ChainParams LitecoinParams() {
+  ChainParams p;
+  p.name = "Litecoin";
+  p.block_interval = Milliseconds(250);
+  p.difficulty_bits = 10;
+  p.real_tps = 56.0;
+  p.real_blocks_per_hour = 24.0;
+  p.attack_cost_per_hour_usd = 25'000.0;
+  p.max_block_txs = CapacityFor(p.real_tps, p.block_interval);
+  p.stable_depth = 6;
+  return p;
+}
+
+ChainParams BitcoinCashParams() {
+  ChainParams p;
+  p.name = "BitcoinCash";
+  p.block_interval = Milliseconds(600);
+  p.difficulty_bits = 10;
+  p.real_tps = 61.0;
+  p.real_blocks_per_hour = 6.0;
+  p.attack_cost_per_hour_usd = 10'000.0;
+  p.max_block_txs = CapacityFor(p.real_tps, p.block_interval);
+  p.stable_depth = 6;
+  return p;
+}
+
+ChainParams TestWitnessParams() {
+  ChainParams p;
+  p.name = "Witness";
+  p.block_interval = Milliseconds(100);
+  p.difficulty_bits = 8;
+  p.real_tps = 25.0;
+  p.real_blocks_per_hour = 240.0;
+  p.attack_cost_per_hour_usd = 100'000.0;
+  p.max_block_txs = 64;
+  p.stable_depth = 3;
+  return p;
+}
+
+ChainParams TestChainParams() {
+  ChainParams p;
+  p.name = "TestChain";
+  p.block_interval = Milliseconds(100);
+  p.difficulty_bits = 8;
+  p.real_tps = 25.0;
+  p.real_blocks_per_hour = 240.0;
+  p.attack_cost_per_hour_usd = 100'000.0;
+  p.max_block_txs = 64;
+  p.stable_depth = 3;
+  return p;
+}
+
+}  // namespace ac3::chain

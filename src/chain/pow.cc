@@ -1,0 +1,33 @@
+#include "src/chain/pow.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ac3::chain {
+
+bool HashMeetsDifficulty(const crypto::Hash256& hash,
+                         uint32_t difficulty_bits) {
+  assert(difficulty_bits < 64);
+  if (difficulty_bits == 0) return true;
+  return (hash.Prefix64() >> (64 - difficulty_bits)) == 0;
+}
+
+bool CheckProofOfWork(const BlockHeader& header) {
+  return HashMeetsDifficulty(header.Hash(), header.difficulty_bits);
+}
+
+uint64_t MineHeader(BlockHeader* header, Rng* rng) {
+  header->nonce = rng->NextU64();
+  uint64_t evaluations = 0;
+  for (;;) {
+    ++evaluations;
+    if (CheckProofOfWork(*header)) return evaluations;
+    ++header->nonce;
+  }
+}
+
+double WorkForDifficulty(uint32_t difficulty_bits) {
+  return std::pow(2.0, static_cast<double>(difficulty_bits));
+}
+
+}  // namespace ac3::chain

@@ -1,0 +1,35 @@
+// Proof of work: mining and verification.
+//
+// A header satisfies PoW when its double-SHA-256 hash has at least
+// `difficulty_bits` leading zero bits. Difficulty is fixed per chain (no
+// retargeting — the simulator schedules block arrival times explicitly, so
+// PoW here provides the *verifiability* that Section 4.3's evidence checks
+// need, not the timing).
+
+#ifndef AC3_CHAIN_POW_H_
+#define AC3_CHAIN_POW_H_
+
+#include "src/chain/block.h"
+#include "src/common/random.h"
+#include "src/common/status.h"
+
+namespace ac3::chain {
+
+/// True when `hash` has >= `difficulty_bits` leading zero bits.
+bool HashMeetsDifficulty(const crypto::Hash256& hash, uint32_t difficulty_bits);
+
+/// True when the header's own hash meets its declared difficulty.
+bool CheckProofOfWork(const BlockHeader& header);
+
+/// Searches nonces (starting from a random offset drawn from `rng`) until
+/// the header meets its difficulty; mutates `header->nonce`. Returns the
+/// number of hash evaluations performed (for benchmarks).
+uint64_t MineHeader(BlockHeader* header, Rng* rng);
+
+/// Expected work contributed by one block of the given difficulty
+/// (2^difficulty_bits hash evaluations). Used by the longest-chain rule.
+double WorkForDifficulty(uint32_t difficulty_bits);
+
+}  // namespace ac3::chain
+
+#endif  // AC3_CHAIN_POW_H_

@@ -1,0 +1,36 @@
+#include "src/chain/receipt.h"
+
+namespace ac3::chain {
+
+Bytes Receipt::Encode() const {
+  ByteWriter w;
+  w.PutRaw(tx_id.bytes(), crypto::Hash256::kSize);
+  w.PutU8(success ? 1 : 0);
+  w.PutRaw(contract_id.bytes(), crypto::Hash256::kSize);
+  w.PutBytes(state_digest);
+  w.PutString(note);
+  return w.Take();
+}
+
+Result<Receipt> Receipt::Decode(const Bytes& encoded) {
+  ByteReader r(encoded);
+  Receipt receipt;
+  AC3_ASSIGN_OR_RETURN(Bytes tx_raw, r.GetRaw(crypto::Hash256::kSize));
+  std::array<uint8_t, crypto::Hash256::kSize> arr{};
+  std::copy(tx_raw.begin(), tx_raw.end(), arr.begin());
+  receipt.tx_id = crypto::Hash256(arr);
+  AC3_ASSIGN_OR_RETURN(uint8_t success, r.GetU8());
+  receipt.success = success != 0;
+  AC3_ASSIGN_OR_RETURN(Bytes contract_raw, r.GetRaw(crypto::Hash256::kSize));
+  std::copy(contract_raw.begin(), contract_raw.end(), arr.begin());
+  receipt.contract_id = crypto::Hash256(arr);
+  AC3_ASSIGN_OR_RETURN(receipt.state_digest, r.GetBytes());
+  AC3_ASSIGN_OR_RETURN(receipt.note, r.GetString());
+  return receipt;
+}
+
+crypto::Hash256 Receipt::LeafHash() const {
+  return crypto::Hash256::Of(Encode());
+}
+
+}  // namespace ac3::chain

@@ -1,0 +1,120 @@
+#include "src/chain/transaction.h"
+
+namespace ac3::chain {
+
+const char* TxTypeName(TxType type) {
+  switch (type) {
+    case TxType::kCoinbase:
+      return "coinbase";
+    case TxType::kTransfer:
+      return "transfer";
+    case TxType::kDeploy:
+      return "deploy";
+    case TxType::kCall:
+      return "call";
+  }
+  return "?";
+}
+
+namespace {
+
+void EncodeCore(const Transaction& tx, ByteWriter* w) {
+  w->PutU8(static_cast<uint8_t>(tx.type));
+  w->PutU32(tx.chain_id);
+  w->PutU32(static_cast<uint32_t>(tx.inputs.size()));
+  for (const OutPoint& in : tx.inputs) {
+    w->PutRaw(in.tx_id.bytes(), crypto::Hash256::kSize);
+    w->PutU32(in.index);
+  }
+  w->PutU32(static_cast<uint32_t>(tx.outputs.size()));
+  for (const TxOutput& out : tx.outputs) {
+    w->PutU64(out.value);
+    w->PutRaw(out.owner.Encode());
+  }
+  w->PutU64(tx.fee);
+  w->PutRaw(tx.signer.Encode());
+  w->PutU64(tx.nonce);
+  w->PutString(tx.contract_kind);
+  w->PutRaw(tx.contract_id.bytes(), crypto::Hash256::kSize);
+  w->PutString(tx.function);
+  w->PutBytes(tx.payload);
+  w->PutU64(tx.contract_value);
+}
+
+Result<crypto::Hash256> ReadHash(ByteReader* r) {
+  AC3_ASSIGN_OR_RETURN(Bytes raw, r->GetRaw(crypto::Hash256::kSize));
+  std::array<uint8_t, crypto::Hash256::kSize> arr{};
+  std::copy(raw.begin(), raw.end(), arr.begin());
+  return crypto::Hash256(arr);
+}
+
+}  // namespace
+
+Bytes Transaction::SigningPayload() const {
+  ByteWriter w;
+  w.PutString("ac3/tx");
+  EncodeCore(*this, &w);
+  return w.Take();
+}
+
+Bytes Transaction::Encode() const {
+  ByteWriter w;
+  EncodeCore(*this, &w);
+  w.PutRaw(signature.Encode());
+  return w.Take();
+}
+
+Result<Transaction> Transaction::Decode(const Bytes& encoded) {
+  ByteReader r(encoded);
+  Transaction tx;
+  AC3_ASSIGN_OR_RETURN(uint8_t type, r.GetU8());
+  if (type < 1 || type > 4) {
+    return Status::InvalidArgument("unknown transaction type");
+  }
+  tx.type = static_cast<TxType>(type);
+  AC3_ASSIGN_OR_RETURN(tx.chain_id, r.GetU32());
+  AC3_ASSIGN_OR_RETURN(uint32_t n_in, r.GetU32());
+  for (uint32_t i = 0; i < n_in; ++i) {
+    OutPoint in;
+    AC3_ASSIGN_OR_RETURN(in.tx_id, ReadHash(&r));
+    AC3_ASSIGN_OR_RETURN(in.index, r.GetU32());
+    tx.inputs.push_back(in);
+  }
+  AC3_ASSIGN_OR_RETURN(uint32_t n_out, r.GetU32());
+  for (uint32_t i = 0; i < n_out; ++i) {
+    TxOutput out;
+    AC3_ASSIGN_OR_RETURN(out.value, r.GetU64());
+    AC3_ASSIGN_OR_RETURN(out.owner, crypto::PublicKey::Decode(&r));
+    tx.outputs.push_back(out);
+  }
+  AC3_ASSIGN_OR_RETURN(tx.fee, r.GetU64());
+  AC3_ASSIGN_OR_RETURN(tx.signer, crypto::PublicKey::Decode(&r));
+  AC3_ASSIGN_OR_RETURN(tx.nonce, r.GetU64());
+  AC3_ASSIGN_OR_RETURN(tx.contract_kind, r.GetString());
+  AC3_ASSIGN_OR_RETURN(tx.contract_id, ReadHash(&r));
+  AC3_ASSIGN_OR_RETURN(tx.function, r.GetString());
+  AC3_ASSIGN_OR_RETURN(tx.payload, r.GetBytes());
+  AC3_ASSIGN_OR_RETURN(tx.contract_value, r.GetU64());
+  AC3_ASSIGN_OR_RETURN(tx.signature, crypto::Signature::Decode(&r));
+  return tx;
+}
+
+crypto::Hash256 Transaction::Id() const { return crypto::Hash256::Of(Encode()); }
+
+void Transaction::SignWith(const crypto::KeyPair& key) {
+  signer = key.public_key();
+  signature = key.Sign(SigningPayload());
+}
+
+bool Transaction::VerifySignature() const {
+  if (type == TxType::kCoinbase) return true;
+  return crypto::Verify(signer, SigningPayload(), signature);
+}
+
+Amount Transaction::TotalOutput() const {
+  Amount total = 0;
+  for (const TxOutput& out : outputs) total += out.value;
+  return total;
+}
+
+}  // namespace ac3::chain

@@ -1,0 +1,57 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded by design (discrete events), so the
+// logger is deliberately simple: a global level, ostream sink, and a macro
+// that formats lazily. Protocol engines log at kDebug; experiment harnesses
+// default the level to kWarn so benchmark output stays clean.
+
+#ifndef AC3_COMMON_LOGGING_H_
+#define AC3_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ac3 {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Global log configuration.
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  /// Emits one formatted line to stderr.
+  static void Write(LogLevel level, const std::string& message);
+  static const char* LevelName(LogLevel level);
+};
+
+namespace internal {
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define AC3_LOG(severity)                                    \
+  if (::ac3::LogLevel::severity < ::ac3::Logger::level()) {  \
+  } else                                                     \
+    ::ac3::internal::LogMessage(::ac3::LogLevel::severity, __FILE__, \
+                                __LINE__)                    \
+        .stream()
+
+}  // namespace ac3
+
+#endif  // AC3_COMMON_LOGGING_H_

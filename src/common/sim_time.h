@@ -1,0 +1,34 @@
+// Virtual time for the discrete-event simulator.
+//
+// All protocol and blockchain timing (block intervals, timelocks, the
+// paper's Δ) is expressed in simulated milliseconds. Using a strong typedef
+// pair (TimePoint / Duration as int64 ms) keeps arithmetic obvious while
+// preventing accidental mixing with wall-clock time.
+
+#ifndef AC3_COMMON_SIM_TIME_H_
+#define AC3_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace ac3 {
+
+/// Milliseconds since simulation start.
+using TimePoint = int64_t;
+/// Milliseconds.
+using Duration = int64_t;
+
+constexpr TimePoint kTimeZero = 0;
+constexpr TimePoint kTimeInfinity = std::numeric_limits<int64_t>::max();
+
+constexpr Duration Milliseconds(int64_t ms) { return ms; }
+constexpr Duration Seconds(int64_t s) { return s * 1000; }
+constexpr Duration Minutes(int64_t m) { return m * 60 * 1000; }
+constexpr Duration Hours(int64_t h) { return h * 60 * 60 * 1000; }
+
+/// Converts a duration to fractional seconds (for reporting).
+constexpr double ToSeconds(Duration d) { return static_cast<double>(d) / 1000.0; }
+
+}  // namespace ac3
+
+#endif  // AC3_COMMON_SIM_TIME_H_

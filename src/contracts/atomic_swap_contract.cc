@@ -1,0 +1,65 @@
+#include "src/contracts/atomic_swap_contract.h"
+
+namespace ac3::contracts {
+
+const char* SwapStateName(SwapState state) {
+  switch (state) {
+    case SwapState::kPublished:
+      return "P";
+    case SwapState::kRedeemed:
+      return "RD";
+    case SwapState::kRefunded:
+      return "RF";
+  }
+  return "?";
+}
+
+Bytes SwapStateDigest(SwapState state) {
+  return Bytes{static_cast<uint8_t>(state)};
+}
+
+Bytes AtomicSwapContract::StateDigest() const {
+  return SwapStateDigest(state_);
+}
+
+Result<CallOutcome> AtomicSwapContract::Call(const std::string& function,
+                                             const Bytes& args,
+                                             const CallContext& ctx) const {
+  if (function == kRedeemFunction) {
+    if (state_ != SwapState::kPublished) {
+      return Status::FailedPrecondition("redeem requires state P, is " +
+                                        std::string(SwapStateName(state_)));
+    }
+    if (!IsRedeemable(args, ctx)) {
+      return Status::FailedPrecondition("IsRedeemable rejected the secret");
+    }
+    // transfer a to r (Algorithm 1 line 15).
+    ctx.payouts->push_back(Payout{locked_value(), recipient_});
+    std::shared_ptr<AtomicSwapContract> next = CloneSelf();
+    next->InheritBinding(*this);
+    next->ClearLockedValue();
+    next->set_state(SwapState::kRedeemed);
+    return CallOutcome{next, "redeemed"};
+  }
+
+  if (function == kRefundFunction) {
+    if (state_ != SwapState::kPublished) {
+      return Status::FailedPrecondition("refund requires state P, is " +
+                                        std::string(SwapStateName(state_)));
+    }
+    if (!IsRefundable(args, ctx)) {
+      return Status::FailedPrecondition("IsRefundable rejected the secret");
+    }
+    // transfer a to s (Algorithm 1 line 20).
+    ctx.payouts->push_back(Payout{locked_value(), sender()});
+    std::shared_ptr<AtomicSwapContract> next = CloneSelf();
+    next->InheritBinding(*this);
+    next->ClearLockedValue();
+    next->set_state(SwapState::kRefunded);
+    return CallOutcome{next, "refunded"};
+  }
+
+  return Status::InvalidArgument("unknown function: " + function);
+}
+
+}  // namespace ac3::contracts

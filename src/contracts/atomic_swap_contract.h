@@ -1,0 +1,74 @@
+// Algorithm 1: the atomic-swap smart-contract template.
+//
+// "Each smart contract has a sender s and recipient r, an asset a to be
+//  transferred from s to r through the contract, a state, and a redemption
+//  and refund commitment scheme instances rd and rf."
+//
+// The base class implements the state machine (P -> RD via redeem, P -> RF
+// via refund, nothing else) and the asset transfer; subclasses implement
+// the two commitment-scheme checks IsRedeemable / IsRefundable exactly as
+// Algorithms 2 (AC3TW) and 4 (AC3WN) and the HTLC baseline instantiate
+// them.
+
+#ifndef AC3_CONTRACTS_ATOMIC_SWAP_CONTRACT_H_
+#define AC3_CONTRACTS_ATOMIC_SWAP_CONTRACT_H_
+
+#include <memory>
+#include <string>
+
+#include "src/contracts/contract.h"
+
+namespace ac3::contracts {
+
+/// Algorithm 1 line 1: {Published (P), Redeemed (RD), Refunded (RF)}.
+enum class SwapState : uint8_t {
+  kPublished = 1,
+  kRedeemed = 2,
+  kRefunded = 3,
+};
+
+const char* SwapStateName(SwapState state);
+
+/// Function names accepted by Call().
+inline constexpr char kRedeemFunction[] = "redeem";
+inline constexpr char kRefundFunction[] = "refund";
+
+class AtomicSwapContract : public Contract {
+ public:
+  SwapState state() const { return state_; }
+  const crypto::PublicKey& sender() const { return deployer(); }
+  const crypto::PublicKey& recipient() const { return recipient_; }
+
+  Bytes StateDigest() const override;
+
+  /// Dispatches redeem/refund with the Algorithm 1 guards:
+  ///   redeem: requires(state == P and IsRedeemable(secret))
+  ///           -> transfer a to r; state = RD
+  ///   refund: requires(state == P and IsRefundable(secret))
+  ///           -> transfer a to s; state = RF
+  Result<CallOutcome> Call(const std::string& function, const Bytes& args,
+                           const CallContext& ctx) const override;
+
+  /// Commitment-scheme checks (Algorithm 1 lines 23–28). `args` carries the
+  /// revealed secret / evidence; `ctx` provides block time for timelocks.
+  virtual bool IsRedeemable(const Bytes& args, const CallContext& ctx) const = 0;
+  virtual bool IsRefundable(const Bytes& args, const CallContext& ctx) const = 0;
+
+ protected:
+  /// Subclasses clone themselves (state transitions are copy-on-write).
+  virtual std::shared_ptr<AtomicSwapContract> CloneSelf() const = 0;
+
+  void set_recipient(crypto::PublicKey recipient) { recipient_ = recipient; }
+  void set_state(SwapState state) { state_ = state; }
+
+ private:
+  crypto::PublicKey recipient_;
+  SwapState state_ = SwapState::kPublished;
+};
+
+/// Canonical one-byte digest for a swap state (what receipts record).
+Bytes SwapStateDigest(SwapState state);
+
+}  // namespace ac3::contracts
+
+#endif  // AC3_CONTRACTS_ATOMIC_SWAP_CONTRACT_H_

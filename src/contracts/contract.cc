@@ -1,0 +1,28 @@
+#include "src/contracts/contract.h"
+
+namespace ac3::contracts {
+
+ContractFactory& ContractFactory::Instance() {
+  static ContractFactory* factory = new ContractFactory();
+  return *factory;
+}
+
+void ContractFactory::Register(const std::string& kind, Creator creator) {
+  creators_[kind] = std::move(creator);
+}
+
+Result<ContractPtr> ContractFactory::Deploy(const std::string& kind,
+                                            const Bytes& payload,
+                                            const DeployContext& ctx) const {
+  auto it = creators_.find(kind);
+  if (it == creators_.end()) {
+    return Status::NotFound("unknown contract kind: " + kind);
+  }
+  return it->second(payload, ctx);
+}
+
+bool ContractFactory::Knows(const std::string& kind) const {
+  return creators_.count(kind) > 0;
+}
+
+}  // namespace ac3::contracts

@@ -1,0 +1,31 @@
+// Builds Section 4.3 evidence from a full node's view of a chain.
+//
+// Participants (who run or query full nodes) assemble the header chain from
+// the checkpoint stored in the target contract up to the canonical head,
+// plus the Merkle proof of the item of interest. The *verifier* never needs
+// chain access — see evidence.h.
+
+#ifndef AC3_CONTRACTS_EVIDENCE_BUILDER_H_
+#define AC3_CONTRACTS_EVIDENCE_BUILDER_H_
+
+#include "src/chain/blockchain.h"
+#include "src/contracts/evidence.h"
+
+namespace ac3::contracts {
+
+/// Evidence that transaction `tx_id` is included on `chain`'s canonical
+/// chain after `checkpoint_hash` (proved against the block's tx root).
+Result<HeaderChainEvidence> BuildTxEvidence(
+    const chain::Blockchain& chain, const crypto::Hash256& checkpoint_hash,
+    const crypto::Hash256& tx_id);
+
+/// Evidence for the *receipt* of transaction `tx_id` (proved against the
+/// block's receipt root) — used for contract state changes like SCw's
+/// RDauth / RFauth transitions.
+Result<HeaderChainEvidence> BuildReceiptEvidence(
+    const chain::Blockchain& chain, const crypto::Hash256& checkpoint_hash,
+    const crypto::Hash256& tx_id);
+
+}  // namespace ac3::contracts
+
+#endif  // AC3_CONTRACTS_EVIDENCE_BUILDER_H_

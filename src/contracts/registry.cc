@@ -1,0 +1,25 @@
+// Registers every contract kind shipped with the library.
+
+#include "src/contracts/centralized_contract.h"
+#include "src/contracts/contract.h"
+#include "src/contracts/htlc_contract.h"
+#include "src/contracts/permissionless_contract.h"
+#include "src/contracts/relay_contract.h"
+#include "src/contracts/witness_contract.h"
+
+namespace ac3::contracts {
+
+void RegisterBuiltinContracts() {
+  static const bool registered = []() {
+    ContractFactory& factory = ContractFactory::Instance();
+    factory.Register(kHtlcKind, &HtlcContract::Create);
+    factory.Register(kCentralizedKind, &CentralizedContract::Create);
+    factory.Register(kPermissionlessKind, &PermissionlessContract::Create);
+    factory.Register(kWitnessKind, &WitnessContract::Create);
+    factory.Register(kRelayKind, &RelayContract::Create);
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace ac3::contracts

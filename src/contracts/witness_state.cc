@@ -1,0 +1,21 @@
+#include "src/contracts/witness_state.h"
+
+namespace ac3::contracts {
+
+const char* WitnessStateName(WitnessState state) {
+  switch (state) {
+    case WitnessState::kPublished:
+      return "P";
+    case WitnessState::kRedeemAuthorized:
+      return "RDauth";
+    case WitnessState::kRefundAuthorized:
+      return "RFauth";
+  }
+  return "?";
+}
+
+Bytes WitnessStateDigest(WitnessState state) {
+  return Bytes{static_cast<uint8_t>(state)};
+}
+
+}  // namespace ac3::contracts

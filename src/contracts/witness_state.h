@@ -1,0 +1,29 @@
+// Witness-contract states (Algorithm 3 line 1), shared between the witness
+// contract itself and the asset-chain contracts that verify evidence about
+// it (Algorithm 4).
+
+#ifndef AC3_CONTRACTS_WITNESS_STATE_H_
+#define AC3_CONTRACTS_WITNESS_STATE_H_
+
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace ac3::contracts {
+
+/// {Published (P), Redeem_Authorized (RDauth), Refund_Authorized (RFauth)}.
+enum class WitnessState : uint8_t {
+  kPublished = 1,
+  kRedeemAuthorized = 2,
+  kRefundAuthorized = 3,
+};
+
+const char* WitnessStateName(WitnessState state);
+
+/// Canonical one-byte digest recorded in receipts; what Algorithm 4
+/// evidence checks compare against.
+Bytes WitnessStateDigest(WitnessState state);
+
+}  // namespace ac3::contracts
+
+#endif  // AC3_CONTRACTS_WITNESS_STATE_H_

@@ -1,0 +1,69 @@
+#include "src/core/environment.h"
+
+#include <cassert>
+
+namespace ac3::core {
+
+Environment::Environment(uint64_t seed, sim::LatencyModel latency)
+    : sim_(seed), network_(&sim_, latency), failures_(&sim_, &network_) {}
+
+chain::ChainId Environment::AddChain(chain::ChainParams params,
+                                     std::vector<chain::TxOutput> allocations,
+                                     chain::MiningConfig mining) {
+  const chain::ChainId id = static_cast<chain::ChainId>(chains_.size());
+  params.id = id;
+  ChainRuntime runtime;
+  runtime.blockchain = std::make_unique<chain::Blockchain>(
+      params, std::move(allocations));
+  runtime.mempool = std::make_unique<chain::Mempool>();
+  runtime.miners = std::make_unique<chain::MiningNetwork>(
+      &sim_, runtime.blockchain.get(), runtime.mempool.get(), mining);
+  runtime.gateway = network_.AddNode(params.name + "-gateway");
+  chains_.push_back(std::move(runtime));
+  return id;
+}
+
+chain::Blockchain* Environment::blockchain(chain::ChainId id) {
+  if (id >= chains_.size()) return nullptr;
+  return chains_[id].blockchain.get();
+}
+
+const chain::Blockchain* Environment::blockchain(chain::ChainId id) const {
+  if (id >= chains_.size()) return nullptr;
+  return chains_[id].blockchain.get();
+}
+
+chain::Mempool* Environment::mempool(chain::ChainId id) {
+  if (id >= chains_.size()) return nullptr;
+  return chains_[id].mempool.get();
+}
+
+chain::MiningNetwork* Environment::miners(chain::ChainId id) {
+  if (id >= chains_.size()) return nullptr;
+  return chains_[id].miners.get();
+}
+
+void Environment::StartMining() {
+  for (ChainRuntime& runtime : chains_) runtime.miners->Start();
+}
+
+void Environment::StopMining() {
+  for (ChainRuntime& runtime : chains_) runtime.miners->Stop();
+}
+
+sim::NodeId Environment::AddUserNode(const std::string& label) {
+  return network_.AddNode(label);
+}
+
+void Environment::SubmitTransaction(sim::NodeId from, chain::ChainId id,
+                                    const chain::Transaction& tx) {
+  assert(id < chains_.size());
+  chain::Mempool* pool = chains_[id].mempool.get();
+  sim::Simulation* sim = &sim_;
+  network_.Send(from, chains_[id].gateway, [pool, sim, tx]() {
+    // Ignore duplicate-submission errors: gossip is at-least-once.
+    (void)pool->Submit(tx, sim->Now());
+  });
+}
+
+}  // namespace ac3::core

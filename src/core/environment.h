@@ -1,0 +1,77 @@
+// The simulation environment: chains + miners + network + failures in one
+// place — the "multi-blockchain world" every experiment runs in.
+//
+// An Environment owns the discrete-event kernel, the message-passing
+// network (participants talk to chains through it, so submissions suffer
+// latency and crash/partition loss), and any number of blockchains, each
+// with its own mempool and Poisson mining network.
+
+#ifndef AC3_CORE_ENVIRONMENT_H_
+#define AC3_CORE_ENVIRONMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/chain/blockchain.h"
+#include "src/chain/mempool.h"
+#include "src/chain/mining.h"
+#include "src/sim/failure.h"
+#include "src/sim/network.h"
+#include "src/sim/simulation.h"
+
+namespace ac3::core {
+
+class Environment {
+ public:
+  explicit Environment(
+      uint64_t seed,
+      sim::LatencyModel latency = sim::LatencyModel{Milliseconds(20),
+                                                    Milliseconds(10)});
+
+  sim::Simulation* sim() { return &sim_; }
+  sim::Network* network() { return &network_; }
+  sim::FailureInjector* failures() { return &failures_; }
+
+  /// Creates a blockchain; `params.id` is overwritten with the assigned id.
+  /// `allocations` fund the genesis block (experiment participants).
+  chain::ChainId AddChain(chain::ChainParams params,
+                          std::vector<chain::TxOutput> allocations,
+                          chain::MiningConfig mining = chain::MiningConfig{});
+
+  size_t chain_count() const { return chains_.size(); }
+  /// Accessors return nullptr for unknown chain ids.
+  chain::Blockchain* blockchain(chain::ChainId id);
+  const chain::Blockchain* blockchain(chain::ChainId id) const;
+  chain::Mempool* mempool(chain::ChainId id);
+  chain::MiningNetwork* miners(chain::ChainId id);
+
+  /// Starts / stops every chain's miners.
+  void StartMining();
+  void StopMining();
+
+  /// Registers an end-user endpoint on the network.
+  sim::NodeId AddUserNode(const std::string& label);
+
+  /// Sends `tx` from `from` to the chain's gateway; it reaches the mempool
+  /// after network latency unless dropped (crash / partition).
+  void SubmitTransaction(sim::NodeId from, chain::ChainId id,
+                         const chain::Transaction& tx);
+
+ private:
+  struct ChainRuntime {
+    std::unique_ptr<chain::Blockchain> blockchain;
+    std::unique_ptr<chain::Mempool> mempool;
+    std::unique_ptr<chain::MiningNetwork> miners;
+    sim::NodeId gateway = 0;
+  };
+
+  sim::Simulation sim_;
+  sim::Network network_;
+  sim::FailureInjector failures_;
+  std::vector<ChainRuntime> chains_;
+};
+
+}  // namespace ac3::core
+
+#endif  // AC3_CORE_ENVIRONMENT_H_

@@ -1,0 +1,35 @@
+#include "src/crypto/commitment.h"
+
+namespace ac3::crypto {
+
+HashlockCommitment HashlockCommitment::FromSecret(const Bytes& secret) {
+  return HashlockCommitment(Hash256::Of(secret));
+}
+
+bool HashlockCommitment::VerifySecret(const Bytes& secret) const {
+  return Hash256::Of(secret) == lock_;
+}
+
+const char* CommitmentTagName(CommitmentTag tag) {
+  switch (tag) {
+    case CommitmentTag::kRedeem:
+      return "RD";
+    case CommitmentTag::kRefund:
+      return "RF";
+  }
+  return "?";
+}
+
+Bytes SignatureCommitmentMessage(const Hash256& ms_id, CommitmentTag tag) {
+  ByteWriter w;
+  w.PutString("ac3tw/commitment");
+  w.PutRaw(ms_id.bytes(), Hash256::kSize);
+  w.PutU8(static_cast<uint8_t>(tag));
+  return w.Take();
+}
+
+bool SignatureCommitment::VerifySecret(const Signature& secret) const {
+  return Verify(trent_, SignatureCommitmentMessage(ms_id_, tag_), secret);
+}
+
+}  // namespace ac3::crypto

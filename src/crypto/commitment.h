@@ -1,0 +1,83 @@
+// Commitment schemes — the paper's Section 3 cryptographic primitive.
+//
+// "A commitment scheme allows a user to commit to some chosen value without
+// revealing this value. Once this hidden value is revealed, other users can
+// verify that the revealed value is indeed the one used in the commitment."
+//
+// Three instantiations appear across the protocols:
+//   * HashlockCommitment    — h = H(s); secret is the preimage s
+//                             (Nolan/Herlihy HTLCs).
+//   * SignatureCommitment   — (ms(D), PK_T, tag); secret is Trent's
+//                             signature over (ms(D), tag) (AC3TW, Alg. 2).
+//   * witness-state commitment — (SCw, d); the "secret" is on-chain
+//                             evidence that SCw reached RDauth/RFauth at
+//                             depth >= d. That one needs chain access, so it
+//                             lives in src/contracts (Alg. 4).
+
+#ifndef AC3_CRYPTO_COMMITMENT_H_
+#define AC3_CRYPTO_COMMITMENT_H_
+
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/crypto/hash256.h"
+#include "src/crypto/schnorr.h"
+
+namespace ac3::crypto {
+
+/// A hashlock: commit = H(secret). Used by the HTLC baselines.
+class HashlockCommitment {
+ public:
+  HashlockCommitment() = default;
+  explicit HashlockCommitment(Hash256 lock) : lock_(lock) {}
+
+  /// Builds the commitment for a chosen secret (run by the swap leader).
+  static HashlockCommitment FromSecret(const Bytes& secret);
+
+  const Hash256& lock() const { return lock_; }
+
+  /// True iff `secret` hashes to the lock. This is what a smart contract's
+  /// IsRedeemable runs when a participant reveals s.
+  bool VerifySecret(const Bytes& secret) const;
+
+ private:
+  Hash256 lock_;
+};
+
+/// Tags distinguishing the two mutually exclusive commitment-scheme
+/// instances of an AC2T (Section 3): redemption vs refund.
+enum class CommitmentTag : uint8_t {
+  kRedeem = 1,
+  kRefund = 2,
+};
+
+const char* CommitmentTagName(CommitmentTag tag);
+
+/// Canonical message Trent signs for (ms_id, tag): the paper's
+/// (ms(D), RD) / (ms(D), RF) pairs.
+Bytes SignatureCommitmentMessage(const Hash256& ms_id, CommitmentTag tag);
+
+/// A signature-based commitment: committed to (ms(D), PK_T, tag); the
+/// secret is Trent's signature over SignatureCommitmentMessage.
+class SignatureCommitment {
+ public:
+  SignatureCommitment() = default;
+  SignatureCommitment(Hash256 ms_id, PublicKey trent, CommitmentTag tag)
+      : ms_id_(ms_id), trent_(trent), tag_(tag) {}
+
+  const Hash256& ms_id() const { return ms_id_; }
+  const PublicKey& trent() const { return trent_; }
+  CommitmentTag tag() const { return tag_; }
+
+  /// SigVerify((ms(D), tag), PK_T, secret) — Algorithm 2 lines 6 and 9.
+  bool VerifySecret(const Signature& secret) const;
+
+ private:
+  Hash256 ms_id_;
+  PublicKey trent_;
+  CommitmentTag tag_ = CommitmentTag::kRedeem;
+};
+
+}  // namespace ac3::crypto
+
+#endif  // AC3_CRYPTO_COMMITMENT_H_

@@ -1,0 +1,101 @@
+#include "src/crypto/merkle.h"
+
+namespace ac3::crypto {
+
+Bytes MerkleStep::Encode() const {
+  ByteWriter w;
+  w.PutRaw(sibling.bytes(), Hash256::kSize);
+  w.PutU8(sibling_on_left ? 1 : 0);
+  return w.Take();
+}
+
+Result<MerkleStep> MerkleStep::Decode(ByteReader* reader) {
+  MerkleStep step;
+  AC3_ASSIGN_OR_RETURN(Bytes raw, reader->GetRaw(Hash256::kSize));
+  std::array<uint8_t, Hash256::kSize> arr{};
+  std::copy(raw.begin(), raw.end(), arr.begin());
+  step.sibling = Hash256(arr);
+  AC3_ASSIGN_OR_RETURN(uint8_t side, reader->GetU8());
+  step.sibling_on_left = side != 0;
+  return step;
+}
+
+Bytes MerkleProof::Encode() const {
+  ByteWriter w;
+  w.PutU32(leaf_index);
+  w.PutU32(static_cast<uint32_t>(path.size()));
+  for (const MerkleStep& step : path) w.PutRaw(step.Encode());
+  return w.Take();
+}
+
+Result<MerkleProof> MerkleProof::Decode(const Bytes& encoded) {
+  ByteReader reader(encoded);
+  MerkleProof proof;
+  AC3_ASSIGN_OR_RETURN(proof.leaf_index, reader.GetU32());
+  AC3_ASSIGN_OR_RETURN(uint32_t count, reader.GetU32());
+  for (uint32_t i = 0; i < count; ++i) {
+    AC3_ASSIGN_OR_RETURN(MerkleStep step, MerkleStep::Decode(&reader));
+    proof.path.push_back(step);
+  }
+  return proof;
+}
+
+MerkleTree::MerkleTree(std::vector<Hash256> leaves) {
+  if (leaves.empty()) {
+    root_ = Hash256();
+    return;
+  }
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1) {
+    const std::vector<Hash256>& prev = levels_.back();
+    std::vector<Hash256> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (size_t i = 0; i < prev.size(); i += 2) {
+      const Hash256& left = prev[i];
+      const Hash256& right = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
+      next.push_back(Hash256::OfPair(left, right));
+    }
+    levels_.push_back(std::move(next));
+  }
+  root_ = levels_.back()[0];
+}
+
+Result<MerkleProof> MerkleTree::Prove(size_t index) const {
+  if (levels_.empty() || index >= levels_[0].size()) {
+    return Status::OutOfRange("merkle leaf index out of range");
+  }
+  MerkleProof proof;
+  proof.leaf_index = static_cast<uint32_t>(index);
+  size_t pos = index;
+  for (size_t level = 0; level + 1 < levels_.size(); ++level) {
+    const std::vector<Hash256>& nodes = levels_[level];
+    MerkleStep step;
+    if (pos % 2 == 0) {
+      // Sibling on the right (or self-pair when last odd node).
+      step.sibling = (pos + 1 < nodes.size()) ? nodes[pos + 1] : nodes[pos];
+      step.sibling_on_left = false;
+    } else {
+      step.sibling = nodes[pos - 1];
+      step.sibling_on_left = true;
+    }
+    proof.path.push_back(step);
+    pos /= 2;
+  }
+  return proof;
+}
+
+Hash256 MerkleTree::RootOf(const std::vector<Hash256>& leaves) {
+  return MerkleTree(leaves).root();
+}
+
+bool VerifyMerkleProof(const Hash256& leaf, const MerkleProof& proof,
+                       const Hash256& expected_root) {
+  Hash256 acc = leaf;
+  for (const MerkleStep& step : proof.path) {
+    acc = step.sibling_on_left ? Hash256::OfPair(step.sibling, acc)
+                               : Hash256::OfPair(acc, step.sibling);
+  }
+  return acc == expected_root;
+}
+
+}  // namespace ac3::crypto

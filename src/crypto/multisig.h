@@ -1,0 +1,67 @@
+// Multisignatures over the AC2T graph — the paper's ms(D) (Equation 1).
+//
+// All participants of an AC2T sign the canonical encoding of (D, t). The
+// paper notes "the order of participant signatures in ms(D) is not
+// important: any signature order indicates that all participants agree on
+// the graph D at timestamp t". We therefore model ms(D) as the *set* of
+// per-participant signatures over the same message; verification requires a
+// valid signature from every expected participant (a behaviour-preserving
+// flattening of the paper's nested sig(...sig((D,t),p1)...,pn) notation).
+
+#ifndef AC3_CRYPTO_MULTISIG_H_
+#define AC3_CRYPTO_MULTISIG_H_
+
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/crypto/hash256.h"
+#include "src/crypto/schnorr.h"
+
+namespace ac3::crypto {
+
+/// One participant's contribution to a multisignature.
+struct MultisigPart {
+  PublicKey signer;
+  Signature signature;
+};
+
+/// A multisignature over one canonical message.
+class Multisignature {
+ public:
+  Multisignature() = default;
+  explicit Multisignature(Bytes message) : message_(std::move(message)) {}
+
+  const Bytes& message() const { return message_; }
+  const std::vector<MultisigPart>& parts() const { return parts_; }
+
+  /// Adds `key`'s signature over the message. Duplicate signers are
+  /// rejected (each participant signs exactly once).
+  Status AddSignature(const KeyPair& key);
+
+  /// Attaches an externally produced part (e.g. received over the network).
+  Status AddPart(MultisigPart part);
+
+  /// True iff every key in `required_signers` contributed a valid signature
+  /// over the message. Extra signatures are ignored; missing or invalid
+  /// ones fail.
+  bool VerifyAll(const std::vector<PublicKey>& required_signers) const;
+
+  /// True when `signer` has a valid signature attached.
+  bool HasValidSignature(const PublicKey& signer) const;
+
+  /// Content id of the multisignature — used as the registration key in
+  /// Trent's key/value store (AC3TW) and in the witness contract (AC3WN).
+  Hash256 Id() const;
+
+  /// Canonical wire encoding (message + all parts).
+  Bytes Encode() const;
+  static Result<Multisignature> Decode(const Bytes& encoded);
+
+ private:
+  Bytes message_;
+  std::vector<MultisigPart> parts_;
+};
+
+}  // namespace ac3::crypto
+
+#endif  // AC3_CRYPTO_MULTISIG_H_

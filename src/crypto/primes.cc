@@ -1,0 +1,106 @@
+#include "src/crypto/primes.h"
+
+#include <cassert>
+
+#include "src/common/random.h"
+
+namespace ac3::crypto {
+
+uint64_t MulMod(uint64_t a, uint64_t b, uint64_t m) {
+  return static_cast<uint64_t>(
+      static_cast<unsigned __int128>(a) * b % m);
+}
+
+uint64_t PowMod(uint64_t base, uint64_t exp, uint64_t m) {
+  assert(m > 0);
+  if (m == 1) return 0;
+  uint64_t result = 1;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = MulMod(result, base, m);
+    base = MulMod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+namespace {
+
+/// One Miller–Rabin round with witness a; n - 1 = d * 2^r, d odd.
+bool MillerRabinWitness(uint64_t n, uint64_t a, uint64_t d, int r) {
+  uint64_t x = PowMod(a % n, d, n);
+  if (x == 1 || x == n - 1) return true;  // Probably prime for this witness.
+  for (int i = 1; i < r; ++i) {
+    x = MulMod(x, x, n);
+    if (x == n - 1) return true;
+  }
+  return false;  // Composite.
+}
+
+}  // namespace
+
+bool IsPrime(uint64_t n) {
+  if (n < 2) return false;
+  for (uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                     23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n == p) return true;
+    if (n % p == 0) return false;
+  }
+  uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // This witness set is deterministic-exact for all n < 2^64
+  // (Sorenson & Webster, 2015).
+  for (uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                     23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (!MillerRabinWitness(n, a, d, r)) return false;
+  }
+  return true;
+}
+
+uint64_t NextPrime(uint64_t n) {
+  if (n <= 2) return 2;
+  if ((n & 1) == 0) ++n;
+  while (!IsPrime(n)) n += 2;
+  return n;
+}
+
+GroupParams GenerateGroup(uint64_t seed) {
+  Rng rng(seed);
+
+  // 1. Pick a ~31-bit prime q.
+  uint64_t q = NextPrime((1ULL << 30) | rng.NextBelow(1ULL << 30));
+
+  // 2. Find p = k * q + 1 prime with p around 2^61. Scanning k upward from a
+  //    random start converges in a handful of steps by the prime density.
+  uint64_t k = (1ULL << 30) | rng.NextBelow(1ULL << 29);
+  if (k % 2 == 1) ++k;  // Keep p = k*q + 1 odd-friendly: k even => p odd.
+  uint64_t p;
+  for (;;) {
+    p = k * q + 1;
+    if (IsPrime(p)) break;
+    k += 2;
+  }
+
+  // 3. Find a generator of the order-q subgroup: g = h^((p-1)/q) != 1.
+  const uint64_t cofactor = (p - 1) / q;
+  uint64_t g = 1;
+  for (uint64_t h = 2; h < p; ++h) {
+    g = PowMod(h, cofactor, p);
+    if (g != 1) break;
+  }
+  assert(g != 1);
+  assert(PowMod(g, q, p) == 1);
+  return GroupParams{p, q, g};
+}
+
+const GroupParams& DefaultGroup() {
+  // Any fixed seed works; this one is the project name in ASCII-ish.
+  static const GroupParams params = GenerateGroup(0xAC3'AC3'AC3ULL);
+  return params;
+}
+
+}  // namespace ac3::crypto

@@ -1,0 +1,48 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// This is the system's only hash function: it backs transaction / block /
+// graph identifiers, Merkle trees, hashlocks (the paper's commitment-scheme
+// example), proof-of-work, and deterministic Schnorr nonces.
+
+#ifndef AC3_CRYPTO_SHA256_H_
+#define AC3_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace ac3::crypto {
+
+/// Incremental SHA-256 context. Typical use:
+///   Sha256 h; h.Update(a); h.Update(b); auto digest = h.Finish();
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha256();
+
+  /// Absorbs `len` bytes.
+  void Update(const uint8_t* data, size_t len);
+  void Update(const Bytes& data);
+
+  /// Pads, finalizes, and returns the 32-byte digest. The context must not
+  /// be reused afterwards.
+  std::array<uint8_t, kDigestSize> Finish();
+
+  /// One-shot convenience.
+  static std::array<uint8_t, kDigestSize> Digest(const Bytes& data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t bit_count_ = 0;
+  uint8_t buffer_[kBlockSize];
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace ac3::crypto
+
+#endif  // AC3_CRYPTO_SHA256_H_

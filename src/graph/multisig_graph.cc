@@ -1,0 +1,28 @@
+#include "src/graph/multisig_graph.h"
+
+namespace ac3::graph {
+
+Result<crypto::Multisignature> SignGraph(
+    const Ac2tGraph& graph, const std::vector<crypto::KeyPair>& signers) {
+  AC3_RETURN_IF_ERROR(graph.Validate());
+  if (signers.size() != graph.participant_count()) {
+    return Status::InvalidArgument("every participant must sign ms(D)");
+  }
+  crypto::Multisignature ms(graph.Encode());
+  for (const crypto::KeyPair& key : signers) {
+    AC3_RETURN_IF_ERROR(ms.AddSignature(key));
+  }
+  if (!ms.VerifyAll(graph.participants())) {
+    return Status::VerificationFailed(
+        "signers do not match the graph participants");
+  }
+  return ms;
+}
+
+bool VerifyGraphMultisig(const Ac2tGraph& graph,
+                         const crypto::Multisignature& ms) {
+  if (ms.message() != graph.Encode()) return false;
+  return ms.VerifyAll(graph.participants());
+}
+
+}  // namespace ac3::graph

@@ -1,0 +1,173 @@
+// AC3WN: the paper's contribution — atomic cross-chain commitment
+// coordinated by a permissionless witness network (Section 4.2).
+//
+// The four phases of Figure 9:
+//   1. SCw deployment: a participant registers ms(D) plus the agreed shape
+//      of every asset contract in a WitnessSC on the witness chain.
+//   2. Parallel deployment: every sender publishes its PermissionlessSC
+//      (Algorithm 4) concurrently — redemption/refund conditioned on SCw's
+//      state at depth >= d.
+//   3. SCw state change: once all contracts are publicly recognized, any
+//      participant submits AuthorizeRedeem with Section 4.3 evidence of
+//      every deployment; the witness miners verify and record RDauth. (Or
+//      AuthorizeRefund when someone declines / changes her mind.)
+//   4. Parallel settlement: once the state-change receipt is buried under d
+//      witness blocks, every recipient redeems (or every sender refunds)
+//      with receipt evidence.
+//
+// The engine is fully event-driven over simulated chains, so crash
+// failures, network delays, and witness-chain forks shape what happens; the
+// depth-d discipline (participants ignore unburied SCw states) is what
+// Lemma 5.3's atomicity argument rests on.
+//
+// Commitment (the second protocol obligation): after a decision, the engine
+// never gives up on a published contract — a participant that crashes and
+// later recovers still settles, because the commitment-scheme secret is the
+// witness chain itself, not a timelock.
+
+#ifndef AC3_PROTOCOLS_AC3WN_SWAP_H_
+#define AC3_PROTOCOLS_AC3WN_SWAP_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/contracts/permissionless_contract.h"
+#include "src/contracts/witness_contract.h"
+#include "src/core/environment.h"
+#include "src/graph/ac2t_graph.h"
+#include "src/protocols/participant.h"
+#include "src/protocols/swap_report.h"
+
+namespace ac3::protocols {
+
+struct Ac3wnConfig {
+  /// Δ of Section 6.1.
+  Duration delta = Seconds(3);
+  /// Confirmations for a deployment to count as publicly recognized.
+  uint32_t confirm_depth = 1;
+  /// d: burial depth required of the SCw state change before anyone acts on
+  /// it (Section 4.2 / Section 6.3's d > Va*dh/Ch rule).
+  uint32_t witness_depth_d = 2;
+  Duration poll_interval = Milliseconds(25);
+  Duration resubmit_interval = Seconds(2);
+  /// Request AuthorizeRefund when contracts are still missing this long
+  /// after Start().
+  Duration publish_patience = Seconds(30);
+  /// A participant "changes her mind": request AuthorizeRefund immediately
+  /// after SCw is published (abort path, protocol step 6).
+  bool request_abort = false;
+};
+
+class Ac3wnSwapEngine {
+ public:
+  /// `witness_chain` selects which permissionless network coordinates this
+  /// AC2T (Section 5.2: different AC2Ts may use different witnesses).
+  Ac3wnSwapEngine(core::Environment* env, graph::Ac2tGraph graph,
+                  std::vector<Participant*> participants,
+                  chain::ChainId witness_chain, Ac3wnConfig config);
+
+  /// Multisigns D, schedules SCw deployment and the polling loop; returns
+  /// immediately.
+  Status Start();
+
+  bool Done() const { return done_; }
+  const SwapReport& report() const { return report_; }
+  chain::ChainId witness_chain() const { return witness_chain_; }
+  const crypto::Hash256& scw_id() const { return scw_id_; }
+
+  /// The SCw state this engine has *acted on* (buried >= d), if any.
+  std::optional<contracts::WitnessState> decided_state() const {
+    return decided_state_;
+  }
+
+  /// Start() + run the simulation until done or `deadline`; finalizes and
+  /// returns the report.
+  Result<SwapReport> Run(TimePoint deadline);
+
+ private:
+  struct EdgeRt {
+    graph::Ac2tEdge edge;
+    contracts::EdgeSpec spec;
+    contracts::PermissionlessInit init;
+    crypto::Hash256 contract_id;
+    chain::Transaction deploy_tx;
+    bool deploy_built = false;
+    TimePoint last_submit = -1;
+    bool publish_confirmed = false;
+    /// The settle call is built once and re-gossiped; rebuilding on every
+    /// retry would re-reserve the actor's wallet funds.
+    chain::Transaction settle_tx;
+    bool settle_built = false;
+    bool settle_submitted = false;
+    TimePoint last_settle_submit = -1;
+    bool settled = false;
+    EdgeOutcome outcome = EdgeOutcome::kUnpublished;
+    TimePoint publish_submitted_at = -1;
+    TimePoint published_at = -1;
+    TimePoint settled_at = -1;
+  };
+
+  void Poll();
+  /// Phase 1: build + deploy SCw from the first live participant.
+  void TryDeployWitnessContract();
+  void TrackWitnessDeployment();
+  /// Phase 2: parallel PermissionlessSC deployments.
+  void TryPublish(EdgeRt* rt);
+  void TrackPublishConfirmation(EdgeRt* rt);
+  /// Phase 3: submit the SCw state-change request.
+  void TryAuthorizeRedeem();
+  void TryAuthorizeRefund();
+  /// Detects the canonical, buried SCw state change (sets decided_state_).
+  void TrackDecision();
+  /// Phase 4: settle one edge with receipt evidence of the SCw change.
+  void TrySettle(EdgeRt* rt);
+  void TrackSettlement(EdgeRt* rt);
+
+  bool AllPublished() const;
+  Participant* FirstLiveParticipant() const;
+  void CheckDone();
+  void FinalizeReport();
+
+  core::Environment* env_;
+  graph::Ac2tGraph graph_;
+  std::vector<Participant*> participants_;
+  chain::ChainId witness_chain_;
+  Ac3wnConfig config_;
+
+  crypto::Multisignature ms_;
+
+  // Phase-1 state.
+  chain::Transaction scw_deploy_tx_;
+  bool scw_deploy_built_ = false;
+  TimePoint scw_last_submit_ = -1;
+  crypto::Hash256 scw_id_;
+  bool scw_confirmed_ = false;
+  /// When SCw confirmed — the publish-patience clock starts here.
+  TimePoint scw_confirmed_at_ = 0;
+
+  // Phase-3 state. The state-change calls are built once (per builder) and
+  // re-gossiped; `*_builder_` tracks who funded the cached transaction so a
+  // crashed requester's call can be rebuilt by a live participant.
+  chain::Transaction authorize_tx_;
+  bool authorize_built_ = false;
+  Participant* authorize_builder_ = nullptr;
+  TimePoint authorize_last_submit_ = -1;
+  bool abort_authorize_built_ = false;
+  Participant* abort_builder_ = nullptr;
+  chain::Transaction abort_authorize_tx_;
+  TimePoint abort_last_submit_ = -1;
+
+  /// The decision transaction once observed canonical + buried >= d.
+  std::optional<contracts::WitnessState> decided_state_;
+  crypto::Hash256 decision_tx_id_;
+
+  std::vector<EdgeRt> edges_;
+  TimePoint start_time_ = 0;
+  bool started_ = false;
+  bool done_ = false;
+  SwapReport report_;
+};
+
+}  // namespace ac3::protocols
+
+#endif  // AC3_PROTOCOLS_AC3WN_SWAP_H_

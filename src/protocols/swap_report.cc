@@ -1,0 +1,74 @@
+#include "src/protocols/swap_report.h"
+
+#include <sstream>
+
+namespace ac3::protocols {
+
+const char* EdgeOutcomeName(EdgeOutcome outcome) {
+  switch (outcome) {
+    case EdgeOutcome::kUnpublished:
+      return "unpublished";
+    case EdgeOutcome::kPublished:
+      return "stranded";
+    case EdgeOutcome::kRedeemed:
+      return "redeemed";
+    case EdgeOutcome::kRefunded:
+      return "refunded";
+  }
+  return "?";
+}
+
+int SwapReport::CountOutcome(EdgeOutcome outcome) const {
+  int count = 0;
+  for (const EdgeReport& edge : edges) {
+    if (edge.outcome == outcome) ++count;
+  }
+  return count;
+}
+
+bool SwapReport::AllRedeemed() const {
+  return !edges.empty() &&
+         CountOutcome(EdgeOutcome::kRedeemed) == static_cast<int>(edges.size());
+}
+
+bool SwapReport::AllRefunded() const {
+  for (const EdgeReport& edge : edges) {
+    if (edge.outcome != EdgeOutcome::kRefunded &&
+        edge.outcome != EdgeOutcome::kUnpublished) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SwapReport::AtomicityViolated() const {
+  const int redeemed = CountOutcome(EdgeOutcome::kRedeemed);
+  const int refunded = CountOutcome(EdgeOutcome::kRefunded);
+  const int stranded = CountOutcome(EdgeOutcome::kPublished);
+  const int unpublished = CountOutcome(EdgeOutcome::kUnpublished);
+  // Mixed settlement is the canonical violation ("SCi redeemed and SCj
+  // refunded", Lemma 5.1). Once the run has ended, a redemption alongside
+  // a permanently stranded contract — or an edge that never executed at
+  // all — equally breaks all-or-nothing: some transfers happened, not all.
+  if (redeemed > 0 && refunded > 0) return true;
+  if (finished && redeemed > 0 && (stranded > 0 || unpublished > 0)) {
+    return true;
+  }
+  return false;
+}
+
+std::string SwapReport::Summary() const {
+  std::ostringstream os;
+  os << protocol << ": " << (finished ? "finished" : "timed-out") << ", "
+     << (committed ? "committed" : (aborted ? "aborted" : "undecided"))
+     << ", edges[";
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (i > 0) os << " ";
+    os << EdgeOutcomeName(edges[i].outcome);
+  }
+  os << "], latency=" << Latency() << "ms, fees=" << total_fees
+     << (AtomicityViolated() ? ", ATOMICITY VIOLATED" : ", atomic");
+  return os.str();
+}
+
+}  // namespace ac3::protocols

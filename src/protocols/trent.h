@@ -1,0 +1,100 @@
+// Trent: the centralized trusted witness of the AC3TW protocol
+// (Section 4.1).
+//
+// "Trent maintains a key/value store of ms(D)'s as the key, and his digital
+//  signature to either (ms(D), RD) or (ms(D), RF) as the value. ... Trent
+//  uses the key/value store to ensure that either T(ms(D), RD) or
+//  T(ms(D), RF) can be issued for an AC2T."
+//
+// Trent lives on the simulated network: requests reach him with latency and
+// are lost while he is crashed or partitioned — the single-point-of-failure
+// the paper criticizes ("the AC3WN protocol overcomes the vulnerability of
+// the centralized trusted witness, which may fail or be subject to denial
+// of service attacks"). Being trusted, Trent verifies contract deployments
+// by consulting his own full-node view of every asset chain.
+
+#ifndef AC3_PROTOCOLS_TRENT_H_
+#define AC3_PROTOCOLS_TRENT_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/core/environment.h"
+#include "src/crypto/commitment.h"
+#include "src/crypto/multisig.h"
+#include "src/graph/ac2t_graph.h"
+
+namespace ac3::protocols {
+
+/// The value side of Trent's key/value store once decided: which action he
+/// witnessed and the signature that serves as the commitment-scheme secret.
+struct TrentDecision {
+  crypto::CommitmentTag tag = crypto::CommitmentTag::kRedeem;
+  crypto::Signature signature;
+};
+
+class TrustedWitness {
+ public:
+  /// `confirm_depth`: how deep a deployment must be buried in its chain
+  /// before Trent counts it as "deployed".
+  TrustedWitness(std::string name, uint64_t key_seed, core::Environment* env,
+                 uint32_t confirm_depth = 1);
+
+  const std::string& name() const { return name_; }
+  const crypto::PublicKey& pk() const { return key_.public_key(); }
+  sim::NodeId node() const { return node_; }
+
+  /// Liveness as seen by the failure injector (crash = DoS on Trent).
+  bool IsUp() const;
+
+  // ---- witness-side request handlers ------------------------------------
+  // Called at message-delivery time by the protocol engine's network sends.
+
+  /// Registration: "Trent checks that ms(D) has not been registered before.
+  /// If true, Trent inserts ms(D) ... and sets its corresponding value to
+  /// ⊥." The multisignature must verify against the graph it signs.
+  Status HandleRegister(const crypto::Multisignature& ms);
+
+  /// Redemption request: verifies value is ⊥ and every smart contract in
+  /// the AC2T is deployed and bound to (ms(D), PK_T); if so signs
+  /// (ms(D), RD) and stores it. Returns the stored value either way, so a
+  /// retry after a decision simply re-reads it.
+  Result<TrentDecision> HandleRedeemRequest(const crypto::Hash256& ms_id);
+
+  /// Refund request: requires value ⊥ (no deployment check — Algorithm in
+  /// Section 4.1); signs (ms(D), RF) and stores it.
+  Result<TrentDecision> HandleRefundRequest(const crypto::Hash256& ms_id);
+
+  /// The stored value for `ms_id`: nullopt when unregistered or still ⊥.
+  std::optional<TrentDecision> Lookup(const crypto::Hash256& ms_id) const;
+
+  bool IsRegistered(const crypto::Hash256& ms_id) const {
+    return store_.count(ms_id) > 0;
+  }
+
+ private:
+  struct Entry {
+    crypto::Multisignature ms;
+    graph::Ac2tGraph graph;
+    std::optional<TrentDecision> value;  ///< nullopt encodes ⊥.
+  };
+
+  /// "Trent verifies that all smart contracts in the AC2T are deployed and
+  /// that the redemption and refund commitment scheme instances of every
+  /// smart contract are set to (ms(D), PK_T)."
+  Status VerifyAllContractsDeployed(const Entry& entry) const;
+
+  TrentDecision Decide(Entry* entry, crypto::CommitmentTag tag);
+
+  std::string name_;
+  crypto::KeyPair key_;
+  core::Environment* env_;
+  sim::NodeId node_;
+  uint32_t confirm_depth_;
+  std::map<crypto::Hash256, Entry> store_;
+};
+
+}  // namespace ac3::protocols
+
+#endif  // AC3_PROTOCOLS_TRENT_H_

@@ -1,0 +1,26 @@
+#include "src/sim/event_queue.h"
+
+namespace ac3::sim {
+
+EventHandle EventQueue::Push(TimePoint at, std::function<void()> fn) {
+  auto cancelled = std::make_shared<bool>(false);
+  heap_.push(Event{at, next_seq_++, std::move(fn), cancelled});
+  return EventHandle(cancelled);
+}
+
+TimePoint EventQueue::NextTime() {
+  while (!heap_.empty() && *heap_.top().cancelled) heap_.pop();
+  return heap_.empty() ? kTimeInfinity : heap_.top().at;
+}
+
+std::optional<EventQueue::Popped> EventQueue::PopNext() {
+  while (!heap_.empty()) {
+    Event event = heap_.top();
+    heap_.pop();
+    if (*event.cancelled) continue;
+    return Popped{event.at, std::move(event.fn)};
+  }
+  return std::nullopt;
+}
+
+}  // namespace ac3::sim

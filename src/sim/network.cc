@@ -1,0 +1,68 @@
+#include "src/sim/network.h"
+
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace ac3::sim {
+
+Network::Network(Simulation* sim, LatencyModel latency)
+    : sim_(sim), latency_(latency), rng_(sim->rng()->Fork()) {}
+
+NodeId Network::AddNode(const std::string& label) {
+  nodes_.push_back(NodeState{label, /*up=*/true, /*partition=*/0});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Network::Crash(NodeId id) { nodes_.at(id).up = false; }
+
+void Network::Recover(NodeId id) { nodes_.at(id).up = true; }
+
+bool Network::IsUp(NodeId id) const { return nodes_.at(id).up; }
+
+void Network::SetPartition(NodeId id, uint32_t group) {
+  nodes_.at(id).partition = group;
+}
+
+void Network::HealPartitions() {
+  for (NodeState& node : nodes_) node.partition = 0;
+}
+
+uint32_t Network::partition(NodeId id) const { return nodes_.at(id).partition; }
+
+Duration Network::SampleLatency() {
+  Duration jitter =
+      latency_.jitter > 0
+          ? static_cast<Duration>(rng_.NextBelow(
+                static_cast<uint64_t>(latency_.jitter) + 1))
+          : 0;
+  return latency_.base + jitter;
+}
+
+void Network::Send(NodeId from, NodeId to, std::function<void()> on_deliver) {
+  assert(from < nodes_.size() && to < nodes_.size());
+  Duration latency = SampleLatency();
+  sim_->After(latency, [this, from, to, fn = std::move(on_deliver)]() {
+    // Liveness and partition membership are evaluated at *delivery* time:
+    // a node that crashes mid-flight still loses the message.
+    if (!nodes_[to].up ||
+        nodes_[from].partition != nodes_[to].partition) {
+      ++dropped_count_;
+      AC3_LOG(kDebug) << "drop " << nodes_[from].label << " -> "
+                      << nodes_[to].label;
+      return;
+    }
+    ++delivered_count_;
+    fn();
+  });
+}
+
+void Network::Broadcast(NodeId from,
+                        const std::function<void(NodeId)>& on_deliver) {
+  for (NodeId to = 0; to < nodes_.size(); ++to) {
+    if (to == from) continue;
+    Send(from, to, [on_deliver, to]() { on_deliver(to); });
+  }
+}
+
+}  // namespace ac3::sim

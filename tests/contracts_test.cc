@@ -1,0 +1,326 @@
+// Contract-layer tests: the Algorithm 1 template's state machine and its
+// three instantiations (HTLC, Algorithm 2 CentralizedSC, Algorithm 4
+// PermissionlessSC), the contract factory, and on-ledger execution
+// (deploy fees, payouts, failed-guard receipts).
+
+#include <gtest/gtest.h>
+
+#include "src/chain/ledger.h"
+#include "src/contracts/atomic_swap_contract.h"
+#include "src/contracts/centralized_contract.h"
+#include "src/contracts/contract.h"
+#include "src/contracts/htlc_contract.h"
+#include "src/contracts/permissionless_contract.h"
+#include "tests/test_util.h"
+
+namespace ac3::contracts {
+namespace {
+
+const crypto::KeyPair kAlice = crypto::KeyPair::FromSeed(1);
+const crypto::KeyPair kBob = crypto::KeyPair::FromSeed(2);
+const crypto::KeyPair kTrent = crypto::KeyPair::FromSeed(3);
+
+DeployContext MakeDeployCtx(chain::Amount value) {
+  DeployContext ctx;
+  ctx.chain_id = 0;
+  ctx.tx_id = crypto::Hash256::Of(Bytes{1, 2, 3});
+  ctx.sender = kAlice.public_key();
+  ctx.value = value;
+  ctx.block_time = 100;
+  ctx.block_height = 1;
+  return ctx;
+}
+
+struct CallEnv {
+  std::vector<Payout> payouts;
+  CallContext ctx;
+  explicit CallEnv(TimePoint block_time = 200) {
+    ctx.chain_id = 0;
+    ctx.tx_id = crypto::Hash256::Of(Bytes{9});
+    ctx.sender = kBob.public_key();
+    ctx.block_time = block_time;
+    ctx.block_height = 2;
+    ctx.payouts = &payouts;
+  }
+};
+
+Result<ContractPtr> MakeHtlc(const Bytes& secret, TimePoint timelock,
+                             chain::Amount value = 500) {
+  Bytes payload = HtlcContract::MakeInitPayload(
+      kBob.public_key(), crypto::Hash256::Of(secret), timelock);
+  return HtlcContract::Create(payload, MakeDeployCtx(value));
+}
+
+// -------------------------------------------------- Algorithm 1 template
+
+TEST(AtomicSwapTemplateTest, ConstructorInitializesPerAlgorithm1) {
+  auto contract = MakeHtlc(Bytes{42}, 1000);
+  ASSERT_TRUE(contract.ok());
+  const auto* swap = dynamic_cast<const AtomicSwapContract*>(contract->get());
+  ASSERT_NE(swap, nullptr);
+  EXPECT_EQ(swap->state(), SwapState::kPublished);
+  EXPECT_EQ(swap->sender(), kAlice.public_key());      // this.s = msg.sender
+  EXPECT_EQ(swap->recipient(), kBob.public_key());     // this.r = r
+  EXPECT_EQ(swap->locked_value(), 500u);               // this.a = msg.value
+}
+
+TEST(AtomicSwapTemplateTest, RedeemTransfersAssetToRecipient) {
+  auto contract = MakeHtlc(Bytes{42}, 1000);
+  ASSERT_TRUE(contract.ok());
+  CallEnv env;
+  auto outcome = (*contract)->Call(kRedeemFunction, Bytes{42}, env.ctx);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  ASSERT_EQ(env.payouts.size(), 1u);
+  EXPECT_EQ(env.payouts[0].value, 500u);
+  EXPECT_EQ(env.payouts[0].recipient, kBob.public_key());
+  const auto* next =
+      dynamic_cast<const AtomicSwapContract*>(outcome->next.get());
+  ASSERT_NE(next, nullptr);
+  EXPECT_EQ(next->state(), SwapState::kRedeemed);
+  EXPECT_EQ(next->locked_value(), 0u);
+}
+
+TEST(AtomicSwapTemplateTest, RefundTransfersAssetBackToSender) {
+  auto contract = MakeHtlc(Bytes{42}, /*timelock=*/150);
+  ASSERT_TRUE(contract.ok());
+  CallEnv env(/*block_time=*/200);  // past the timelock
+  auto outcome = (*contract)->Call(kRefundFunction, {}, env.ctx);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  ASSERT_EQ(env.payouts.size(), 1u);
+  EXPECT_EQ(env.payouts[0].recipient, kAlice.public_key());
+  const auto* next =
+      dynamic_cast<const AtomicSwapContract*>(outcome->next.get());
+  EXPECT_EQ(next->state(), SwapState::kRefunded);
+}
+
+TEST(AtomicSwapTemplateTest, RedeemRequiresStateP) {
+  auto contract = MakeHtlc(Bytes{42}, 1000);
+  CallEnv env;
+  auto redeemed = (*contract)->Call(kRedeemFunction, Bytes{42}, env.ctx);
+  ASSERT_TRUE(redeemed.ok());
+  // Second redeem on the RD snapshot must fail the `requires` guard.
+  CallEnv env2;
+  auto again = redeemed->next->Call(kRedeemFunction, Bytes{42}, env2.ctx);
+  EXPECT_EQ(again.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(env2.payouts.empty());
+}
+
+TEST(AtomicSwapTemplateTest, RefundAfterRedeemImpossible) {
+  // The state machine allows P->RD or P->RF, never RD->RF: the on-chain
+  // backbone of atomicity.
+  auto contract = MakeHtlc(Bytes{42}, /*timelock=*/150);
+  CallEnv env(/*block_time=*/200);
+  auto redeemed = (*contract)->Call(kRedeemFunction, Bytes{42}, env.ctx);
+  ASSERT_TRUE(redeemed.ok());
+  CallEnv env2(/*block_time=*/500);
+  auto refund = redeemed->next->Call(kRefundFunction, {}, env2.ctx);
+  EXPECT_EQ(refund.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(AtomicSwapTemplateTest, UnknownFunctionRejected) {
+  auto contract = MakeHtlc(Bytes{42}, 1000);
+  CallEnv env;
+  auto outcome = (*contract)->Call("selfdestruct", {}, env.ctx);
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AtomicSwapTemplateTest, FailedGuardLeavesStateUnchanged) {
+  auto contract = MakeHtlc(Bytes{42}, 1000);
+  CallEnv env;
+  auto outcome = (*contract)->Call(kRedeemFunction, Bytes{7}, env.ctx);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_TRUE(env.payouts.empty());
+  const auto* swap = dynamic_cast<const AtomicSwapContract*>(contract->get());
+  EXPECT_EQ(swap->state(), SwapState::kPublished);
+}
+
+// ------------------------------------------------------------------- HTLC
+
+TEST(HtlcContractTest, RedeemRequiresPreimage) {
+  auto contract = MakeHtlc(Bytes{1, 2, 3}, 1000);
+  CallEnv env;
+  EXPECT_FALSE((*contract)->Call(kRedeemFunction, Bytes{3, 2, 1}, env.ctx).ok());
+  EXPECT_TRUE((*contract)->Call(kRedeemFunction, Bytes{1, 2, 3}, env.ctx).ok());
+}
+
+TEST(HtlcContractTest, RefundOnlyAfterTimelock) {
+  auto contract = MakeHtlc(Bytes{1}, /*timelock=*/500);
+  CallEnv before(/*block_time=*/499);
+  EXPECT_FALSE((*contract)->Call(kRefundFunction, {}, before.ctx).ok());
+  CallEnv at(/*block_time=*/500);
+  EXPECT_TRUE((*contract)->Call(kRefundFunction, {}, at.ctx).ok());
+}
+
+TEST(HtlcContractTest, RejectsZeroValueDeploy) {
+  auto contract = MakeHtlc(Bytes{1}, 1000, /*value=*/0);
+  EXPECT_EQ(contract.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------- Algorithm 2 (AC3TW SC)
+
+class CentralizedContractTest : public ::testing::Test {
+ protected:
+  CentralizedContractTest() {
+    ms_id_ = crypto::Hash256::Of(Bytes{0xAA});
+    Bytes payload = CentralizedContract::MakeInitPayload(
+        kBob.public_key(), ms_id_, kTrent.public_key());
+    contract_ = *CentralizedContract::Create(payload, MakeDeployCtx(500));
+  }
+
+  crypto::Signature SignCommitment(crypto::CommitmentTag tag,
+                                   const crypto::KeyPair& signer) const {
+    return signer.Sign(crypto::SignatureCommitmentMessage(ms_id_, tag));
+  }
+
+  crypto::Hash256 ms_id_;
+  ContractPtr contract_;
+};
+
+TEST_F(CentralizedContractTest, RedeemsWithTrentRedeemSignature) {
+  CallEnv env;
+  Bytes secret =
+      SignCommitment(crypto::CommitmentTag::kRedeem, kTrent).Encode();
+  auto outcome = contract_->Call(kRedeemFunction, secret, env.ctx);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(env.payouts[0].recipient, kBob.public_key());
+}
+
+TEST_F(CentralizedContractTest, RefundsWithTrentRefundSignature) {
+  CallEnv env;
+  Bytes secret =
+      SignCommitment(crypto::CommitmentTag::kRefund, kTrent).Encode();
+  auto outcome = contract_->Call(kRefundFunction, secret, env.ctx);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(env.payouts[0].recipient, kAlice.public_key());
+}
+
+TEST_F(CentralizedContractTest, TagsAreMutuallyExclusive) {
+  // T(ms, RF) cannot redeem and T(ms, RD) cannot refund.
+  CallEnv env;
+  Bytes refund_sig =
+      SignCommitment(crypto::CommitmentTag::kRefund, kTrent).Encode();
+  EXPECT_FALSE(contract_->Call(kRedeemFunction, refund_sig, env.ctx).ok());
+  Bytes redeem_sig =
+      SignCommitment(crypto::CommitmentTag::kRedeem, kTrent).Encode();
+  EXPECT_FALSE(contract_->Call(kRefundFunction, redeem_sig, env.ctx).ok());
+}
+
+TEST_F(CentralizedContractTest, RejectsNonTrentSignature) {
+  CallEnv env;
+  Bytes forged =
+      SignCommitment(crypto::CommitmentTag::kRedeem, kAlice).Encode();
+  EXPECT_FALSE(contract_->Call(kRedeemFunction, forged, env.ctx).ok());
+}
+
+TEST_F(CentralizedContractTest, RejectsSignatureForOtherSwap) {
+  CallEnv env;
+  crypto::Hash256 other_ms = crypto::Hash256::Of(Bytes{0xBB});
+  Bytes other = kTrent
+                    .Sign(crypto::SignatureCommitmentMessage(
+                        other_ms, crypto::CommitmentTag::kRedeem))
+                    .Encode();
+  EXPECT_FALSE(contract_->Call(kRedeemFunction, other, env.ctx).ok());
+}
+
+TEST_F(CentralizedContractTest, RejectsGarbageArgs) {
+  CallEnv env;
+  EXPECT_FALSE(contract_->Call(kRedeemFunction, Bytes{1, 2}, env.ctx).ok());
+  EXPECT_FALSE(contract_->Call(kRedeemFunction, {}, env.ctx).ok());
+}
+
+// ----------------------------------------------------------------- factory
+
+TEST(ContractFactoryTest, KnowsAllBuiltinKinds) {
+  RegisterBuiltinContracts();
+  ContractFactory& factory = ContractFactory::Instance();
+  EXPECT_TRUE(factory.Knows(kHtlcKind));
+  EXPECT_TRUE(factory.Knows(kCentralizedKind));
+  EXPECT_TRUE(factory.Knows(kPermissionlessKind));
+  EXPECT_TRUE(factory.Knows("WitnessSC"));
+  EXPECT_TRUE(factory.Knows("RelaySC"));
+  EXPECT_FALSE(factory.Knows("NoSuchContract"));
+}
+
+TEST(ContractFactoryTest, DeployDispatchesByKind) {
+  RegisterBuiltinContracts();
+  Bytes payload = HtlcContract::MakeInitPayload(
+      kBob.public_key(), crypto::Hash256::Of(Bytes{5}), 1000);
+  auto contract =
+      ContractFactory::Instance().Deploy(kHtlcKind, payload, MakeDeployCtx(9));
+  ASSERT_TRUE(contract.ok());
+  EXPECT_EQ((*contract)->Kind(), kHtlcKind);
+}
+
+TEST(ContractFactoryTest, UnknownKindFails) {
+  RegisterBuiltinContracts();
+  auto contract = ContractFactory::Instance().Deploy("Bogus", {},
+                                                     MakeDeployCtx(1));
+  EXPECT_FALSE(contract.ok());
+}
+
+// --------------------------------------------------------- ledger behaviour
+
+TEST(ContractOnLedgerTest, DeployLocksValueAndCallPaysOut) {
+  testutil::TestChain world(
+      chain::TestChainParams(),
+      testutil::Fund({kAlice.public_key(), kBob.public_key()}, 1000));
+  chain::Wallet alice(kAlice, world.chain().id());
+  chain::Wallet bob(kBob, world.chain().id());
+
+  Bytes secret{7, 7, 7};
+  Bytes payload = HtlcContract::MakeInitPayload(
+      kBob.public_key(), crypto::Hash256::Of(secret), /*timelock=*/60'000);
+  auto deploy = alice.BuildDeploy(world.chain().StateAtHead(), kHtlcKind,
+                                  payload, /*locked_value=*/400,
+                                  /*fee=*/4, /*nonce=*/1);
+  ASSERT_TRUE(deploy.ok()) << deploy.status();
+  ASSERT_TRUE(world.MineBlock({*deploy}).ok());
+
+  const chain::LedgerState& state = world.chain().StateAtHead();
+  EXPECT_EQ(state.BalanceOf(kAlice.public_key()), 1000u - 400u - 4u);
+  EXPECT_EQ(state.LockedValue(), 400u);
+  auto contract = state.GetContract(deploy->Id());
+  ASSERT_TRUE(contract.ok());
+
+  auto redeem = bob.BuildCall(state, deploy->Id(), kRedeemFunction, secret,
+                              /*fee=*/2, /*nonce=*/1);
+  ASSERT_TRUE(redeem.ok()) << redeem.status();
+  ASSERT_TRUE(world.MineBlock({*redeem}).ok());
+  EXPECT_EQ(world.chain().StateAtHead().BalanceOf(kBob.public_key()),
+            1000u - 2u + 400u);
+  EXPECT_EQ(world.chain().StateAtHead().LockedValue(), 0u);
+}
+
+TEST(ContractOnLedgerTest, FailedGuardRecordsUnsuccessfulReceipt) {
+  testutil::TestChain world(
+      chain::TestChainParams(),
+      testutil::Fund({kAlice.public_key(), kBob.public_key()}, 1000));
+  chain::Wallet alice(kAlice, world.chain().id());
+  chain::Wallet bob(kBob, world.chain().id());
+
+  Bytes payload = HtlcContract::MakeInitPayload(
+      kBob.public_key(), crypto::Hash256::Of(Bytes{1}), 60'000);
+  auto deploy = alice.BuildDeploy(world.chain().StateAtHead(), kHtlcKind,
+                                  payload, 400, 4, 1);
+  ASSERT_TRUE(deploy.ok());
+  ASSERT_TRUE(world.MineBlock({*deploy}).ok());
+
+  // Wrong secret: the call lands on-chain but with success=false, and the
+  // asset stays locked.
+  auto bad = bob.BuildCall(world.chain().StateAtHead(), deploy->Id(),
+                           kRedeemFunction, Bytes{9}, /*fee=*/2, /*nonce=*/1);
+  ASSERT_TRUE(bad.ok());
+  ASSERT_TRUE(world.MineBlock({*bad}).ok());
+  auto location = world.chain().FindTx(bad->Id());
+  ASSERT_TRUE(location.has_value());
+  EXPECT_FALSE(location->entry->block.receipts[location->index].success);
+  EXPECT_EQ(world.chain().StateAtHead().LockedValue(), 400u);
+  // And no successful redeem call is discoverable.
+  EXPECT_FALSE(world.chain()
+                   .FindCall(deploy->Id(), kRedeemFunction,
+                             /*require_success=*/true)
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace ac3::contracts

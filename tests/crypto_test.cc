@@ -1,0 +1,459 @@
+// Unit tests for src/crypto: SHA-256 (NIST vectors), primes/group
+// generation, Schnorr signatures, multisignatures, Merkle proofs, and
+// commitment schemes.
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/crypto/commitment.h"
+#include "src/crypto/hash256.h"
+#include "src/crypto/merkle.h"
+#include "src/crypto/multisig.h"
+#include "src/crypto/primes.h"
+#include "src/crypto/schnorr.h"
+#include "src/crypto/sha256.h"
+
+namespace ac3::crypto {
+namespace {
+
+Bytes StrBytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+// ---------------------------------------------------------------- SHA-256
+
+TEST(Sha256Test, EmptyStringVector) {
+  // NIST: SHA-256("") =
+  // e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855
+  EXPECT_EQ(Hash256::Of({}).ToHex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, AbcVector) {
+  // NIST: SHA-256("abc") =
+  // ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad
+  EXPECT_EQ(Hash256::OfString("abc").ToHex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessageVector) {
+  // NIST: SHA-256("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+  EXPECT_EQ(
+      Hash256::OfString(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+          .ToHex(),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAVector) {
+  // NIST: SHA-256 of one million 'a' characters.
+  Sha256 h;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(Hash256(h.Finish()).ToHex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  Bytes data = StrBytes("the quick brown fox jumps over the lazy dog etc");
+  for (size_t split = 0; split <= data.size(); ++split) {
+    Sha256 h;
+    h.Update(data.data(), split);
+    h.Update(data.data() + split, data.size() - split);
+    EXPECT_EQ(Hash256(h.Finish()), Hash256::Of(data)) << "split=" << split;
+  }
+}
+
+TEST(Sha256Test, PaddingBoundaries) {
+  // Lengths around the 55/56/64-byte padding edges must all work.
+  for (size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    Bytes data(len, 0x5a);
+    Sha256 a;
+    a.Update(data);
+    Sha256 b;
+    for (uint8_t byte : data) b.Update(&byte, 1);
+    EXPECT_EQ(Hash256(a.Finish()), Hash256(b.Finish())) << "len=" << len;
+  }
+}
+
+// ---------------------------------------------------------------- Hash256
+
+TEST(Hash256Test, DefaultIsZero) {
+  Hash256 h;
+  EXPECT_TRUE(h.IsZero());
+  EXPECT_EQ(h.ToHex(), std::string(64, '0'));
+}
+
+TEST(Hash256Test, HexRoundTrip) {
+  Hash256 h = Hash256::OfString("roundtrip");
+  auto parsed = Hash256::FromHex(h.ToHex());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, h);
+}
+
+TEST(Hash256Test, FromHexRejectsWrongLength) {
+  EXPECT_FALSE(Hash256::FromHex("abcd").ok());
+}
+
+TEST(Hash256Test, OrderingIsLexicographic) {
+  Hash256 a = Hash256::OfString("a");
+  Hash256 b = Hash256::OfString("b");
+  EXPECT_NE(a, b);
+  EXPECT_TRUE((a < b) != (b < a));
+}
+
+TEST(Hash256Test, DoubleHashDiffersFromSingle) {
+  Bytes data = StrBytes("pow-header");
+  EXPECT_NE(Hash256::Of(data), Hash256::DoubleOf(data));
+}
+
+TEST(Hash256Test, Prefix64IsBigEndianOfFirstBytes) {
+  std::array<uint8_t, 32> raw{};
+  raw[0] = 0x01;
+  raw[7] = 0xff;
+  Hash256 h(raw);
+  EXPECT_EQ(h.Prefix64(), 0x01000000000000ffULL);
+}
+
+// ---------------------------------------------------------------- primes
+
+TEST(PrimesTest, SmallPrimes) {
+  EXPECT_TRUE(IsPrime(2));
+  EXPECT_TRUE(IsPrime(3));
+  EXPECT_TRUE(IsPrime(97));
+  EXPECT_FALSE(IsPrime(0));
+  EXPECT_FALSE(IsPrime(1));
+  EXPECT_FALSE(IsPrime(91));  // 7 * 13
+  EXPECT_FALSE(IsPrime(561));  // Carmichael number.
+}
+
+TEST(PrimesTest, LargeKnownPrimes) {
+  EXPECT_TRUE(IsPrime(2305843009213693951ULL));   // 2^61 - 1 (Mersenne).
+  EXPECT_FALSE(IsPrime(2305843009213693953ULL));  // 2^61 + 1 composite.
+  EXPECT_TRUE(IsPrime(18446744073709551557ULL));  // Largest 64-bit prime.
+}
+
+TEST(PrimesTest, NextPrime) {
+  EXPECT_EQ(NextPrime(2), 2u);
+  EXPECT_EQ(NextPrime(14), 17u);
+  EXPECT_EQ(NextPrime(97), 97u);
+}
+
+TEST(PrimesTest, PowModMatchesNaive) {
+  for (uint64_t b : {2ULL, 3ULL, 10ULL}) {
+    uint64_t naive = 1;
+    for (int e = 0; e < 20; ++e) {
+      EXPECT_EQ(PowMod(b, e, 1000000007ULL), naive % 1000000007ULL);
+      naive = naive * b % 1000000007ULL;
+    }
+  }
+}
+
+TEST(PrimesTest, MulModNoOverflow) {
+  uint64_t m = 2305843009213693951ULL;  // 2^61 - 1.
+  uint64_t a = m - 1, b = m - 2;
+  // (m-1)(m-2) mod m = (-1)(-2) mod m = 2.
+  EXPECT_EQ(MulMod(a, b, m), 2u);
+}
+
+TEST(PrimesTest, GroupParamsAreConsistent) {
+  const GroupParams& grp = DefaultGroup();
+  EXPECT_TRUE(IsPrime(grp.p));
+  EXPECT_TRUE(IsPrime(grp.q));
+  EXPECT_EQ((grp.p - 1) % grp.q, 0u);
+  EXPECT_NE(grp.g, 1u);
+  EXPECT_EQ(PowMod(grp.g, grp.q, grp.p), 1u);  // g has order dividing q.
+  EXPECT_NE(PowMod(grp.g, 1, grp.p), 1u);      // ...and not order 1.
+}
+
+TEST(PrimesTest, GenerateGroupDeterministic) {
+  GroupParams a = GenerateGroup(42);
+  GroupParams b = GenerateGroup(42);
+  EXPECT_EQ(a.p, b.p);
+  EXPECT_EQ(a.q, b.q);
+  EXPECT_EQ(a.g, b.g);
+}
+
+// ---------------------------------------------------------------- Schnorr
+
+TEST(SchnorrTest, SignVerifyRoundTrip) {
+  KeyPair key = KeyPair::FromSeed(1);
+  Bytes msg = StrBytes("transfer X bitcoins from Alice to Bob");
+  Signature sig = key.Sign(msg);
+  EXPECT_TRUE(Verify(key.public_key(), msg, sig));
+}
+
+TEST(SchnorrTest, RejectsTamperedMessage) {
+  KeyPair key = KeyPair::FromSeed(2);
+  Signature sig = key.Sign(StrBytes("original"));
+  EXPECT_FALSE(Verify(key.public_key(), StrBytes("tampered"), sig));
+}
+
+TEST(SchnorrTest, RejectsWrongKey) {
+  KeyPair alice = KeyPair::FromSeed(3);
+  KeyPair bob = KeyPair::FromSeed(4);
+  Bytes msg = StrBytes("message");
+  Signature sig = alice.Sign(msg);
+  EXPECT_FALSE(Verify(bob.public_key(), msg, sig));
+}
+
+TEST(SchnorrTest, RejectsTamperedSignature) {
+  KeyPair key = KeyPair::FromSeed(5);
+  Bytes msg = StrBytes("message");
+  Signature sig = key.Sign(msg);
+  Signature bad_e = sig;
+  bad_e.e ^= 1;
+  EXPECT_FALSE(Verify(key.public_key(), msg, bad_e));
+  Signature bad_s = sig;
+  bad_s.s ^= 1;
+  EXPECT_FALSE(Verify(key.public_key(), msg, bad_s));
+}
+
+TEST(SchnorrTest, DeterministicSignatures) {
+  KeyPair key = KeyPair::FromSeed(6);
+  Bytes msg = StrBytes("idempotent");
+  EXPECT_EQ(key.Sign(msg), key.Sign(msg));
+}
+
+TEST(SchnorrTest, DistinctSeedsDistinctKeys) {
+  EXPECT_NE(KeyPair::FromSeed(7).public_key(),
+            KeyPair::FromSeed(8).public_key());
+}
+
+TEST(SchnorrTest, InvalidPublicKeyRejected) {
+  Signature sig{1, 1};
+  EXPECT_FALSE(Verify(PublicKey(), StrBytes("m"), sig));
+}
+
+TEST(SchnorrTest, EncodeDecodeRoundTrip) {
+  KeyPair key = KeyPair::FromSeed(9);
+  Bytes pk_bytes = key.public_key().Encode();
+  ByteReader r(pk_bytes);
+  auto pk = PublicKey::Decode(&r);
+  ASSERT_TRUE(pk.ok());
+  EXPECT_EQ(*pk, key.public_key());
+
+  Signature sig = key.SignString("encode me");
+  Bytes sig_bytes = sig.Encode();
+  ByteReader r2(sig_bytes);
+  auto sig2 = Signature::Decode(&r2);
+  ASSERT_TRUE(sig2.ok());
+  EXPECT_EQ(*sig2, sig);
+}
+
+TEST(SchnorrTest, ManyKeysAllVerify) {
+  Rng rng(1234);
+  for (int i = 0; i < 50; ++i) {
+    KeyPair key = KeyPair::Generate(&rng);
+    Bytes msg = rng.NextBytes(64);
+    EXPECT_TRUE(Verify(key.public_key(), msg, key.Sign(msg)));
+  }
+}
+
+// ---------------------------------------------------------------- multisig
+
+TEST(MultisigTest, AllPartiesSignAndVerify) {
+  Bytes msg = StrBytes("graph D at timestamp t");
+  Multisignature ms(msg);
+  KeyPair alice = KeyPair::FromSeed(10);
+  KeyPair bob = KeyPair::FromSeed(11);
+  ASSERT_TRUE(ms.AddSignature(alice).ok());
+  ASSERT_TRUE(ms.AddSignature(bob).ok());
+  EXPECT_TRUE(ms.VerifyAll({alice.public_key(), bob.public_key()}));
+}
+
+TEST(MultisigTest, MissingSignerFailsVerification) {
+  Multisignature ms(StrBytes("m"));
+  KeyPair alice = KeyPair::FromSeed(12);
+  KeyPair bob = KeyPair::FromSeed(13);
+  ASSERT_TRUE(ms.AddSignature(alice).ok());
+  EXPECT_FALSE(ms.VerifyAll({alice.public_key(), bob.public_key()}));
+}
+
+TEST(MultisigTest, DuplicateSignerRejected) {
+  Multisignature ms(StrBytes("m"));
+  KeyPair alice = KeyPair::FromSeed(14);
+  ASSERT_TRUE(ms.AddSignature(alice).ok());
+  Status dup = ms.AddSignature(alice);
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(MultisigTest, ForgedPartRejectedOnAdd) {
+  Multisignature ms(StrBytes("m"));
+  KeyPair alice = KeyPair::FromSeed(15);
+  MultisigPart part;
+  part.signer = alice.public_key();
+  part.signature = alice.SignString("different message");
+  EXPECT_EQ(ms.AddPart(part).code(), StatusCode::kVerificationFailed);
+}
+
+TEST(MultisigTest, IdStableUnderSignerOrder) {
+  // Note: Id covers content, so different orders give different encodings —
+  // but the *same* parts in the same order round-trip identically.
+  Bytes msg = StrBytes("ordered");
+  Multisignature ms(msg);
+  KeyPair a = KeyPair::FromSeed(16), b = KeyPair::FromSeed(17);
+  ASSERT_TRUE(ms.AddSignature(a).ok());
+  ASSERT_TRUE(ms.AddSignature(b).ok());
+  auto decoded = Multisignature::Decode(ms.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->Id(), ms.Id());
+  EXPECT_TRUE(decoded->VerifyAll({a.public_key(), b.public_key()}));
+}
+
+TEST(MultisigTest, SignatureOrderDoesNotAffectValidity) {
+  // The paper: "The order of participant signatures in ms(D) is not
+  // important."  Both orders must verify.
+  Bytes msg = StrBytes("any order");
+  KeyPair a = KeyPair::FromSeed(18), b = KeyPair::FromSeed(19);
+  Multisignature ab(msg), ba(msg);
+  ASSERT_TRUE(ab.AddSignature(a).ok());
+  ASSERT_TRUE(ab.AddSignature(b).ok());
+  ASSERT_TRUE(ba.AddSignature(b).ok());
+  ASSERT_TRUE(ba.AddSignature(a).ok());
+  std::vector<PublicKey> signers = {a.public_key(), b.public_key()};
+  EXPECT_TRUE(ab.VerifyAll(signers));
+  EXPECT_TRUE(ba.VerifyAll(signers));
+}
+
+// ---------------------------------------------------------------- merkle
+
+std::vector<Hash256> MakeLeaves(int n) {
+  std::vector<Hash256> leaves;
+  for (int i = 0; i < n; ++i) {
+    leaves.push_back(Hash256::OfString("leaf" + std::to_string(i)));
+  }
+  return leaves;
+}
+
+TEST(MerkleTest, EmptyTreeHasZeroRoot) {
+  MerkleTree tree({});
+  EXPECT_TRUE(tree.root().IsZero());
+}
+
+TEST(MerkleTest, SingleLeafRootIsLeaf) {
+  auto leaves = MakeLeaves(1);
+  MerkleTree tree(leaves);
+  EXPECT_EQ(tree.root(), leaves[0]);
+}
+
+TEST(MerkleTest, TwoLeafRoot) {
+  auto leaves = MakeLeaves(2);
+  MerkleTree tree(leaves);
+  EXPECT_EQ(tree.root(), Hash256::OfPair(leaves[0], leaves[1]));
+}
+
+TEST(MerkleTest, OddLeafCountDuplicatesLast) {
+  auto leaves = MakeLeaves(3);
+  MerkleTree tree(leaves);
+  Hash256 left = Hash256::OfPair(leaves[0], leaves[1]);
+  Hash256 right = Hash256::OfPair(leaves[2], leaves[2]);
+  EXPECT_EQ(tree.root(), Hash256::OfPair(left, right));
+}
+
+TEST(MerkleTest, ProofVerifiesForEveryLeaf) {
+  for (int n : {1, 2, 3, 4, 5, 8, 13, 32, 33}) {
+    auto leaves = MakeLeaves(n);
+    MerkleTree tree(leaves);
+    for (int i = 0; i < n; ++i) {
+      auto proof = tree.Prove(i);
+      ASSERT_TRUE(proof.ok()) << "n=" << n << " i=" << i;
+      EXPECT_TRUE(VerifyMerkleProof(leaves[i], *proof, tree.root()))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(MerkleTest, ProofFailsForWrongLeaf) {
+  auto leaves = MakeLeaves(8);
+  MerkleTree tree(leaves);
+  auto proof = tree.Prove(3);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_FALSE(VerifyMerkleProof(leaves[4], *proof, tree.root()));
+}
+
+TEST(MerkleTest, ProofFailsForWrongRoot) {
+  auto leaves = MakeLeaves(8);
+  MerkleTree tree(leaves);
+  auto proof = tree.Prove(3);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_FALSE(
+      VerifyMerkleProof(leaves[3], *proof, Hash256::OfString("bogus")));
+}
+
+TEST(MerkleTest, ProofIndexOutOfRange) {
+  MerkleTree tree(MakeLeaves(4));
+  EXPECT_FALSE(tree.Prove(4).ok());
+}
+
+TEST(MerkleTest, ProofEncodeDecodeRoundTrip) {
+  auto leaves = MakeLeaves(7);
+  MerkleTree tree(leaves);
+  auto proof = tree.Prove(5);
+  ASSERT_TRUE(proof.ok());
+  auto decoded = MerkleProof::Decode(proof->Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(VerifyMerkleProof(leaves[5], *decoded, tree.root()));
+}
+
+TEST(MerkleTest, TamperedProofStepFails) {
+  auto leaves = MakeLeaves(16);
+  MerkleTree tree(leaves);
+  auto proof = tree.Prove(9);
+  ASSERT_TRUE(proof.ok());
+  MerkleProof bad = *proof;
+  bad.path[1].sibling = Hash256::OfString("evil");
+  EXPECT_FALSE(VerifyMerkleProof(leaves[9], bad, tree.root()));
+}
+
+// ---------------------------------------------------------------- commitments
+
+TEST(CommitmentTest, HashlockAcceptsCorrectSecret) {
+  Bytes secret = StrBytes("only Alice knows s");
+  auto lock = HashlockCommitment::FromSecret(secret);
+  EXPECT_TRUE(lock.VerifySecret(secret));
+}
+
+TEST(CommitmentTest, HashlockRejectsWrongSecret) {
+  auto lock = HashlockCommitment::FromSecret(StrBytes("s"));
+  EXPECT_FALSE(lock.VerifySecret(StrBytes("not s")));
+}
+
+TEST(CommitmentTest, SignatureCommitmentRedeemRefundMutuallyExclusive) {
+  KeyPair trent = KeyPair::FromSeed(100);
+  Hash256 ms_id = Hash256::OfString("ms(D)");
+  SignatureCommitment rd(ms_id, trent.public_key(), CommitmentTag::kRedeem);
+  SignatureCommitment rf(ms_id, trent.public_key(), CommitmentTag::kRefund);
+
+  Signature redeem_secret =
+      trent.Sign(SignatureCommitmentMessage(ms_id, CommitmentTag::kRedeem));
+  EXPECT_TRUE(rd.VerifySecret(redeem_secret));
+  // The redeem secret must NOT open the refund commitment.
+  EXPECT_FALSE(rf.VerifySecret(redeem_secret));
+}
+
+TEST(CommitmentTest, SignatureCommitmentRejectsNonTrentSigner) {
+  KeyPair trent = KeyPair::FromSeed(101);
+  KeyPair mallory = KeyPair::FromSeed(102);
+  Hash256 ms_id = Hash256::OfString("ms(D)");
+  SignatureCommitment rd(ms_id, trent.public_key(), CommitmentTag::kRedeem);
+  Signature forged =
+      mallory.Sign(SignatureCommitmentMessage(ms_id, CommitmentTag::kRedeem));
+  EXPECT_FALSE(rd.VerifySecret(forged));
+}
+
+TEST(CommitmentTest, SignatureCommitmentBoundToGraph) {
+  KeyPair trent = KeyPair::FromSeed(103);
+  Hash256 ms1 = Hash256::OfString("swap 1");
+  Hash256 ms2 = Hash256::OfString("swap 2");
+  SignatureCommitment rd1(ms1, trent.public_key(), CommitmentTag::kRedeem);
+  Signature secret_for_2 =
+      trent.Sign(SignatureCommitmentMessage(ms2, CommitmentTag::kRedeem));
+  EXPECT_FALSE(rd1.VerifySecret(secret_for_2));
+}
+
+TEST(CommitmentTest, TagNames) {
+  EXPECT_STREQ(CommitmentTagName(CommitmentTag::kRedeem), "RD");
+  EXPECT_STREQ(CommitmentTagName(CommitmentTag::kRefund), "RF");
+}
+
+}  // namespace
+}  // namespace ac3::crypto

@@ -1,0 +1,123 @@
+// Mempool tests: FIFO candidate ordering, arrival-time visibility (a
+// transaction gossiped at t is not minable before t), pruning, and the
+// interaction with block capacity via CandidatesAt.
+
+#include "src/chain/mempool.h"
+
+#include <gtest/gtest.h>
+
+#include "src/chain/wallet.h"
+#include "tests/test_util.h"
+
+namespace ac3::chain {
+namespace {
+
+const crypto::KeyPair kAlice = crypto::KeyPair::FromSeed(81);
+const crypto::KeyPair kBob = crypto::KeyPair::FromSeed(82);
+
+class MempoolTest : public ::testing::Test {
+ protected:
+  // Many small outputs so independent transfers never compete for inputs
+  // (each build reserves what it spends).
+  static std::vector<TxOutput> ManyOutputs() {
+    std::vector<TxOutput> out;
+    for (int i = 0; i < 80; ++i) {
+      out.push_back(TxOutput{100, kAlice.public_key()});
+    }
+    return out;
+  }
+
+  MempoolTest()
+      : world_(TestChainParams(), ManyOutputs(), /*seed=*/601),
+        alice_(kAlice, world_.chain().id()) {}
+
+  Transaction MakeTransfer(uint64_t nonce) {
+    auto tx = alice_.BuildTransfer(world_.chain().StateAtHead(),
+                                   kBob.public_key(), 10, 1, nonce);
+    EXPECT_TRUE(tx.ok()) << tx.status();
+    return *tx;
+  }
+
+  testutil::TestChain world_;
+  Wallet alice_;
+  Mempool pool_;
+  std::set<crypto::Hash256> none_;
+};
+
+TEST_F(MempoolTest, CandidatesComeOutInArrivalOrder) {
+  Transaction t1 = MakeTransfer(1);
+  Transaction t2 = MakeTransfer(2);
+  Transaction t3 = MakeTransfer(3);
+  ASSERT_TRUE(pool_.Submit(t2, /*arrival=*/10).ok());
+  ASSERT_TRUE(pool_.Submit(t1, /*arrival=*/20).ok());
+  ASSERT_TRUE(pool_.Submit(t3, /*arrival=*/30).ok());
+  auto candidates = pool_.CandidatesAt(/*now=*/100, none_);
+  ASSERT_EQ(candidates.size(), 3u);
+  EXPECT_EQ(candidates[0].Id(), t2.Id());
+  EXPECT_EQ(candidates[1].Id(), t1.Id());
+  EXPECT_EQ(candidates[2].Id(), t3.Id());
+}
+
+TEST_F(MempoolTest, FutureArrivalsAreInvisible) {
+  Transaction tx = MakeTransfer(1);
+  ASSERT_TRUE(pool_.Submit(tx, /*arrival=*/500).ok());
+  EXPECT_TRUE(pool_.CandidatesAt(/*now=*/499, none_).empty());
+  EXPECT_EQ(pool_.CandidatesAt(/*now=*/500, none_).size(), 1u);
+}
+
+TEST_F(MempoolTest, DuplicateSubmissionRejectedButHarmless) {
+  Transaction tx = MakeTransfer(1);
+  ASSERT_TRUE(pool_.Submit(tx, 0).ok());
+  Status again = pool_.Submit(tx, 5);
+  EXPECT_FALSE(again.ok());
+  EXPECT_EQ(pool_.size(), 1u);
+}
+
+TEST_F(MempoolTest, IncludedTransactionsAreFiltered) {
+  Transaction t1 = MakeTransfer(1);
+  Transaction t2 = MakeTransfer(2);
+  ASSERT_TRUE(pool_.Submit(t1, 0).ok());
+  ASSERT_TRUE(pool_.Submit(t2, 0).ok());
+  std::set<crypto::Hash256> included{t1.Id()};
+  auto candidates = pool_.CandidatesAt(100, included);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].Id(), t2.Id());
+}
+
+TEST_F(MempoolTest, PruneDropsEntriesPermanently) {
+  Transaction t1 = MakeTransfer(1);
+  Transaction t2 = MakeTransfer(2);
+  ASSERT_TRUE(pool_.Submit(t1, 0).ok());
+  ASSERT_TRUE(pool_.Submit(t2, 0).ok());
+  pool_.Prune({t1.Id()});
+  EXPECT_EQ(pool_.size(), 1u);
+  EXPECT_FALSE(pool_.Contains(t1.Id()));
+  EXPECT_TRUE(pool_.Contains(t2.Id()));
+  auto candidates = pool_.CandidatesAt(100, none_);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].Id(), t2.Id());
+}
+
+TEST_F(MempoolTest, CapacityIsEnforcedByBlockAssemblyNotThePool) {
+  // The pool returns every visible candidate; AssembleBlock applies the
+  // per-block cap. Verify the division of labor end to end.
+  const size_t capacity = world_.chain().params().max_block_txs;
+  std::vector<Transaction> batch;
+  for (size_t i = 0; i < capacity + 5; ++i) {
+    Transaction tx = MakeTransfer(static_cast<uint64_t>(i + 1));
+    ASSERT_TRUE(pool_.Submit(tx, 0).ok());
+    batch.push_back(tx);
+  }
+  auto candidates = pool_.CandidatesAt(100, none_);
+  EXPECT_EQ(candidates.size(), capacity + 5);
+  Rng rng(1);
+  auto block = world_.chain().AssembleBlock(world_.chain().head()->hash,
+                                            candidates,
+                                            kAlice.public_key(), 100, &rng);
+  ASSERT_TRUE(block.ok());
+  // +1 coinbase; the overflow stays pooled for the next block.
+  EXPECT_LE(block->txs.size(), capacity + 1);
+}
+
+}  // namespace
+}  // namespace ac3::chain

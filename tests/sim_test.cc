@@ -1,0 +1,234 @@
+// Unit tests for the discrete-event simulation kernel, network model, and
+// failure injection.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/failure.h"
+#include "src/sim/network.h"
+#include "src/sim/simulation.h"
+
+namespace ac3::sim {
+namespace {
+
+TEST(EventQueueTest, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(30, [&] { order.push_back(3); });
+  q.Push(10, [&] { order.push_back(1); });
+  q.Push(20, [&] { order.push_back(2); });
+  while (auto e = q.PopNext()) e->fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, FifoAtSameTime) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.Push(7, [&order, i] { order.push_back(i); });
+  }
+  while (auto e = q.PopNext()) e->fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CancelledEventSkipped) {
+  EventQueue q;
+  bool ran = false;
+  EventHandle handle = q.Push(5, [&] { ran = true; });
+  handle.Cancel();
+  while (auto e = q.PopNext()) e->fn();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, NextTimeReportsEarliest) {
+  EventQueue q;
+  EXPECT_EQ(q.NextTime(), kTimeInfinity);
+  q.Push(42, [] {});
+  q.Push(17, [] {});
+  EXPECT_EQ(q.NextTime(), 17);
+}
+
+TEST(SimulationTest, ClockAdvancesWithEvents) {
+  Simulation sim(1);
+  TimePoint seen = -1;
+  sim.After(100, [&] { seen = sim.Now(); });
+  sim.RunUntil(1000);
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(sim.Now(), 1000);
+}
+
+TEST(SimulationTest, NestedScheduling) {
+  Simulation sim(1);
+  std::vector<TimePoint> times;
+  sim.After(10, [&] {
+    times.push_back(sim.Now());
+    sim.After(15, [&] { times.push_back(sim.Now()); });
+  });
+  sim.RunToCompletion();
+  EXPECT_EQ(times, (std::vector<TimePoint>{10, 25}));
+}
+
+TEST(SimulationTest, RunUntilStopsAtDeadline) {
+  Simulation sim(1);
+  int count = 0;
+  // Self-rescheduling timer.
+  std::function<void()> tick = [&] {
+    ++count;
+    sim.After(10, tick);
+  };
+  sim.After(10, tick);
+  sim.RunUntil(105);
+  EXPECT_EQ(count, 10);  // t=10..100.
+}
+
+TEST(SimulationTest, RunUntilConditionFires) {
+  Simulation sim(1);
+  int x = 0;
+  sim.After(50, [&] { x = 1; });
+  sim.After(60, [&] { x = 2; });
+  Status s = sim.RunUntilCondition([&] { return x == 1; }, 1000);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(sim.Now(), 50);
+}
+
+TEST(SimulationTest, RunUntilConditionTimesOut) {
+  Simulation sim(1);
+  Status s = sim.RunUntilCondition([] { return false; }, 500);
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(sim.Now(), 500);
+}
+
+TEST(NetworkTest, DeliversWithLatency) {
+  Simulation sim(7);
+  Network net(&sim, LatencyModel{Milliseconds(50), Milliseconds(0)});
+  NodeId a = net.AddNode("a");
+  NodeId b = net.AddNode("b");
+  TimePoint delivered_at = -1;
+  net.Send(a, b, [&] { delivered_at = sim.Now(); });
+  sim.RunToCompletion();
+  EXPECT_EQ(delivered_at, 50);
+  EXPECT_EQ(net.delivered_count(), 1u);
+}
+
+TEST(NetworkTest, CrashedReceiverDropsMessage) {
+  Simulation sim(7);
+  Network net(&sim, LatencyModel{Milliseconds(10), Milliseconds(0)});
+  NodeId a = net.AddNode("a");
+  NodeId b = net.AddNode("b");
+  net.Crash(b);
+  bool delivered = false;
+  net.Send(a, b, [&] { delivered = true; });
+  sim.RunToCompletion();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net.dropped_count(), 1u);
+}
+
+TEST(NetworkTest, CrashMidFlightDropsMessage) {
+  Simulation sim(7);
+  Network net(&sim, LatencyModel{Milliseconds(100), Milliseconds(0)});
+  NodeId a = net.AddNode("a");
+  NodeId b = net.AddNode("b");
+  bool delivered = false;
+  net.Send(a, b, [&] { delivered = true; });
+  sim.After(50, [&] { net.Crash(b); });  // Crashes while in flight.
+  sim.RunToCompletion();
+  EXPECT_FALSE(delivered);
+}
+
+TEST(NetworkTest, RecoveryRestoresDelivery) {
+  Simulation sim(7);
+  Network net(&sim, LatencyModel{Milliseconds(10), Milliseconds(0)});
+  NodeId a = net.AddNode("a");
+  NodeId b = net.AddNode("b");
+  net.Crash(b);
+  net.Recover(b);
+  bool delivered = false;
+  net.Send(a, b, [&] { delivered = true; });
+  sim.RunToCompletion();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(NetworkTest, PartitionBlocksCrossGroupTraffic) {
+  Simulation sim(7);
+  Network net(&sim, LatencyModel{Milliseconds(10), Milliseconds(0)});
+  NodeId a = net.AddNode("a");
+  NodeId b = net.AddNode("b");
+  net.SetPartition(b, 1);
+  bool delivered = false;
+  net.Send(a, b, [&] { delivered = true; });
+  sim.RunToCompletion();
+  EXPECT_FALSE(delivered);
+
+  net.HealPartitions();
+  net.Send(a, b, [&] { delivered = true; });
+  sim.RunToCompletion();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(NetworkTest, BroadcastReachesAllOthers) {
+  Simulation sim(7);
+  Network net(&sim, LatencyModel{Milliseconds(5), Milliseconds(3)});
+  NodeId a = net.AddNode("a");
+  net.AddNode("b");
+  net.AddNode("c");
+  net.AddNode("d");
+  int received = 0;
+  net.Broadcast(a, [&](NodeId) { ++received; });
+  sim.RunToCompletion();
+  EXPECT_EQ(received, 3);
+}
+
+TEST(NetworkTest, JitterWithinBounds) {
+  Simulation sim(9);
+  Network net(&sim, LatencyModel{Milliseconds(20), Milliseconds(30)});
+  for (int i = 0; i < 200; ++i) {
+    Duration latency = net.SampleLatency();
+    EXPECT_GE(latency, 20);
+    EXPECT_LE(latency, 50);
+  }
+}
+
+TEST(FailureInjectorTest, CrashWindowCrashesAndRecovers) {
+  Simulation sim(11);
+  Network net(&sim, LatencyModel{});
+  NodeId n = net.AddNode("victim");
+  FailureInjector injector(&sim, &net);
+  injector.CrashFor(n, 100, 200);
+
+  std::vector<bool> up_samples;
+  for (TimePoint t : {50, 150, 250, 350}) {
+    sim.At(t, [&, t] { up_samples.push_back(net.IsUp(n)); });
+  }
+  sim.RunToCompletion();
+  EXPECT_EQ(up_samples, (std::vector<bool>{true, false, false, true}));
+}
+
+TEST(FailureInjectorTest, PermanentCrashNeverRecovers) {
+  Simulation sim(11);
+  Network net(&sim, LatencyModel{});
+  NodeId n = net.AddNode("victim");
+  FailureInjector injector(&sim, &net);
+  injector.ScheduleCrash(CrashWindow{n, 10, kTimeInfinity});
+  sim.RunUntil(10'000);
+  EXPECT_FALSE(net.IsUp(n));
+}
+
+TEST(FailureInjectorTest, PartitionWindowIsolatesNode) {
+  Simulation sim(13);
+  Network net(&sim, LatencyModel{Milliseconds(1), Milliseconds(0)});
+  NodeId a = net.AddNode("a");
+  NodeId b = net.AddNode("b");
+  FailureInjector injector(&sim, &net);
+  injector.SchedulePartition(PartitionWindow{b, 100, 200});
+
+  int delivered = 0;
+  sim.At(150, [&] { net.Send(a, b, [&] { ++delivered; }); });
+  sim.At(250, [&] { net.Send(a, b, [&] { ++delivered; }); });
+  sim.RunToCompletion();
+  EXPECT_EQ(delivered, 1);  // Only the post-heal message lands.
+}
+
+}  // namespace
+}  // namespace ac3::sim

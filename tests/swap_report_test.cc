@@ -1,0 +1,124 @@
+// SwapReport unit tests: the atomicity verdict every experiment relies on,
+// in isolation — including the subtle cases (stranded contracts after a
+// decision, unpublished edges, phase bookkeeping).
+
+#include "src/protocols/swap_report.h"
+
+#include <gtest/gtest.h>
+
+namespace ac3::protocols {
+namespace {
+
+EdgeReport Edge(EdgeOutcome outcome, TimePoint settled_at = 100) {
+  EdgeReport edge;
+  edge.outcome = outcome;
+  edge.settled_at = settled_at;
+  return edge;
+}
+
+TEST(SwapReportTest, AllRedeemedIsAtomic) {
+  SwapReport report;
+  report.edges = {Edge(EdgeOutcome::kRedeemed), Edge(EdgeOutcome::kRedeemed)};
+  EXPECT_TRUE(report.AllRedeemed());
+  EXPECT_FALSE(report.AllRefunded());
+  EXPECT_FALSE(report.AtomicityViolated());
+}
+
+TEST(SwapReportTest, AllRefundedIsAtomic) {
+  SwapReport report;
+  report.edges = {Edge(EdgeOutcome::kRefunded), Edge(EdgeOutcome::kRefunded)};
+  EXPECT_TRUE(report.AllRefunded());
+  EXPECT_FALSE(report.AtomicityViolated());
+}
+
+TEST(SwapReportTest, MixedRedeemRefundViolates) {
+  // The paper's violation: some asset moved while another was returned.
+  SwapReport report;
+  report.edges = {Edge(EdgeOutcome::kRedeemed), Edge(EdgeOutcome::kRefunded)};
+  EXPECT_TRUE(report.AtomicityViolated());
+}
+
+TEST(SwapReportTest, RefundWithUnpublishedEdgeIsAtomic) {
+  // A declined participant never locked anything: refunding the rest is
+  // exactly the all-or-nothing "nothing" branch.
+  SwapReport report;
+  report.edges = {Edge(EdgeOutcome::kRefunded),
+                  Edge(EdgeOutcome::kUnpublished)};
+  EXPECT_FALSE(report.AtomicityViolated());
+}
+
+TEST(SwapReportTest, RedeemWithUnpublishedEdgeViolates) {
+  // A finished run where someone redeemed while a counterparty never even
+  // locked: assets moved without the full exchange.
+  SwapReport report;
+  report.finished = true;
+  report.edges = {Edge(EdgeOutcome::kRedeemed),
+                  Edge(EdgeOutcome::kUnpublished)};
+  EXPECT_TRUE(report.AtomicityViolated());
+}
+
+TEST(SwapReportTest, StrandedAfterCommitViolates) {
+  // A commit decision was reached but one published contract never settled
+  // by the end of the run — the commitment obligation is unmet.
+  SwapReport report;
+  report.finished = true;
+  report.committed = true;
+  report.edges = {Edge(EdgeOutcome::kRedeemed),
+                  Edge(EdgeOutcome::kPublished, /*settled_at=*/-1)};
+  EXPECT_TRUE(report.AtomicityViolated());
+}
+
+TEST(SwapReportTest, PendingRunIsNotYetAViolation) {
+  // Mid-run (not finished): published-but-unsettled contracts are simply
+  // in flight.
+  SwapReport report;
+  report.finished = false;
+  report.edges = {Edge(EdgeOutcome::kRedeemed),
+                  Edge(EdgeOutcome::kPublished, /*settled_at=*/-1)};
+  EXPECT_FALSE(report.AtomicityViolated());
+}
+
+TEST(SwapReportTest, CountsAndLatency) {
+  SwapReport report;
+  report.start_time = 50;
+  report.end_time = 450;
+  report.edges = {Edge(EdgeOutcome::kRedeemed), Edge(EdgeOutcome::kRedeemed),
+                  Edge(EdgeOutcome::kRefunded)};
+  EXPECT_EQ(report.CountOutcome(EdgeOutcome::kRedeemed), 2);
+  EXPECT_EQ(report.CountOutcome(EdgeOutcome::kRefunded), 1);
+  EXPECT_EQ(report.CountOutcome(EdgeOutcome::kUnpublished), 0);
+  EXPECT_EQ(report.Latency(), 400);
+}
+
+TEST(SwapReportTest, PhasesAccumulateInOrder) {
+  SwapReport report;
+  report.MarkPhase("a", 10);
+  report.MarkPhase("b", 20);
+  ASSERT_EQ(report.phases.size(), 2u);
+  EXPECT_EQ(report.phases[0].first, "a");
+  EXPECT_EQ(report.phases[1].second, 20);
+}
+
+TEST(SwapReportTest, SummaryMentionsVerdict) {
+  SwapReport report;
+  report.protocol = "AC3WN";
+  report.finished = true;
+  report.committed = true;
+  report.edges = {Edge(EdgeOutcome::kRedeemed)};
+  std::string summary = report.Summary();
+  EXPECT_NE(summary.find("AC3WN"), std::string::npos);
+  EXPECT_NE(summary.find("committed"), std::string::npos);
+
+  report.edges.push_back(Edge(EdgeOutcome::kRefunded));
+  EXPECT_NE(report.Summary().find("VIOLATED"), std::string::npos);
+}
+
+TEST(SwapReportTest, OutcomeNamesAreStable) {
+  EXPECT_STREQ(EdgeOutcomeName(EdgeOutcome::kUnpublished), "unpublished");
+  EXPECT_STREQ(EdgeOutcomeName(EdgeOutcome::kPublished), "stranded");
+  EXPECT_STREQ(EdgeOutcomeName(EdgeOutcome::kRedeemed), "redeemed");
+  EXPECT_STREQ(EdgeOutcomeName(EdgeOutcome::kRefunded), "refunded");
+}
+
+}  // namespace
+}  // namespace ac3::protocols

@@ -1,0 +1,95 @@
+// Shared test scaffolding: a hand-driven chain (no Poisson mining) so tests
+// control exactly which transactions land in which block.
+
+#ifndef AC3_TESTS_TEST_UTIL_H_
+#define AC3_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/chain/blockchain.h"
+#include "src/chain/pow.h"
+#include "src/chain/wallet.h"
+#include "src/common/random.h"
+#include "src/core/scenario.h"
+
+namespace ac3::testutil {
+
+/// A blockchain the test advances manually, one block at a time.
+class TestChain {
+ public:
+  TestChain(chain::ChainParams params,
+            std::vector<chain::TxOutput> allocations, uint64_t seed = 42)
+      : chain_(std::move(params), std::move(allocations)),
+        rng_(seed),
+        miner_(crypto::KeyPair::FromSeed(seed ^ 0xabcdef)) {}
+
+  chain::Blockchain& chain() { return chain_; }
+  const chain::Blockchain& chain() const { return chain_; }
+  Rng* rng() { return &rng_; }
+  TimePoint now() const { return now_; }
+
+  /// Mines one block on the canonical head containing `txs` (best effort).
+  Status MineBlock(const std::vector<chain::Transaction>& txs) {
+    return MineBlockOn(chain_.head()->hash, txs);
+  }
+
+  /// Mines one block on an arbitrary parent — the raw material of fork
+  /// experiments (two branches from the same parent).
+  Status MineBlockOn(const crypto::Hash256& parent,
+                     const std::vector<chain::Transaction>& txs) {
+    now_ += 100;
+    auto block =
+        chain_.AssembleBlock(parent, txs, miner_.public_key(), now_, &rng_);
+    if (!block.ok()) return block.status();
+    return chain_.SubmitBlock(*block, now_);
+  }
+
+  /// Mines `count` empty blocks (to bury things).
+  Status MineEmpty(int count) {
+    for (int i = 0; i < count; ++i) {
+      AC3_RETURN_IF_ERROR(MineBlock({}));
+    }
+    return Status::OK();
+  }
+
+  /// Mines until `tx_id` is on the canonical chain with >= depth
+  /// confirmations (submitting `tx` in the next block).
+  Status MineTxToDepth(const chain::Transaction& tx, uint32_t depth) {
+    AC3_RETURN_IF_ERROR(MineBlock({tx}));
+    if (!chain_.FindTx(tx.Id()).has_value()) {
+      return Status::Internal("transaction not included");
+    }
+    return MineEmpty(static_cast<int>(depth));
+  }
+
+ private:
+  chain::Blockchain chain_;
+  Rng rng_;
+  crypto::KeyPair miner_;
+  TimePoint now_ = 0;
+};
+
+/// Funding allocation for a set of keys.
+inline std::vector<chain::TxOutput> Fund(
+    const std::vector<crypto::PublicKey>& keys, chain::Amount each) {
+  std::vector<chain::TxOutput> out;
+  for (const crypto::PublicKey& pk : keys) {
+    out.push_back(chain::TxOutput{each, pk});
+  }
+  return out;
+}
+
+/// Protocol-test world: an alias of the library's public scenario facade
+/// (tests drove its design; examples and benches share it).
+using SwapWorldOptions = core::ScenarioOptions;
+using SwapWorld = core::ScenarioWorld;
+using core::ScenarioParticipantSeed;
+
+/// Back-compat shim for older test call sites.
+inline uint64_t ParticipantSeed(int i) { return ScenarioParticipantSeed(i); }
+
+}  // namespace ac3::testutil
+
+#endif  // AC3_TESTS_TEST_UTIL_H_
