@@ -23,6 +23,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "src/runner/bench_output.h"
 #include "src/chain/light_client.h"
 #include "src/chain/wallet.h"
 #include "src/contracts/evidence_builder.h"
@@ -126,9 +127,11 @@ TechniqueCosts RunAt(uint64_t chain_length, uint64_t seed) {
 }  // namespace
 }  // namespace ac3
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ac3;
 
+  runner::BenchContext context = runner::ParseBenchArgs(argc, argv);
+  if (context.exit_early) return context.exit_code;
   benchutil::PrintHeader(
       "Section 4.3 ablation — validator cost of the three cross-chain\n"
       "validation techniques (inclusion query at depth 6)");
@@ -137,7 +140,10 @@ int main() {
               "full (B)", "light (B)", "relay (B)", "full us", "light us",
               "relay us");
   benchutil::PrintRule(92);
-  for (uint64_t length : {16ull, 64ull, 256ull, 1024ull}) {
+  const std::vector<uint64_t> lengths =
+      context.smoke ? std::vector<uint64_t>{16, 64}
+                    : std::vector<uint64_t>{16, 64, 256, 1024};
+  for (uint64_t length : lengths) {
     TechniqueCosts costs = RunAt(length, 5200 + length);
     std::printf("%10llu | %12zu %12zu %12zu | %10.2f %10.2f %10.2f\n",
                 static_cast<unsigned long long>(length), costs.full_bytes,

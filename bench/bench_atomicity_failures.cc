@@ -15,6 +15,7 @@
 #include <string>
 
 #include "bench/bench_util.h"
+#include "src/runner/bench_output.h"
 
 namespace ac3 {
 namespace {
@@ -130,14 +131,16 @@ void CrashRecipientAtDecisionPoint(core::ScenarioWorld* world, Duration down) {
 }  // namespace
 }  // namespace ac3
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ac3;
 
+  runner::BenchContext context = runner::ParseBenchArgs(argc, argv);
+  if (context.exit_early) return context.exit_code;
   benchutil::PrintHeader(
       "Sections 1 / 5.1 — atomicity under failures, protocol x schedule\n"
       "(HTLC = Nolan/Herlihy hashlock+timelock baseline)");
 
-  const std::vector<FailureCase> cases = {
+  std::vector<FailureCase> cases = {
       {"none", [](core::ScenarioWorld*, protocols::TrustedWitness*) {}},
       {"recipient crash @decision, 60s",
        [](core::ScenarioWorld* world, protocols::TrustedWitness*) {
@@ -163,6 +166,11 @@ int main() {
                                             Seconds(20));
        }},
   };
+  if (context.smoke) {
+    // Keep the headline rows: no-failure plus the paper's motivating
+    // recipient-crash schedule.
+    cases.resize(2);
+  }
 
   std::printf("%-32s | %-6s | %9s | %8s | %-18s\n", "failure schedule",
               "proto", "outcome", "atomic?", "edges (RD/RF/unpub)");

@@ -2,106 +2,128 @@
 // Diam(D), increases."
 //
 // Paper result: Herlihy's single-leader protocol costs 2·Δ·Diam(D) while
-// AC3WN stays constant at 4·Δ. This harness prints the analytic curves and
-// the *simulated* end-to-end latencies of both engines on directed rings of
-// growing diameter, normalized by a measured Δ (the time for one contract
-// to be published and publicly recognized in the same world).
+// AC3WN stays constant at 4·Δ. Ported onto the SweepRunner substrate: the
+// protocol × diameter × seed grid runs as independent deterministic worlds
+// on the worker pool, per-(protocol, diameter) SwapReport aggregates are
+// normalized by a measured Δ, and the structured results are published as
+// BENCH_fig10_latency_vs_diameter.json; the printed table is a thin view.
 //
 // Expected shape: the Herlihy column grows linearly with the diameter; the
 // AC3WN column is flat (within confirmation noise); the curves touch at
 // Diam = 2 and diverge beyond.
 
-#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/analysis/latency_model.h"
+#include "src/runner/bench_output.h"
+#include "src/runner/sweep_runner.h"
 
-namespace ac3 {
-namespace {
-
-constexpr int kMaxDiameter = 12;
-constexpr TimePoint kDeadline = Minutes(60);
-
-core::ScenarioOptions WorldOptions(int participants, uint64_t seed) {
-  core::ScenarioOptions options;
-  options.participants = participants;
-  options.asset_chains = std::min(participants, 4);
-  options.funding = 5000;
-  options.seed = seed;
-  return options;
-}
-
-double RunHerlihyMs(int diameter, uint64_t seed) {
-  core::ScenarioOptions options = WorldOptions(diameter, seed);
-  options.witness_chain = false;
-  core::ScenarioWorld world(options);
-  world.StartMining();
-  graph::Ac2tGraph ring = benchutil::MakeRingOverWorld(&world, diameter);
-  protocols::HerlihySwapEngine engine(world.env(), ring,
-                                      world.all_participants(),
-                                      benchutil::FastHtlcConfig());
-  auto report = engine.Run(kDeadline);
-  if (!report.ok() || !report->committed) return -1.0;
-  return static_cast<double>(report->Latency());
-}
-
-double RunAc3wnMs(int diameter, uint64_t seed) {
-  core::ScenarioOptions options = WorldOptions(diameter, seed);
-  core::ScenarioWorld world(options);
-  world.StartMining();
-  graph::Ac2tGraph ring = benchutil::MakeRingOverWorld(&world, diameter);
-  protocols::Ac3wnSwapEngine engine(world.env(), ring,
-                                    world.all_participants(),
-                                    world.witness_chain(),
-                                    benchutil::FastAc3wnConfig());
-  auto report = engine.Run(kDeadline);
-  if (!report.ok() || !report->committed) return -1.0;
-  return static_cast<double>(report->Latency());
-}
-
-}  // namespace
-}  // namespace ac3
-
-int main() {
+int main(int argc, char** argv) {
   using namespace ac3;
+
+  runner::BenchContext context = runner::ParseBenchArgs(argc, argv);
+  if (context.exit_early) return context.exit_code;
+
+  const int max_diameter = context.smoke ? 4 : 12;
+  const int seeds_per_point = context.smoke ? 1 : 5;
+
+  runner::SweepGridConfig grid;
+  grid.protocols = {runner::Protocol::kHerlihy, runner::Protocol::kAc3wn};
+  grid.diameters.clear();
+  for (int diam = 2; diam <= max_diameter; ++diam) {
+    grid.diameters.push_back(diam);
+  }
+  grid.seeds.clear();
+  for (int s = 0; s < seeds_per_point; ++s) {
+    grid.seeds.push_back(1000 + static_cast<uint64_t>(s));
+  }
 
   benchutil::PrintHeader(
       "Figure 10 — AC2T latency vs. graph diameter Diam(D)\n"
       "analytic: Herlihy 2*Diam deltas, AC3WN 4 deltas (constant)");
 
+  // Ground "latency in Δs" with the same Δ measurement the paper's
+  // Section 6.1 normalization implies.
+  core::ScenarioOptions delta_world;
+  delta_world.seed = 999;
   const double delta_ms =
-      benchutil::MeasureDeltaMs(WorldOptions(2, 999), /*confirm_depth=*/1);
+      runner::MeasureDeltaMs(delta_world, grid.confirm_depth);
   std::printf("measured delta (publish + public recognition): %.0f ms\n\n",
               delta_ms);
+
+  runner::SweepRunner pool(context.threads);
+  const std::vector<runner::RunOutcome> outcomes = pool.RunGrid(grid);
+
+  auto bucket = [&](runner::Protocol protocol, int diameter) {
+    std::vector<runner::RunOutcome> mine;
+    for (const runner::RunOutcome& outcome : outcomes) {
+      if (outcome.point.protocol == protocol &&
+          outcome.point.diameter == diameter) {
+        mine.push_back(outcome);
+      }
+    }
+    return runner::Aggregate(mine, delta_ms);
+  };
 
   std::printf("%6s | %14s %14s | %12s %12s | %12s %12s\n", "Diam",
               "Herlihy(deltas)", "AC3WN(deltas)", "Herlihy(ms)", "AC3WN(ms)",
               "Herlihy(d^)", "AC3WN(d^)");
   benchutil::PrintRule(100);
 
-  constexpr int kSeedsPerPoint = 5;
-  for (int diam = 2; diam <= kMaxDiameter; ++diam) {
-    const uint32_t herlihy_analytic = analysis::HerlihyLatencyDeltas(
-        static_cast<uint32_t>(diam));
+  runner::Json rows = runner::Json::Array();
+  for (int diam : grid.diameters) {
+    const uint32_t herlihy_analytic =
+        analysis::HerlihyLatencyDeltas(static_cast<uint32_t>(diam));
     const uint32_t ac3wn_analytic = analysis::Ac3wnLatencyDeltas();
-    // Poisson block arrivals make single runs noisy; average over seeds.
-    double herlihy_ms = 0, ac3wn_ms = 0;
-    int herlihy_n = 0, ac3wn_n = 0;
-    for (int s = 0; s < kSeedsPerPoint; ++s) {
-      const double h = RunHerlihyMs(diam, 1000 + diam * 100 + s);
-      if (h >= 0) { herlihy_ms += h; ++herlihy_n; }
-      const double a = RunAc3wnMs(diam, 2000 + diam * 100 + s);
-      if (a >= 0) { ac3wn_ms += a; ++ac3wn_n; }
-    }
-    herlihy_ms = herlihy_n > 0 ? herlihy_ms / herlihy_n : -1;
-    ac3wn_ms = ac3wn_n > 0 ? ac3wn_ms / ac3wn_n : -1;
+    runner::SweepAggregate herlihy =
+        bucket(runner::Protocol::kHerlihy, diam);
+    runner::SweepAggregate ac3wn = bucket(runner::Protocol::kAc3wn, diam);
+    // -1 preserves the pre-port failure sentinel: a bucket where nothing
+    // committed must not read as zero latency.
+    auto ms_or = [](const runner::SweepAggregate& agg) {
+      return agg.commit_latency.samples > 0 ? agg.commit_latency.mean_ms : -1.0;
+    };
+    auto deltas_or = [](const runner::SweepAggregate& agg) {
+      return agg.commit_latency.samples > 0 ? agg.mean_latency_deltas : -1.0;
+    };
     std::printf("%6d | %14u %14u | %12.0f %12.0f | %12.1f %12.1f\n", diam,
-                herlihy_analytic, ac3wn_analytic, herlihy_ms, ac3wn_ms,
-                herlihy_ms / delta_ms, ac3wn_ms / delta_ms);
+                herlihy_analytic, ac3wn_analytic, ms_or(herlihy), ms_or(ac3wn),
+                deltas_or(herlihy), deltas_or(ac3wn));
+    runner::Json row = runner::Json::Object();
+    row.Set("diameter", diam);
+    row.Set("herlihy_analytic_deltas", herlihy_analytic);
+    row.Set("ac3wn_analytic_deltas", ac3wn_analytic);
+    row.Set("herlihy", runner::AggregateToJson(herlihy));
+    row.Set("ac3wn", runner::AggregateToJson(ac3wn));
+    rows.Push(std::move(row));
+  }
+  benchutil::PrintRule(100);
+
+  // Per-protocol aggregates over the whole sweep: the headline
+  // latency-in-Δ and swap-throughput numbers.
+  runner::Json protocols = runner::Json::Object();
+  for (runner::Protocol protocol : grid.protocols) {
+    std::vector<runner::RunOutcome> mine;
+    for (const runner::RunOutcome& outcome : outcomes) {
+      if (outcome.point.protocol == protocol) mine.push_back(outcome);
+    }
+    protocols.Set(runner::ProtocolName(protocol),
+                  runner::AggregateToJson(runner::Aggregate(mine, delta_ms)));
   }
 
-  benchutil::PrintRule(100);
+  runner::Json results = runner::Json::Object();
+  results.Set("delta_ms", delta_ms);
+  results.Set("rows", std::move(rows));
+  results.Set("protocols", std::move(protocols));
+
+  auto written = runner::WriteBenchJson(context, "fig10_latency_vs_diameter",
+                                        std::move(results));
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.status().ToString().c_str());
+    return 1;
+  }
   std::printf(
       "shape check: Herlihy grows ~linearly in Diam while AC3WN stays flat;\n"
       "the paper's crossover at Diam = 2 (both 4 deltas) holds analytically\n"

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "src/runner/bench_output.h"
 
 namespace ac3 {
 namespace {
@@ -69,11 +70,15 @@ void RunTimeline(int diameter) {
 }  // namespace
 }  // namespace ac3
 
-int main() {
+int main(int argc, char** argv) {
+  ac3::runner::BenchContext context = ac3::runner::ParseBenchArgs(argc, argv);
+  if (context.exit_early) return context.exit_code;
   ac3::benchutil::PrintHeader(
       "Figure 8 — Herlihy single-leader timeline: sequential deployment\n"
       "then sequential redemption, 2*Diam(D) deltas end to end");
-  for (int diam : {2, 3, 4, 6}) {
+  const std::vector<int> diameters =
+      context.smoke ? std::vector<int>{2, 3} : std::vector<int>{2, 3, 4, 6};
+  for (int diam : diameters) {
     ac3::RunTimeline(diam);
   }
   return 0;

@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "src/runner/bench_output.h"
 #include "src/analysis/witness_selection.h"
 #include "src/chain/wallet.h"
 #include "src/contracts/evidence_builder.h"
@@ -130,16 +131,18 @@ bool DecisionSurvives(uint32_t d, uint32_t attack, uint64_t seed) {
 }  // namespace
 }  // namespace ac3
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ac3;
 
+  runner::BenchContext context = runner::ParseBenchArgs(argc, argv);
+  if (context.exit_early) return context.exit_code;
   benchutil::PrintHeader(
       "Lemma 5.3 ablation — buried commit decision vs private-fork attack\n"
       "cell = does the RDauth decision (buried under d blocks) survive an\n"
       "attacker branch of L blocks carrying the conflicting RFauth?");
 
-  constexpr uint32_t kMaxD = 6;
-  constexpr uint32_t kMaxAttack = 8;
+  const uint32_t kMaxD = context.smoke ? 3 : 6;
+  const uint32_t kMaxAttack = context.smoke ? 5 : 8;
   std::printf("%8s |", "");
   for (uint32_t attack = 1; attack <= kMaxAttack; ++attack) {
     std::printf("  L=%-4u", attack);

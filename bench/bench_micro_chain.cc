@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_main.h"
+
 #include "src/chain/blockchain.h"
 #include "src/chain/pow.h"
 #include "src/chain/wallet.h"
@@ -126,3 +128,7 @@ BENCHMARK(BM_VerifyTxEvidence)->Arg(2)->Arg(8)->Arg(32);
 
 }  // namespace
 }  // namespace ac3::chain
+
+int main(int argc, char** argv) {
+  return ac3::benchutil::GBenchMain(argc, argv);
+}

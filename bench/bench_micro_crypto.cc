@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_main.h"
+
 #include "src/common/random.h"
 #include "src/crypto/commitment.h"
 #include "src/crypto/merkle.h"
@@ -115,3 +117,7 @@ BENCHMARK(BM_SignatureCommitmentVerify);
 
 }  // namespace
 }  // namespace ac3::crypto
+
+int main(int argc, char** argv) {
+  return ac3::benchutil::GBenchMain(argc, argv);
+}

@@ -5,8 +5,14 @@
 // The harness runs a fixed batch of concurrent two-party AC2Ts over shared
 // asset chains while varying the number of witness networks the swaps are
 // spread across. The witness chains are deliberately capacity-starved
-// (2 transactions per block) so a single witness network visibly queues
-// SCw deployments and state changes.
+// (1 transaction per slow block) so a single witness network visibly
+// queues SCw deployments and state changes.
+//
+// Ported onto the SweepRunner substrate: each (witness-count) batch world
+// is one independent deterministic task on the worker pool, each swap's
+// SwapReport is reduced to a RunOutcome, and per-batch aggregates
+// (mean/p50/p99 latency in Δs, commit counts, throughput) are published as
+// BENCH_scalability.json; the printed table is a thin view.
 //
 // Expected shape: completion time falls (and per-swap latency tightens) as
 // witness networks are added, while the asset chains — the real
@@ -15,24 +21,27 @@
 #include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "src/runner/bench_output.h"
+#include "src/runner/sweep_runner.h"
 
 namespace ac3 {
 namespace {
 
-constexpr int kSwaps = 12;
 constexpr TimePoint kDeadline = Minutes(60);
 
 struct BatchResult {
-  double makespan_ms = 0;   ///< Start of batch to last swap completion.
-  double mean_latency_ms = 0;
-  int committed = 0;
+  int witness_networks = 0;
+  int swaps = 0;
+  double makespan_ms = 0;  ///< Start of batch to last swap completion.
+  std::vector<runner::RunOutcome> outcomes;
 };
 
-BatchResult RunBatch(int witness_networks, uint64_t seed) {
+BatchResult RunBatch(int witness_networks, int swaps, uint64_t seed) {
   core::ScenarioOptions options;
-  options.participants = 2 * kSwaps;
+  options.participants = 2 * swaps;
   options.asset_chains = 2;
   options.witness_chain = false;
   options.funding = 5000;
@@ -61,8 +70,12 @@ BatchResult RunBatch(int witness_networks, uint64_t seed) {
   protocols::Ac3wnConfig config = benchutil::FastAc3wnConfig();
   config.publish_patience = Seconds(120);
 
+  BatchResult result;
+  result.witness_networks = witness_networks;
+  result.swaps = swaps;
+
   std::vector<std::unique_ptr<protocols::Ac3wnSwapEngine>> engines;
-  for (int s = 0; s < kSwaps; ++s) {
+  for (int s = 0; s < swaps; ++s) {
     protocols::Participant* a = world.participant(2 * s);
     protocols::Participant* b = world.participant(2 * s + 1);
     graph::Ac2tGraph graph = graph::MakeTwoPartySwap(
@@ -70,10 +83,10 @@ BatchResult RunBatch(int witness_networks, uint64_t seed) {
         /*timestamp=*/s);
     engines.push_back(std::make_unique<protocols::Ac3wnSwapEngine>(
         world.env(), graph, std::vector<protocols::Participant*>{a, b},
-        witnesses[s % witness_networks], config));
+        witnesses[static_cast<size_t>(s % witness_networks)], config));
   }
   for (auto& engine : engines) {
-    if (!engine->Start().ok()) return BatchResult{};
+    if (!engine->Start().ok()) return result;
   }
   (void)world.env()->sim()->RunUntilCondition(
       [&]() {
@@ -82,41 +95,93 @@ BatchResult RunBatch(int witness_networks, uint64_t seed) {
       },
       kDeadline);
 
-  BatchResult result;
-  double total_latency = 0;
   for (auto& engine : engines) {
     auto report = engine->Run(kDeadline);  // Finalizes; already done.
-    if (!report.ok()) continue;
-    if (report->committed) ++result.committed;
-    total_latency += static_cast<double>(report->Latency());
+    runner::SweepPoint point;
+    point.protocol = runner::Protocol::kAc3wn;
+    point.diameter = 2;
+    point.seed = seed;
+    if (!report.ok()) {
+      runner::RunOutcome outcome;
+      outcome.point = point;
+      outcome.error = report.status().ToString();
+      result.outcomes.push_back(std::move(outcome));
+      continue;
+    }
+    result.outcomes.push_back(runner::ReduceReport(point, *report));
     result.makespan_ms = std::max(
         result.makespan_ms, static_cast<double>(report->end_time));
   }
-  result.mean_latency_ms = total_latency / kSwaps;
   return result;
 }
 
 }  // namespace
 }  // namespace ac3
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ac3;
+
+  runner::BenchContext context = runner::ParseBenchArgs(argc, argv);
+  if (context.exit_early) return context.exit_code;
+
+  const int swaps = context.smoke ? 6 : 12;
+  const std::vector<int> witness_counts = {1, 2, 4, 8};
 
   benchutil::PrintHeader(
       "Section 5.2 — coordination scalability: a batch of concurrent AC2Ts\n"
       "spread across W capacity-starved witness networks (1 tx/block)");
 
+  core::ScenarioOptions delta_world;
+  delta_world.seed = 999;
+  const double delta_ms = runner::MeasureDeltaMs(delta_world, 1);
+
+  // Each batch world is independent and deterministic: fan the witness-
+  // count axis across the worker pool.
+  runner::SweepRunner pool(context.threads);
+  std::vector<BatchResult> batches = pool.Map<BatchResult>(
+      static_cast<int>(witness_counts.size()), [&](int i) {
+        const int w = witness_counts[static_cast<size_t>(i)];
+        return RunBatch(w, swaps, 9100 + static_cast<uint64_t>(w));
+      });
+
   std::printf("batch: %d two-party swaps over 2 shared asset chains\n\n",
-              kSwaps);
-  std::printf("%10s | %10s | %14s | %16s\n", "witnesses", "committed",
-              "makespan (ms)", "mean latency (ms)");
-  benchutil::PrintRule(60);
-  for (int w : {1, 2, 4, 8}) {
-    BatchResult result = RunBatch(w, 9100 + static_cast<uint64_t>(w));
-    std::printf("%10d | %7d/%-2d | %14.0f | %16.0f\n", w, result.committed,
-                kSwaps, result.makespan_ms, result.mean_latency_ms);
+              swaps);
+  std::printf("%10s | %10s | %14s | %17s | %10s\n", "witnesses", "committed",
+              "makespan (ms)", "mean latency (ms)", "p99 (d^)");
+  benchutil::PrintRule(75);
+
+  runner::Json rows = runner::Json::Array();
+  for (const BatchResult& batch : batches) {
+    runner::SweepAggregate agg = runner::Aggregate(batch.outcomes, delta_ms);
+    std::printf("%10d | %7d/%-2d | %14.0f | %17.0f | %10.1f\n",
+                batch.witness_networks, agg.committed, batch.swaps,
+                batch.makespan_ms, agg.commit_latency.mean_ms,
+                agg.p99_latency_deltas);
+    runner::Json row = runner::Json::Object();
+    row.Set("witness_networks", batch.witness_networks);
+    row.Set("swaps", batch.swaps);
+    row.Set("makespan_ms", batch.makespan_ms);
+    // Batch-level throughput: the whole batch's commits over its makespan.
+    row.Set("batch_swaps_per_sec",
+            batch.makespan_ms > 0
+                ? 1000.0 * agg.committed / batch.makespan_ms
+                : 0.0);
+    row.Set("aggregate", runner::AggregateToJson(agg));
+    rows.Push(std::move(row));
   }
-  benchutil::PrintRule(60);
+  benchutil::PrintRule(75);
+
+  runner::Json results = runner::Json::Object();
+  results.Set("protocol", "ac3wn");
+  results.Set("delta_ms", delta_ms);
+  results.Set("rows", std::move(rows));
+
+  auto written =
+      runner::WriteBenchJson(context, "scalability", std::move(results));
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.status().ToString().c_str());
+    return 1;
+  }
   std::printf(
       "\nshape check: with one starved witness network the batch queues on\n"
       "SCw transactions; adding witness networks shrinks makespan and mean\n"

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "src/runner/bench_output.h"
 #include "src/analysis/cost_model.h"
 
 namespace ac3 {
@@ -56,8 +57,11 @@ chain::Amount MeasuredAc3wnFee(int n, uint64_t seed) {
 }  // namespace
 }  // namespace ac3
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ac3;
+
+  runner::BenchContext context = runner::ParseBenchArgs(argc, argv);
+  if (context.exit_early) return context.exit_code;
   const chain::Amount fd = chain::TestChainParams().deploy_fee;
   const chain::Amount ffc = chain::TestChainParams().call_fee;
 
@@ -70,7 +74,8 @@ int main() {
               "Herlihy(an.)", "AC3WN(an.)", "Herlihy(sim)", "AC3WN(sim)",
               "overhead");
   benchutil::PrintRule(78);
-  for (int n = 2; n <= 8; ++n) {
+  const int max_n = context.smoke ? 4 : 8;
+  for (int n = 2; n <= max_n; ++n) {
     const chain::Amount herlihy_analytic =
         analysis::HerlihyFee(static_cast<uint32_t>(n), fd, ffc);
     const chain::Amount ac3wn_analytic =

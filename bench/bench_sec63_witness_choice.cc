@@ -12,6 +12,7 @@
 #include <map>
 
 #include "bench/bench_util.h"
+#include "src/runner/bench_output.h"
 #include "src/analysis/witness_selection.h"
 
 namespace ac3 {
@@ -73,9 +74,11 @@ std::map<uint32_t, double> MeasureReorgFrequency(uint64_t seed,
 }  // namespace
 }  // namespace ac3
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ac3;
 
+  runner::BenchContext context = runner::ParseBenchArgs(argc, argv);
+  if (context.exit_early) return context.exit_code;
   benchutil::PrintHeader(
       "Section 6.3 — witness-network choice: d > Va*dh/Ch");
 
@@ -133,10 +136,12 @@ int main() {
   }
 
   // ... cross-checked against natural-fork reorg rates in the simulator.
+  const Duration reorg_window = context.smoke ? Seconds(20) : Minutes(2);
   std::printf(
       "\nmeasured reorg frequency vs confirmation depth (fork-heavy gossip,\n"
-      "propagation delay ~ block interval / 2, 4 miners, 120 sim-seconds):\n");
-  auto measured = MeasureReorgFrequency(/*seed=*/777, Minutes(2));
+      "propagation delay ~ block interval / 2, 4 miners, %.0f sim-seconds):\n",
+      ToSeconds(reorg_window));
+  auto measured = MeasureReorgFrequency(/*seed=*/777, reorg_window);
   std::printf("%6s | %16s\n", "depth", "P(reorg after)");
   benchutil::PrintRule(28);
   for (const auto& [depth, p] : measured) {

@@ -1,20 +1,28 @@
 // Table 1 / Section 6.4 — throughput of the top-4 permissionless
 // cryptocurrencies and the min-composition rule for AC2T throughput.
 //
-// Prints the paper's Table 1, the witness-choice composition matrix
-// (including the paper's example: ETH+LTC witnessed by BTC ⇒ 7 tps), and a
-// *measured* per-chain throughput obtained by saturating each simulated
-// chain's mempool and counting included transactions (the simulator's
-// block capacity is calibrated so measured/scale reproduces Table 1).
+// Ported onto the SweepRunner substrate: the per-chain saturation
+// measurements (chains × seeds) run as independent deterministic worlds on
+// the worker pool, a small protocol sweep grounds per-protocol AC2T
+// latency (in Δs) and swap throughput, and everything is published as
+// BENCH_table1_throughput.json; the printed table is a thin view over the
+// same structured results.
 
-#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/analysis/throughput_model.h"
+#include "src/runner/bench_output.h"
+#include "src/runner/sweep_runner.h"
 
 namespace ac3 {
 namespace {
+
+struct TpsWindows {
+  Duration block_rate_window = Minutes(3);
+  int seeds = 3;
+};
 
 /// Measured tps = (user txs per saturated block) x (blocks per second).
 ///
@@ -22,7 +30,8 @@ namespace {
 /// arrivals averages over hundreds of blocks: a short saturation phase
 /// establishes the per-block capacity actually achieved by the miners, and
 /// a long empty run establishes the block rate.
-double MeasureChainTps(const chain::ChainParams& params, uint64_t seed) {
+double MeasureChainTps(const chain::ChainParams& params, uint64_t seed,
+                       const TpsWindows& windows) {
   // ---- factor 1: achieved txs per block under a saturated mempool -------
   const double capacity_per_sec =
       static_cast<double>(params.max_block_txs) /
@@ -65,12 +74,13 @@ double MeasureChainTps(const chain::ChainParams& params, uint64_t seed) {
     // Exclude the final (partially filled) block from the capacity average.
     const uint64_t full_blocks = chain->height() > 0 ? chain->height() - 1 : 0;
     if (full_blocks == 0) return 0.0;
-    const double txs_in_full_blocks = static_cast<double>(
-        included_users() -
-        (included_users() - full_blocks * params.max_block_txs > 0
-             ? included_users() - full_blocks * params.max_block_txs
-             : 0));
-    txs_per_block = txs_in_full_blocks / static_cast<double>(full_blocks);
+    const uint64_t included = included_users();
+    const uint64_t overflow =
+        included > full_blocks * params.max_block_txs
+            ? included - full_blocks * params.max_block_txs
+            : 0;
+    txs_per_block = static_cast<double>(included - overflow) /
+                    static_cast<double>(full_blocks);
   }
 
   // ---- factor 2: block rate over a long, cheap, empty run ---------------
@@ -82,7 +92,7 @@ double MeasureChainTps(const chain::ChainParams& params, uint64_t seed) {
     mining.max_propagation_delay = Milliseconds(2);
     chain::ChainId id = env.AddChain(params, {}, mining);
     env.StartMining();
-    const TimePoint window = Minutes(3);
+    const TimePoint window = windows.block_rate_window;
     env.sim()->RunUntil(window);
     blocks_per_sec = static_cast<double>(env.blockchain(id)->height()) /
                      ToSeconds(window);
@@ -93,8 +103,18 @@ double MeasureChainTps(const chain::ChainParams& params, uint64_t seed) {
 }  // namespace
 }  // namespace ac3
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ac3;
+
+  runner::BenchContext context = runner::ParseBenchArgs(argc, argv);
+  if (context.exit_early) return context.exit_code;
+
+  TpsWindows windows;
+  if (context.smoke) {
+    windows.block_rate_window = Minutes(1);
+    windows.seeds = 1;
+  }
+  runner::SweepRunner pool(context.threads);
 
   benchutil::PrintHeader(
       "Table 1 — throughput (tps) of the top-4 permissionless chains,\n"
@@ -104,21 +124,37 @@ int main() {
       chain::BitcoinParams(), chain::EthereumParams(), chain::LitecoinParams(),
       chain::BitcoinCashParams()};
 
+  // ---- per-chain saturation runs, fanned across the worker pool ---------
+  const int tasks = static_cast<int>(chains.size()) * windows.seeds;
+  std::vector<double> measured_tps = pool.Map<double>(tasks, [&](int i) {
+    const auto chain_index = static_cast<size_t>(i / windows.seeds);
+    const uint64_t seed = 8800 + static_cast<uint64_t>(i);
+    return MeasureChainTps(chains[chain_index], seed, windows);
+  });
+
+  runner::Json chain_rows = runner::Json::Array();
   std::printf("%14s | %10s | %14s | %16s\n", "blockchain", "paper tps",
               "simulated tps", "sim/scale (tps)");
   benchutil::PrintRule(64);
-  uint64_t seed = 8800;
-  for (const auto& params : chains) {
-    double measured = 0;
-    constexpr int kSeeds = 3;
-    for (int s = 0; s < kSeeds; ++s) {
-      measured += MeasureChainTps(params, seed++);
+  for (size_t c = 0; c < chains.size(); ++c) {
+    double mean = 0;
+    for (int s = 0; s < windows.seeds; ++s) {
+      mean += measured_tps[c * static_cast<size_t>(windows.seeds) +
+                           static_cast<size_t>(s)];
     }
-    measured /= kSeeds;
-    std::printf("%14s | %10.0f | %14.1f | %16.1f\n", params.name.c_str(),
-                params.real_tps, measured, measured / chain::kThroughputScale);
+    mean /= windows.seeds;
+    std::printf("%14s | %10.0f | %14.1f | %16.1f\n", chains[c].name.c_str(),
+                chains[c].real_tps, mean, mean / chain::kThroughputScale);
+    runner::Json row = runner::Json::Object();
+    row.Set("chain", chains[c].name);
+    row.Set("paper_tps", chains[c].real_tps);
+    row.Set("simulated_tps", mean);
+    row.Set("simulated_tps_scaled", mean / chain::kThroughputScale);
+    row.Set("seeds", windows.seeds);
+    chain_rows.Push(std::move(row));
   }
 
+  // ---- Section 6.4 composition matrix (analytic) ------------------------
   std::printf(
       "\nAC2T throughput = min over involved chains incl. the witness:\n");
   std::printf("%30s | %12s | %10s\n", "asset chains", "witness", "tps");
@@ -142,25 +178,80 @@ int main() {
        chain::BitcoinCashParams(),
        "Litecoin + BitcoinCash"},
   };
+  runner::Json compositions = runner::Json::Array();
   for (const Row& row : rows) {
+    const double tps = analysis::Ac2tThroughput(row.assets, row.witness);
     std::printf("%30s | %12s | %10.0f\n", row.label,
-                row.witness.name.c_str(),
-                analysis::Ac2tThroughput(row.assets, row.witness));
+                row.witness.name.c_str(), tps);
+    runner::Json entry = runner::Json::Object();
+    entry.Set("assets", row.label);
+    entry.Set("witness", row.witness.name);
+    entry.Set("ac2t_tps", tps);
+    compositions.Push(std::move(entry));
   }
 
   const auto& best = analysis::BestWitnessAmongInvolved(
       {chain::EthereumParams(), chain::LitecoinParams()});
+  const double paper_example_tps = analysis::Ac2tThroughput(
+      {chain::EthereumParams(), chain::LitecoinParams()},
+      chain::BitcoinParams());
+  const double best_tps = analysis::Ac2tThroughput(
+      {chain::EthereumParams(), chain::LitecoinParams()}, best);
   std::printf(
       "\npaper example: ETH+LTC witnessed by Bitcoin => %.0f tps; choosing\n"
       "the witness from the involved set (%s) lifts it to %.0f tps.\n",
-      analysis::Ac2tThroughput(
-          {chain::EthereumParams(), chain::LitecoinParams()},
-          chain::BitcoinParams()),
-      best.name.c_str(),
-      analysis::Ac2tThroughput(
-          {chain::EthereumParams(), chain::LitecoinParams()}, best));
+      paper_example_tps, best.name.c_str(), best_tps);
+
+  // ---- per-protocol swap sweep: measured latency in Δs and swap rate ----
+  runner::SweepGridConfig grid;
+  grid.protocols = {runner::Protocol::kHerlihy, runner::Protocol::kAc3wn};
+  grid.diameters = {2};
+  grid.seeds.clear();
+  const int sweep_seeds = context.smoke ? 1 : 3;
+  for (int s = 0; s < sweep_seeds; ++s) {
+    grid.seeds.push_back(7700 + static_cast<uint64_t>(s));
+  }
+  core::ScenarioOptions delta_world;
+  delta_world.seed = 999;
+  const double delta_ms =
+      runner::MeasureDeltaMs(delta_world, grid.confirm_depth);
+  const std::vector<runner::RunOutcome> outcomes = pool.RunGrid(grid);
+
+  runner::Json protocols = runner::Json::Object();
+  std::printf("\n%10s | %10s | %12s | %14s\n", "protocol", "committed",
+              "mean (d^)", "swaps/sec");
+  benchutil::PrintRule(56);
+  for (runner::Protocol protocol : grid.protocols) {
+    std::vector<runner::RunOutcome> mine;
+    for (const runner::RunOutcome& outcome : outcomes) {
+      if (outcome.point.protocol == protocol) mine.push_back(outcome);
+    }
+    runner::SweepAggregate agg = runner::Aggregate(mine, delta_ms);
+    std::printf("%10s | %7d/%-2d | %12.1f | %14.3f\n",
+                runner::ProtocolName(protocol), agg.committed, agg.runs,
+                agg.mean_latency_deltas, agg.throughput_swaps_per_sec);
+    protocols.Set(runner::ProtocolName(protocol),
+                  runner::AggregateToJson(agg));
+  }
+
+  runner::Json results = runner::Json::Object();
+  results.Set("chains", std::move(chain_rows));
+  results.Set("compositions", std::move(compositions));
+  runner::Json example = runner::Json::Object();
+  example.Set("paper_example_tps", paper_example_tps);
+  example.Set("best_witness", best.name);
+  example.Set("best_witness_tps", best_tps);
+  results.Set("paper_example", std::move(example));
+  results.Set("protocols", std::move(protocols));
+
+  auto written =
+      runner::WriteBenchJson(context, "table1_throughput", std::move(results));
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.status().ToString().c_str());
+    return 1;
+  }
   std::printf(
-      "shape check: per-chain ordering BTC < ETH < LTC < BCH matches Table 1\n"
+      "\nshape check: per-chain ordering BTC < ETH < LTC < BCH matches Table 1\n"
       "and composite throughput is always the slowest involved chain.\n");
   return 0;
 }

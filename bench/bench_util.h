@@ -1,6 +1,7 @@
-// Shared scaffolding for the experiment harnesses: engine configurations,
-// ring-graph construction over a ScenarioWorld, a measured estimate of the
-// paper's Δ, and fixed-width table printing.
+// Shared presentation-layer scaffolding for the experiment harnesses:
+// "fast profile" engine configurations, ring-graph construction over a
+// ScenarioWorld, and fixed-width table printing. Measurement, parallel
+// sweeping, and machine-readable output live in src/runner/.
 
 #ifndef AC3_BENCH_BENCH_UTIL_H_
 #define AC3_BENCH_BENCH_UTIL_H_
@@ -14,6 +15,7 @@
 #include "src/protocols/ac3tw_swap.h"
 #include "src/protocols/ac3wn_swap.h"
 #include "src/protocols/herlihy_swap.h"
+#include "src/runner/sweep_runner.h"
 
 namespace ac3::benchutil {
 
@@ -47,45 +49,16 @@ inline protocols::HtlcConfig FastHtlcConfig() {
   return config;
 }
 
-/// A directed ring over the world's participants (diameter = size), cycling
-/// through the available asset chains.
+/// A directed ring over the world's participants (diameter = size) — the
+/// same topology the sweep runner builds, so timeline benches and sweeps
+/// agree by construction.
 inline graph::Ac2tGraph MakeRingOverWorld(core::ScenarioWorld* world, int n,
                                           chain::Amount amount = 100) {
-  std::vector<crypto::PublicKey> pks;
-  std::vector<chain::ChainId> chains;
-  for (int i = 0; i < n; ++i) {
-    pks.push_back(world->participant(i)->pk());
-    chains.push_back(
-        world->asset_chain(i % static_cast<int>(world->asset_chains().size())));
-  }
-  return graph::MakeRing(pks, chains, amount, world->env()->sim()->Now());
+  return runner::RingOverWorld(world, n, amount);
 }
 
-/// Measures Δ empirically: the time for one participant to publish a
-/// contract-bearing transaction and have it publicly recognized
-/// (confirm_depth blocks deep) on asset chain 0 of a fresh world identical
-/// to `options`. This grounds "latency in Δs" for the simulated curves.
-inline double MeasureDeltaMs(const core::ScenarioOptions& options,
-                             uint32_t confirm_depth) {
-  core::ScenarioWorld world(options);
-  world.StartMining();
-  protocols::Participant* alice = world.participant(0);
-  const TimePoint start = world.env()->sim()->Now();
-  auto tx_id = alice->SubmitTransfer(world.asset_chain(0),
-                                     world.participant(1)->pk(), 1, 1);
-  if (!tx_id.ok()) return 0.0;
-  const chain::Blockchain* chain = world.env()->blockchain(world.asset_chain(0));
-  Status confirmed = world.env()->sim()->RunUntilCondition(
-      [&]() {
-        auto location = chain->FindTx(*tx_id);
-        if (!location.has_value()) return false;
-        auto depth = chain->ConfirmationsOf(location->entry->hash);
-        return depth.has_value() && *depth >= confirm_depth;
-      },
-      Minutes(5));
-  if (!confirmed.ok()) return 0.0;
-  return static_cast<double>(world.env()->sim()->Now() - start);
-}
+// NOTE: the empirical Δ measurement lives in src/runner/sweep_runner.h
+// (runner::MeasureDeltaMs) — bench_util is presentation-layer only.
 
 /// printf-style row helpers so every harness prints aligned tables.
 inline void PrintRule(int width = 72) {

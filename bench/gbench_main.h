@@ -1,0 +1,49 @@
+// Shared main() for the google-benchmark micro-harnesses, so every bench
+// binary in the repo understands --smoke: CI runs each one briefly to
+// prove it still links and executes, without paying full measuring time.
+
+#ifndef AC3_BENCH_GBENCH_MAIN_H_
+#define AC3_BENCH_GBENCH_MAIN_H_
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+namespace ac3::benchutil {
+
+/// Strips the shared bench flags from the argument list — --smoke clamps
+/// per-benchmark measuring time to ~one iteration; --out/--threads are
+/// accepted-and-ignored so CI can pass one flag set to every bench binary
+/// — and hands the rest to google-benchmark.
+inline int GBenchMain(int argc, char** argv) {
+  static std::string min_time = "--benchmark_min_time=0.01";
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc) + 1);
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      continue;
+    }
+    if ((std::strcmp(argv[i], "--out") == 0 ||
+         std::strcmp(argv[i], "--threads") == 0) &&
+        i + 1 < argc) {
+      ++i;  // Micro-benchmarks have no sweep output; skip flag + value.
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (smoke) args.push_back(min_time.data());
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace ac3::benchutil
+
+#endif  // AC3_BENCH_GBENCH_MAIN_H_

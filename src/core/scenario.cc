@@ -32,7 +32,10 @@ ScenarioWorld::ScenarioWorld(ScenarioOptions options)
   mining.max_propagation_delay = options.max_propagation_delay;
   for (int c = 0; c < options.asset_chains; ++c) {
     chain::ChainParams params = options.asset_params;
-    params.name = "Asset" + std::to_string(c);
+    // Built with append rather than operator+ to sidestep GCC 12's
+    // -Wrestrict false positive on rvalue string concatenation at -O3.
+    params.name = "Asset";
+    params.name += std::to_string(c);
     asset_chains_.push_back(
         env_.AddChain(params, FundAll(pks, options.funding), mining));
   }
@@ -41,8 +44,11 @@ ScenarioWorld::ScenarioWorld(ScenarioOptions options)
                                    FundAll(pks, options.funding), mining);
   }
   for (int i = 0; i < options.participants; ++i) {
+    // Append form for the same -Wrestrict reason as the chain names above.
+    std::string name = "P";
+    name += std::to_string(i);
     participants_.push_back(std::make_unique<protocols::Participant>(
-        "P" + std::to_string(i), ScenarioParticipantSeed(i), &env_));
+        std::move(name), ScenarioParticipantSeed(i), &env_));
   }
 }
 

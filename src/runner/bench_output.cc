@@ -1,0 +1,83 @@
+#include "src/runner/bench_output.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+namespace ac3::runner {
+
+namespace {
+
+void PrintUsage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--smoke] [--out DIR] [--threads N] [--help]\n"
+               "  --smoke      tiny grid (<10s), for CI bit-rot checks\n"
+               "  --out DIR    directory for BENCH_*.json (default: .)\n"
+               "  --threads N  sweep worker threads (default: all cores)\n",
+               argv0);
+}
+
+}  // namespace
+
+BenchContext ParseBenchArgs(int argc, char** argv) {
+  BenchContext context;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--smoke") == 0) {
+      context.smoke = true;
+    } else if (std::strcmp(arg, "--out") == 0 ||
+               std::strcmp(arg, "--threads") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", arg);
+        PrintUsage(argv[0]);
+        context.exit_early = true;
+        context.exit_code = 1;
+        return context;
+      }
+      if (std::strcmp(arg, "--out") == 0) {
+        context.out_dir = argv[++i];
+      } else {
+        context.threads = std::atoi(argv[++i]);
+      }
+    } else if (std::strcmp(arg, "--help") == 0 ||
+               std::strcmp(arg, "-h") == 0) {
+      PrintUsage(argv[0]);
+      context.exit_early = true;
+      return context;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      PrintUsage(argv[0]);
+      context.exit_early = true;
+      context.exit_code = 1;
+      return context;
+    }
+  }
+  return context;
+}
+
+Json BenchEnvelope(const BenchContext& context, const std::string& name,
+                   Json results) {
+  Json envelope = Json::Object();
+  envelope.Set("schema_version", 1);
+  envelope.Set("bench", name);
+  envelope.Set("smoke", context.smoke);
+  envelope.Set("results", std::move(results));
+  return envelope;
+}
+
+Result<std::string> WriteBenchJson(const BenchContext& context,
+                                   const std::string& name, Json results) {
+  const std::string path = context.out_dir + "/BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Unavailable("cannot open " + path + " for writing");
+  }
+  out << BenchEnvelope(context, name, std::move(results)).Serialize();
+  out.close();
+  if (!out) return Status::Unavailable("short write to " + path);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return path;
+}
+
+}  // namespace ac3::runner

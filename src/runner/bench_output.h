@@ -1,0 +1,49 @@
+// Machine-readable bench output: every experiment harness parses the same
+// CLI flags and writes its structured results as BENCH_<name>.json through
+// one envelope, so the perf trajectory across commits is diffable.
+//
+// Flags understood by every bench binary:
+//   --smoke        tiny grid, seconds not minutes (CI bit-rot guard)
+//   --out DIR      directory for BENCH_*.json (default: current directory)
+//   --threads N    sweep worker threads (default: hardware concurrency)
+//   --help         usage
+
+#ifndef AC3_RUNNER_BENCH_OUTPUT_H_
+#define AC3_RUNNER_BENCH_OUTPUT_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/runner/json.h"
+
+namespace ac3::runner {
+
+struct BenchContext {
+  bool smoke = false;
+  std::string out_dir = ".";
+  int threads = 0;  ///< 0 = hardware concurrency.
+  /// Set when --help was requested or an unknown flag was seen; main()
+  /// should exit (status 0 for help, 1 otherwise) without running.
+  bool exit_early = false;
+  int exit_code = 0;
+};
+
+/// Parses the shared bench CLI. Unknown flags print usage to stderr and
+/// set exit_early/exit_code.
+BenchContext ParseBenchArgs(int argc, char** argv);
+
+/// Wraps `results` in the standard envelope and writes
+/// `<out_dir>/BENCH_<name>.json`:
+///   {"schema_version": 1, "bench": name, "smoke": ..., "results": ...}
+/// Returns the path written.
+Result<std::string> WriteBenchJson(const BenchContext& context,
+                                   const std::string& name, Json results);
+
+/// The envelope alone (what WriteBenchJson serializes) — exposed so tests
+/// can assert on it without touching the filesystem.
+Json BenchEnvelope(const BenchContext& context, const std::string& name,
+                   Json results);
+
+}  // namespace ac3::runner
+
+#endif  // AC3_RUNNER_BENCH_OUTPUT_H_

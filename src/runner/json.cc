@@ -1,0 +1,380 @@
+#include "src/runner/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ac3::runner {
+
+namespace {
+
+/// Shortest round-trip representation; integral-valued doubles keep a
+/// ".0" so the type survives a parse.
+void AppendDouble(std::string* out, double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no Infinity/NaN; null is the conventional stand-in.
+    out->append("null");
+    return;
+  }
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  (void)ec;  // 32 bytes always suffice for shortest-form doubles.
+  std::string_view sv(buf, static_cast<size_t>(ptr - buf));
+  out->append(sv);
+  if (sv.find_first_of(".eE") == std::string_view::npos) out->append(".0");
+}
+
+void AppendIndent(std::string* out, int depth) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Json> Parse() {
+    Json value;
+    Status s = ParseValue(&value);
+    if (!s.ok()) return s;
+    SkipWhitespace();
+    if (pos_ != text_.size()) return Err("trailing characters");
+    return value;
+  }
+
+ private:
+  Status Err(const std::string& what) {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(Json* out) {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Err("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"': {
+        std::string s;
+        Status st = ParseString(&s);
+        if (!st.ok()) return st;
+        *out = Json(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        if (ConsumeLiteral("true")) {
+          *out = Json(true);
+          return Status::OK();
+        }
+        return Err("expected 'true'");
+      case 'f':
+        if (ConsumeLiteral("false")) {
+          *out = Json(false);
+          return Status::OK();
+        }
+        return Err("expected 'false'");
+      case 'n':
+        if (ConsumeLiteral("null")) {
+          *out = Json();
+          return Status::OK();
+        }
+        return Err("expected 'null'");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(Json* out) {
+    ++pos_;  // '{'
+    *out = Json::Object();
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      Status st = ParseString(&key);
+      if (!st.ok()) return st;
+      SkipWhitespace();
+      if (!Consume(':')) return Err("expected ':'");
+      Json value;
+      st = ParseValue(&value);
+      if (!st.ok()) return st;
+      out->Set(key, std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Err("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(Json* out) {
+    ++pos_;  // '['
+    *out = Json::Array();
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      Json value;
+      Status st = ParseValue(&value);
+      if (!st.ok()) return st;
+      out->Push(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Err("expected ',' or ']'");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Err("expected '\"'");
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Err("truncated \\u escape");
+          uint32_t code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<uint32_t>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<uint32_t>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<uint32_t>(h - 'A' + 10);
+            else
+              return Err("bad \\u escape digit");
+          }
+          // Encode the code point as UTF-8 (surrogate pairs are passed
+          // through as-is; the writer only emits \u for control chars).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Err("unknown escape");
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  Status ParseNumber(Json* out) {
+    size_t start = pos_;
+    if (Consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    std::string_view body = text_.substr(start, pos_ - start);
+    if (body.empty() || body == "-") return Err("expected a value");
+    if (body.find_first_of(".eE") == std::string_view::npos) {
+      int64_t value = 0;
+      auto [ptr, ec] =
+          std::from_chars(body.data(), body.data() + body.size(), value);
+      if (ec == std::errc() && ptr == body.data() + body.size()) {
+        *out = Json(value);
+        return Status::OK();
+      }
+    }
+    double value = 0.0;
+    auto [ptr, ec] =
+        std::from_chars(body.data(), body.data() + body.size(), value);
+    if (ec != std::errc() || ptr != body.data() + body.size()) {
+      return Err("malformed number");
+    }
+    *out = Json(value);
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void Json::Set(std::string_view key, Json value) {
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(std::string(key), std::move(value));
+}
+
+const Json* Json::Find(std::string_view key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* found = Find(key);
+  if (found == nullptr) {
+    std::fprintf(stderr, "Json::at: missing key '%.*s'\n",
+                 static_cast<int>(key.size()), key.data());
+    std::abort();
+  }
+  return *found;
+}
+
+bool Json::operator==(const Json& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == other.bool_;
+    case Type::kInt: return int_ == other.int_;
+    case Type::kDouble: return double_ == other.double_;
+    case Type::kString: return string_ == other.string_;
+    case Type::kArray: return items_ == other.items_;
+    case Type::kObject: return members_ == other.members_;
+  }
+  return false;
+}
+
+void Json::SerializeTo(std::string* out, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      out->append("null");
+      break;
+    case Type::kBool:
+      out->append(bool_ ? "true" : "false");
+      break;
+    case Type::kInt:
+      out->append(std::to_string(int_));
+      break;
+    case Type::kDouble:
+      AppendDouble(out, double_);
+      break;
+    case Type::kString:
+      out->push_back('"');
+      out->append(JsonEscape(string_));
+      out->push_back('"');
+      break;
+    case Type::kArray: {
+      if (items_.empty()) {
+        out->append("[]");
+        break;
+      }
+      out->append("[\n");
+      for (size_t i = 0; i < items_.size(); ++i) {
+        AppendIndent(out, depth + 1);
+        items_[i].SerializeTo(out, depth + 1);
+        if (i + 1 < items_.size()) out->push_back(',');
+        out->push_back('\n');
+      }
+      AppendIndent(out, depth);
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        out->append("{}");
+        break;
+      }
+      out->append("{\n");
+      for (size_t i = 0; i < members_.size(); ++i) {
+        AppendIndent(out, depth + 1);
+        out->push_back('"');
+        out->append(JsonEscape(members_[i].first));
+        out->append("\": ");
+        members_[i].second.SerializeTo(out, depth + 1);
+        if (i + 1 < members_.size()) out->push_back(',');
+        out->push_back('\n');
+      }
+      AppendIndent(out, depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::Serialize() const {
+  std::string out;
+  SerializeTo(&out, 0);
+  out.push_back('\n');
+  return out;
+}
+
+Result<Json> Json::Parse(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace ac3::runner

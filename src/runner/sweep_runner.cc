@@ -1,0 +1,367 @@
+#include "src/runner/sweep_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <thread>
+
+#include "src/contracts/contract.h"
+#include "src/graph/ac2t_graph.h"
+#include "src/protocols/ac3tw_swap.h"
+#include "src/protocols/ac3wn_swap.h"
+#include "src/protocols/herlihy_swap.h"
+#include "src/protocols/trent.h"
+
+namespace ac3::runner {
+
+void ParallelFor(int n, int threads, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  const int workers = std::min(std::max(threads, 1), n);
+  if (workers == 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<int> next{0};
+  auto worker = [&]() {
+    while (true) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+}
+
+const char* ProtocolName(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kHerlihy:
+      return "herlihy";
+    case Protocol::kAc3tw:
+      return "ac3tw";
+    case Protocol::kAc3wn:
+      return "ac3wn";
+  }
+  return "?";
+}
+
+const char* FailureModeName(FailureMode mode) {
+  switch (mode) {
+    case FailureMode::kNone:
+      return "none";
+    case FailureMode::kCrashParticipant:
+      return "crash_participant";
+    case FailureMode::kPartitionParticipant:
+      return "partition_participant";
+  }
+  return "?";
+}
+
+std::vector<SweepPoint> GridPoints(const SweepGridConfig& config) {
+  std::vector<SweepPoint> points;
+  points.reserve(config.protocols.size() * config.diameters.size() *
+                 config.failures.size() * config.seeds.size());
+  for (Protocol protocol : config.protocols) {
+    for (int diameter : config.diameters) {
+      for (FailureMode failure : config.failures) {
+        for (uint64_t seed : config.seeds) {
+          points.push_back(SweepPoint{protocol, diameter, failure, seed});
+        }
+      }
+    }
+  }
+  return points;
+}
+
+graph::Ac2tGraph RingOverWorld(core::ScenarioWorld* world, int n,
+                               chain::Amount amount) {
+  std::vector<crypto::PublicKey> pks;
+  std::vector<chain::ChainId> chains;
+  pks.reserve(static_cast<size_t>(n));
+  chains.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pks.push_back(world->participant(i)->pk());
+    chains.push_back(world->asset_chain(
+        i % static_cast<int>(world->asset_chains().size())));
+  }
+  return graph::MakeRing(pks, chains, amount, world->env()->sim()->Now());
+}
+
+RunOutcome ReduceReport(const SweepPoint& point,
+                        const protocols::SwapReport& report) {
+  RunOutcome outcome;
+  outcome.point = point;
+  outcome.ok = true;
+  outcome.finished = report.finished;
+  outcome.committed = report.committed;
+  outcome.aborted = report.aborted;
+  outcome.atomicity_violated = report.AtomicityViolated();
+  if (report.end_time >= report.start_time) {
+    outcome.latency_ms = static_cast<double>(report.Latency());
+  }
+  if (report.decision_time >= report.start_time) {
+    outcome.decision_ms =
+        static_cast<double>(report.decision_time - report.start_time);
+  }
+  outcome.total_fees = static_cast<int64_t>(report.total_fees);
+  outcome.edges_redeemed =
+      report.CountOutcome(protocols::EdgeOutcome::kRedeemed);
+  outcome.edges_refunded =
+      report.CountOutcome(protocols::EdgeOutcome::kRefunded);
+  outcome.edges_stranded =
+      report.CountOutcome(protocols::EdgeOutcome::kPublished);
+  outcome.edges_unpublished =
+      report.CountOutcome(protocols::EdgeOutcome::kUnpublished);
+  return outcome;
+}
+
+namespace {
+
+core::ScenarioOptions WorldOptionsFor(const SweepGridConfig& config,
+                                      const SweepPoint& point) {
+  core::ScenarioOptions options;
+  options.participants = point.diameter;
+  options.asset_chains = std::min(point.diameter, config.max_asset_chains);
+  options.funding = config.funding;
+  options.seed = point.seed;
+  options.witness_chain = point.protocol == Protocol::kAc3wn;
+  return options;
+}
+
+void InjectFailure(const SweepGridConfig& config, const SweepPoint& point,
+                   core::ScenarioWorld* world) {
+  if (point.failure == FailureMode::kNone || point.diameter < 2) return;
+  const sim::NodeId victim = world->participant(1)->node();
+  const auto onset = static_cast<TimePoint>(
+      config.failure_onset_deltas * static_cast<double>(config.delta));
+  const auto length = static_cast<Duration>(
+      config.failure_length_deltas * static_cast<double>(config.delta));
+  switch (point.failure) {
+    case FailureMode::kCrashParticipant:
+      world->env()->failures()->CrashFor(victim, onset, length);
+      break;
+    case FailureMode::kPartitionParticipant:
+      world->env()->failures()->SchedulePartition(
+          sim::PartitionWindow{victim, onset, onset + length});
+      break;
+    case FailureMode::kNone:
+      break;
+  }
+}
+
+RunOutcome ErrorOutcome(const SweepPoint& point, const Status& status) {
+  RunOutcome outcome;
+  outcome.point = point;
+  outcome.ok = false;
+  outcome.error = status.ToString();
+  return outcome;
+}
+
+}  // namespace
+
+RunOutcome RunSwapPoint(const SweepGridConfig& config,
+                        const SweepPoint& point) {
+  core::ScenarioWorld world(WorldOptionsFor(config, point));
+  InjectFailure(config, point, &world);
+  world.StartMining();
+  graph::Ac2tGraph ring = RingOverWorld(&world, point.diameter,
+                                        config.edge_amount);
+  const TimePoint deadline = world.env()->sim()->Now() + config.deadline;
+
+  switch (point.protocol) {
+    case Protocol::kHerlihy: {
+      protocols::HtlcConfig htlc;
+      htlc.delta = config.delta;
+      htlc.confirm_depth = config.confirm_depth;
+      htlc.poll_interval = config.poll_interval;
+      htlc.resubmit_interval = config.resubmit_interval;
+      protocols::HerlihySwapEngine engine(world.env(), ring,
+                                          world.all_participants(), htlc);
+      auto report = engine.Run(deadline);
+      if (!report.ok()) return ErrorOutcome(point, report.status());
+      return ReduceReport(point, *report);
+    }
+    case Protocol::kAc3tw: {
+      protocols::Ac3twConfig cfg;
+      cfg.delta = config.delta;
+      cfg.confirm_depth = config.confirm_depth;
+      cfg.poll_interval = config.poll_interval;
+      cfg.resubmit_interval = config.resubmit_interval;
+      cfg.publish_patience = config.publish_patience;
+      protocols::TrustedWitness trent("Trent", 0x7e27 + point.seed,
+                                      world.env(), config.confirm_depth);
+      protocols::Ac3twSwapEngine engine(world.env(), ring,
+                                        world.all_participants(), &trent, cfg);
+      auto report = engine.Run(deadline);
+      if (!report.ok()) return ErrorOutcome(point, report.status());
+      return ReduceReport(point, *report);
+    }
+    case Protocol::kAc3wn: {
+      protocols::Ac3wnConfig cfg;
+      cfg.delta = config.delta;
+      cfg.confirm_depth = config.confirm_depth;
+      cfg.witness_depth_d = config.witness_depth_d;
+      cfg.poll_interval = config.poll_interval;
+      cfg.resubmit_interval = config.resubmit_interval;
+      cfg.publish_patience = config.publish_patience;
+      protocols::Ac3wnSwapEngine engine(world.env(), ring,
+                                        world.all_participants(),
+                                        world.witness_chain(), cfg);
+      auto report = engine.Run(deadline);
+      if (!report.ok()) return ErrorOutcome(point, report.status());
+      return ReduceReport(point, *report);
+    }
+  }
+  return ErrorOutcome(point, Status::Internal("unknown protocol"));
+}
+
+LatencyStats ComputeLatencyStats(std::vector<double> samples_ms) {
+  LatencyStats stats;
+  if (samples_ms.empty()) return stats;
+  std::sort(samples_ms.begin(), samples_ms.end());
+  stats.samples = static_cast<int>(samples_ms.size());
+  double sum = 0;
+  for (double v : samples_ms) sum += v;
+  stats.mean_ms = sum / static_cast<double>(samples_ms.size());
+  auto nearest_rank = [&](double q) {
+    const auto n = static_cast<double>(samples_ms.size());
+    auto rank = static_cast<size_t>(std::ceil(q * n));
+    if (rank == 0) rank = 1;
+    return samples_ms[rank - 1];
+  };
+  stats.p50_ms = nearest_rank(0.50);
+  stats.p99_ms = nearest_rank(0.99);
+  return stats;
+}
+
+SweepAggregate Aggregate(const std::vector<RunOutcome>& outcomes,
+                         double delta_ms) {
+  SweepAggregate agg;
+  agg.delta_ms = delta_ms;
+  std::vector<double> commit_latencies;
+  double fee_sum = 0;
+  int fee_samples = 0;
+  for (const RunOutcome& outcome : outcomes) {
+    ++agg.runs;
+    if (!outcome.ok) {
+      ++agg.errors;
+      continue;
+    }
+    if (outcome.finished) ++agg.finished;
+    if (outcome.committed) ++agg.committed;
+    if (outcome.aborted) ++agg.aborted;
+    if (outcome.atomicity_violated) ++agg.atomicity_violations;
+    if (outcome.committed && outcome.latency_ms >= 0) {
+      commit_latencies.push_back(outcome.latency_ms);
+    }
+    fee_sum += static_cast<double>(outcome.total_fees);
+    ++fee_samples;
+  }
+  agg.commit_latency = ComputeLatencyStats(std::move(commit_latencies));
+  if (delta_ms > 0 && agg.commit_latency.samples > 0) {
+    agg.mean_latency_deltas = agg.commit_latency.mean_ms / delta_ms;
+    agg.p50_latency_deltas = agg.commit_latency.p50_ms / delta_ms;
+    agg.p99_latency_deltas = agg.commit_latency.p99_ms / delta_ms;
+  }
+  if (fee_samples > 0) agg.mean_fees = fee_sum / fee_samples;
+  if (agg.commit_latency.samples > 0 && agg.commit_latency.mean_ms > 0) {
+    agg.throughput_swaps_per_sec = 1000.0 / agg.commit_latency.mean_ms;
+  }
+  return agg;
+}
+
+Json OutcomeToJson(const RunOutcome& outcome) {
+  Json j = Json::Object();
+  j.Set("protocol", ProtocolName(outcome.point.protocol));
+  j.Set("diameter", outcome.point.diameter);
+  j.Set("failure", FailureModeName(outcome.point.failure));
+  j.Set("seed", outcome.point.seed);
+  j.Set("ok", outcome.ok);
+  if (!outcome.ok) {
+    j.Set("error", outcome.error);
+    return j;
+  }
+  j.Set("finished", outcome.finished);
+  j.Set("committed", outcome.committed);
+  j.Set("aborted", outcome.aborted);
+  j.Set("atomicity_violated", outcome.atomicity_violated);
+  j.Set("latency_ms", outcome.latency_ms);
+  j.Set("decision_ms", outcome.decision_ms);
+  j.Set("total_fees", outcome.total_fees);
+  Json edges = Json::Object();
+  edges.Set("redeemed", outcome.edges_redeemed);
+  edges.Set("refunded", outcome.edges_refunded);
+  edges.Set("stranded", outcome.edges_stranded);
+  edges.Set("unpublished", outcome.edges_unpublished);
+  j.Set("edges", std::move(edges));
+  return j;
+}
+
+Json AggregateToJson(const SweepAggregate& aggregate) {
+  Json j = Json::Object();
+  j.Set("runs", aggregate.runs);
+  j.Set("errors", aggregate.errors);
+  j.Set("finished", aggregate.finished);
+  j.Set("committed", aggregate.committed);
+  j.Set("aborted", aggregate.aborted);
+  j.Set("atomicity_violations", aggregate.atomicity_violations);
+  Json latency = Json::Object();
+  latency.Set("samples", aggregate.commit_latency.samples);
+  latency.Set("mean_ms", aggregate.commit_latency.mean_ms);
+  latency.Set("p50_ms", aggregate.commit_latency.p50_ms);
+  latency.Set("p99_ms", aggregate.commit_latency.p99_ms);
+  latency.Set("delta_ms", aggregate.delta_ms);
+  latency.Set("mean_deltas", aggregate.mean_latency_deltas);
+  latency.Set("p50_deltas", aggregate.p50_latency_deltas);
+  latency.Set("p99_deltas", aggregate.p99_latency_deltas);
+  j.Set("latency", std::move(latency));
+  j.Set("mean_fees", aggregate.mean_fees);
+  j.Set("throughput_swaps_per_sec", aggregate.throughput_swaps_per_sec);
+  return j;
+}
+
+double MeasureDeltaMs(const core::ScenarioOptions& options,
+                      uint32_t confirm_depth) {
+  core::ScenarioWorld world(options);
+  world.StartMining();
+  protocols::Participant* alice = world.participant(0);
+  const TimePoint start = world.env()->sim()->Now();
+  auto tx_id = alice->SubmitTransfer(world.asset_chain(0),
+                                     world.participant(1)->pk(), 1, 1);
+  if (!tx_id.ok()) return 0.0;
+  const chain::Blockchain* chain =
+      world.env()->blockchain(world.asset_chain(0));
+  Status confirmed = world.env()->sim()->RunUntilCondition(
+      [&]() {
+        auto location = chain->FindTx(*tx_id);
+        if (!location.has_value()) return false;
+        auto depth = chain->ConfirmationsOf(location->entry->hash);
+        return depth.has_value() && *depth >= confirm_depth;
+      },
+      Minutes(5));
+  if (!confirmed.ok()) return 0.0;
+  return static_cast<double>(world.env()->sim()->Now() - start);
+}
+
+SweepRunner::SweepRunner(int threads) : threads_(threads) {
+  if (threads_ <= 0) {
+    threads_ = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads_ <= 0) threads_ = 1;
+  }
+  // Warm the contract factory on this thread so worker threads only ever
+  // read the registration map.
+  contracts::RegisterBuiltinContracts();
+}
+
+std::vector<RunOutcome> SweepRunner::RunGrid(
+    const SweepGridConfig& config) const {
+  const std::vector<SweepPoint> points = GridPoints(config);
+  return ParallelMap<RunOutcome>(
+      static_cast<int>(points.size()), threads_,
+      [&](int i) { return RunSwapPoint(config, points[static_cast<size_t>(i)]); });
+}
+
+}  // namespace ac3::runner

@@ -1,0 +1,210 @@
+// SweepRunner: the parallel experiment substrate.
+//
+// The discrete-event kernel (src/sim/simulation.h) is deterministic and
+// single-threaded, so the road to multi-core throughput is running *many
+// independent seeded worlds at once*: a sweep is a protocol × topology ×
+// failure-mode × seed grid where every point builds its own ScenarioWorld,
+// runs one swap engine to a verdict, and reduces the SwapReport to a
+// RunOutcome. A worker pool executes points in parallel; results are
+// stored by point index, so the output is bit-for-bit identical whatever
+// the thread count — the determinism contract tests/runner_test.cc pins.
+//
+// Aggregation turns a bag of outcomes into the numbers the paper's
+// evaluation (Section 6) reports: commit/abort/atomicity-violation counts,
+// mean/p50/p99 latency both in milliseconds and in Δs (normalized by a
+// measured Δ), fees, and throughput.
+
+#ifndef AC3_RUNNER_SWEEP_RUNNER_H_
+#define AC3_RUNNER_SWEEP_RUNNER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/scenario.h"
+#include "src/graph/ac2t_graph.h"
+#include "src/protocols/swap_report.h"
+#include "src/runner/json.h"
+
+namespace ac3::runner {
+
+/// Executes fn(0..n-1) on a pool of `threads` workers (claiming indices
+/// from a shared counter) and joins. `threads <= 1` runs inline. `fn` must
+/// be safe to call concurrently for distinct indices.
+void ParallelFor(int n, int threads, const std::function<void(int)>& fn);
+
+/// Deterministic parallel map: out[i] = fn(i), independent of `threads`.
+template <typename T>
+std::vector<T> ParallelMap(int n, int threads,
+                           const std::function<T(int)>& fn) {
+  std::vector<T> out(static_cast<size_t>(n));
+  ParallelFor(n, threads, [&](int i) { out[static_cast<size_t>(i)] = fn(i); });
+  return out;
+}
+
+// ---- the sweep grid -------------------------------------------------------
+
+enum class Protocol { kHerlihy, kAc3tw, kAc3wn };
+const char* ProtocolName(Protocol protocol);
+
+enum class FailureMode {
+  kNone,
+  /// Participant 1 crashes shortly after the swap starts and recovers
+  /// later — the paper's motivating "Bob crashes" scenario.
+  kCrashParticipant,
+  /// Participant 1 is partitioned from every chain for the same window.
+  kPartitionParticipant,
+};
+const char* FailureModeName(FailureMode mode);
+
+/// One cell of the grid: which engine, on how large a directed ring, under
+/// which failure, with which world seed.
+struct SweepPoint {
+  Protocol protocol = Protocol::kAc3wn;
+  int diameter = 2;
+  FailureMode failure = FailureMode::kNone;
+  uint64_t seed = 1;
+};
+
+/// The cross-product axes plus the shared world/engine parameters.
+struct SweepGridConfig {
+  std::vector<Protocol> protocols = {Protocol::kHerlihy, Protocol::kAc3wn};
+  std::vector<int> diameters = {2};
+  std::vector<FailureMode> failures = {FailureMode::kNone};
+  std::vector<uint64_t> seeds = {1};
+
+  /// Asset chains in each world: min(diameter, max_asset_chains).
+  int max_asset_chains = 4;
+  chain::Amount funding = 5000;
+  chain::Amount edge_amount = 100;
+
+  /// Engine knobs shared by all protocols (the bench "fast" profile).
+  Duration delta = Seconds(2);
+  uint32_t confirm_depth = 1;
+  uint32_t witness_depth_d = 2;
+  Duration poll_interval = Milliseconds(20);
+  Duration resubmit_interval = Milliseconds(800);
+  Duration publish_patience = Seconds(20);
+  Duration deadline = Minutes(60);
+
+  /// Crash/partition onset and length for the failure modes, in Δs.
+  double failure_onset_deltas = 1.0;
+  double failure_length_deltas = 6.0;
+};
+
+/// The grid flattened in deterministic order:
+/// protocols × diameters × failures × seeds (seed innermost).
+std::vector<SweepPoint> GridPoints(const SweepGridConfig& config);
+
+/// A directed ring over the world's first `n` participants (diameter = n),
+/// cycling through the available asset chains — the topology every ring
+/// sweep and timeline bench shares.
+graph::Ac2tGraph RingOverWorld(core::ScenarioWorld* world, int n,
+                               chain::Amount amount = 100);
+
+// ---- per-run results ------------------------------------------------------
+
+/// A SwapReport reduced to the numbers sweeps aggregate.
+struct RunOutcome {
+  SweepPoint point;
+  /// Engine constructed and ran to its verdict (or deadline).
+  bool ok = false;
+  std::string error;  ///< Set when !ok.
+
+  bool finished = false;
+  bool committed = false;
+  bool aborted = false;
+  bool atomicity_violated = false;
+
+  double latency_ms = -1;   ///< end_time - start_time when finished.
+  double decision_ms = -1;  ///< decision_time - start_time when decided.
+  int64_t total_fees = 0;
+  int edges_redeemed = 0;
+  int edges_refunded = 0;
+  int edges_stranded = 0;
+  int edges_unpublished = 0;
+};
+
+/// Reduces an engine's SwapReport (already run) to a RunOutcome.
+RunOutcome ReduceReport(const SweepPoint& point,
+                        const protocols::SwapReport& report);
+
+/// Builds a fresh seeded world for `point` and runs one swap to a verdict.
+/// Thread-safe for distinct points (each call owns its world).
+RunOutcome RunSwapPoint(const SweepGridConfig& config, const SweepPoint& point);
+
+// ---- aggregation ----------------------------------------------------------
+
+/// Order statistics over a latency sample (nearest-rank percentiles).
+struct LatencyStats {
+  int samples = 0;
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+LatencyStats ComputeLatencyStats(std::vector<double> samples_ms);
+
+struct SweepAggregate {
+  int runs = 0;
+  int errors = 0;
+  int finished = 0;
+  int committed = 0;
+  int aborted = 0;
+  int atomicity_violations = 0;
+
+  /// Latency over committed runs only (the paper's Section 6.1 metric).
+  LatencyStats commit_latency;
+  /// The measured Δ used to normalize, and the normalized statistics.
+  double delta_ms = 0;
+  double mean_latency_deltas = 0;
+  double p50_latency_deltas = 0;
+  double p99_latency_deltas = 0;
+
+  double mean_fees = 0;
+  /// Committed swaps per simulated second of end-to-end latency: the
+  /// steady-state rate one sequential coordinator would sustain.
+  double throughput_swaps_per_sec = 0;
+};
+
+/// `delta_ms <= 0` leaves the Δ-normalized fields at zero.
+SweepAggregate Aggregate(const std::vector<RunOutcome>& outcomes,
+                         double delta_ms);
+
+Json OutcomeToJson(const RunOutcome& outcome);
+Json AggregateToJson(const SweepAggregate& aggregate);
+
+/// Measures Δ empirically: the time for one participant to publish a
+/// transaction and have it publicly recognized (confirm_depth blocks deep)
+/// on asset chain 0 of a fresh world built from `options`. Grounds the
+/// "latency in Δs" columns. Returns 0 on failure.
+double MeasureDeltaMs(const core::ScenarioOptions& options,
+                      uint32_t confirm_depth);
+
+// ---- the runner -----------------------------------------------------------
+
+class SweepRunner {
+ public:
+  /// `threads <= 0` selects std::thread::hardware_concurrency().
+  explicit SweepRunner(int threads = 0);
+
+  int threads() const { return threads_; }
+
+  /// Runs every grid point; outcomes are in GridPoints() order regardless
+  /// of the thread count.
+  std::vector<RunOutcome> RunGrid(const SweepGridConfig& config) const;
+
+  /// Generic escape hatch for sweeps that are not single-swap grids (e.g.
+  /// chain-saturation throughput runs): a deterministic parallel map over
+  /// `n` independent simulations.
+  template <typename T>
+  std::vector<T> Map(int n, const std::function<T(int)>& fn) const {
+    return ParallelMap<T>(n, threads_, fn);
+  }
+
+ private:
+  int threads_;
+};
+
+}  // namespace ac3::runner
+
+#endif  // AC3_RUNNER_SWEEP_RUNNER_H_
