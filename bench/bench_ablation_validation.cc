@@ -143,14 +143,40 @@ int main(int argc, char** argv) {
   const std::vector<uint64_t> lengths =
       context.smoke ? std::vector<uint64_t>{16, 64}
                     : std::vector<uint64_t>{16, 64, 256, 1024};
+  runner::Json storage_rows = runner::Json::Array();
+  runner::Json query_rows = runner::Json::Array();
   for (uint64_t length : lengths) {
     TechniqueCosts costs = RunAt(length, 5200 + length);
     std::printf("%10llu | %12zu %12zu %12zu | %10.2f %10.2f %10.2f\n",
                 static_cast<unsigned long long>(length), costs.full_bytes,
                 costs.light_bytes, costs.relay_bytes, costs.full_query_us,
                 costs.light_query_us, costs.relay_query_us);
+    // Storage footprints are pure functions of the seeded chain
+    // (deterministic); query timings are machine-dependent wall numbers.
+    runner::Json storage = runner::Json::Object();
+    storage.Set("blocks", length);
+    storage.Set("full_bytes", costs.full_bytes);
+    storage.Set("light_bytes", costs.light_bytes);
+    storage.Set("relay_bytes", costs.relay_bytes);
+    storage_rows.Push(std::move(storage));
+    runner::Json query = runner::Json::Object();
+    query.Set("blocks", length);
+    query.Set("full_query_us", costs.full_query_us);
+    query.Set("light_query_us", costs.light_query_us);
+    query.Set("relay_query_us", costs.relay_query_us);
+    query_rows.Push(std::move(query));
   }
   benchutil::PrintRule(92);
+  runner::Json results = runner::Json::Object();
+  results.Set("storage", std::move(storage_rows));
+  runner::Json wall = runner::Json::Object();
+  wall.Set("queries", std::move(query_rows));
+  auto written = runner::WriteBenchJson(context, "ablation_validation",
+                                        std::move(results), std::move(wall));
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.status().ToString().c_str());
+    return 1;
+  }
   std::printf(
       "\nshape check: full-replication storage grows with block bodies and\n"
       "light-node storage with headers, while the relay stores one header\n"

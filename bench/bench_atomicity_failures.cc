@@ -176,6 +176,7 @@ int main(int argc, char** argv) {
               "proto", "outcome", "atomic?", "edges (RD/RF/unpub)");
   benchutil::PrintRule(92);
   int htlc_violations = 0, witnessed_violations = 0;
+  runner::Json matrix = runner::Json::Array();
   for (const FailureCase& failure : cases) {
     for (Proto proto : {Proto::kHtlc, Proto::kAc3tw, Proto::kAc3wn}) {
       Outcome outcome = RunCase(proto, failure, /*seed=*/51);
@@ -187,6 +188,15 @@ int main(int argc, char** argv) {
                   failure.name.c_str(), ProtoName(proto), verdict,
                   outcome.atomic ? "yes" : "NO", outcome.redeemed,
                   outcome.refunded, outcome.unpublished);
+      runner::Json cell = runner::Json::Object();
+      cell.Set("failure", failure.name);
+      cell.Set("protocol", ProtoName(proto));
+      cell.Set("verdict", verdict);
+      cell.Set("atomic", outcome.atomic);
+      cell.Set("redeemed", outcome.redeemed);
+      cell.Set("refunded", outcome.refunded);
+      cell.Set("unpublished", outcome.unpublished);
+      matrix.Push(std::move(cell));
       if (!outcome.atomic) {
         if (proto == Proto::kHtlc) {
           ++htlc_violations;
@@ -203,5 +213,15 @@ int main(int argc, char** argv) {
       "— AC3WN additionally never stalls on a witness crash (its witness is\n"
       "a replicated network, not a process).\n",
       htlc_violations, witnessed_violations);
+  runner::Json results = runner::Json::Object();
+  results.Set("matrix", std::move(matrix));
+  results.Set("htlc_violations", htlc_violations);
+  results.Set("witnessed_violations", witnessed_violations);
+  auto written = runner::WriteBenchJson(context, "atomicity_failures",
+                                        std::move(results));
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.status().ToString().c_str());
+    return 1;
+  }
   return witnessed_violations == 0 ? 0 : 1;
 }

@@ -54,7 +54,9 @@ int main(int argc, char** argv) {
               delta_ms);
 
   runner::SweepRunner pool(context.threads);
-  const std::vector<runner::RunOutcome> outcomes = pool.RunGrid(grid);
+  runner::GridWallStats wall_stats;
+  const std::vector<runner::RunOutcome> outcomes =
+      pool.RunGridTimed(grid, &wall_stats);
 
   auto bucket = [&](runner::Protocol protocol, int diameter) {
     std::vector<runner::RunOutcome> mine;
@@ -118,8 +120,10 @@ int main(int argc, char** argv) {
   results.Set("rows", std::move(rows));
   results.Set("protocols", std::move(protocols));
 
-  auto written = runner::WriteBenchJson(context, "fig10_latency_vs_diameter",
-                                        std::move(results));
+  auto written =
+      runner::WriteBenchJson(context, "fig10_latency_vs_diameter",
+                             std::move(results),
+                             runner::GridWallJson(wall_stats, outcomes));
   if (!written.ok()) {
     std::fprintf(stderr, "%s\n", written.status().ToString().c_str());
     return 1;

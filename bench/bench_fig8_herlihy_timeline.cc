@@ -18,7 +18,9 @@ namespace {
 
 constexpr TimePoint kDeadline = Minutes(60);
 
-void RunTimeline(int diameter) {
+runner::Json RunTimeline(int diameter) {
+  runner::Json row = runner::Json::Object();
+  row.Set("diameter", diameter);
   core::ScenarioOptions options;
   options.participants = diameter;
   options.asset_chains = std::min(diameter, 4);
@@ -34,7 +36,8 @@ void RunTimeline(int diameter) {
   if (!report.ok()) {
     std::printf("Diam=%d: engine error: %s\n", diameter,
                 report.status().ToString().c_str());
-    return;
+    row.Set("error", report.status().ToString());
+    return row;
   }
 
   std::printf("\nDiam(D) = %d  (leader = P%u, %s)\n", diameter,
@@ -47,12 +50,20 @@ void RunTimeline(int diameter) {
             [](const protocols::EdgeReport& a, const protocols::EdgeReport& b) {
               return a.published_at < b.published_at;
             });
+  runner::Json contracts = runner::Json::Array();
   for (const protocols::EdgeReport& edge : edges) {
     std::printf("  SC(%u->%u) | %12lld | %12lld | %10s\n", edge.edge.from,
                 edge.edge.to,
                 static_cast<long long>(edge.published_at - report->start_time),
                 static_cast<long long>(edge.settled_at - report->start_time),
                 protocols::EdgeOutcomeName(edge.outcome));
+    runner::Json contract = runner::Json::Object();
+    contract.Set("from", edge.edge.from);
+    contract.Set("to", edge.edge.to);
+    contract.Set("published_ms", edge.published_at - report->start_time);
+    contract.Set("settled_ms", edge.settled_at - report->start_time);
+    contract.Set("outcome", protocols::EdgeOutcomeName(edge.outcome));
+    contracts.Push(std::move(contract));
   }
   // The staircase summary the figure conveys: width of each phase.
   TimePoint first_pub = INT64_MAX, last_pub = -1, last_settle = -1;
@@ -65,6 +76,11 @@ void RunTimeline(int diameter) {
               "(sequential waves ~ Diam)\n",
               static_cast<long long>(last_pub - first_pub),
               static_cast<long long>(last_settle - report->start_time));
+  row.Set("committed", report->committed);
+  row.Set("publish_span_ms", last_pub - first_pub);
+  row.Set("swap_ms", last_settle - report->start_time);
+  row.Set("contracts", std::move(contracts));
+  return row;
 }
 
 }  // namespace
@@ -78,8 +94,17 @@ int main(int argc, char** argv) {
       "then sequential redemption, 2*Diam(D) deltas end to end");
   const std::vector<int> diameters =
       context.smoke ? std::vector<int>{2, 3} : std::vector<int>{2, 3, 4, 6};
+  ac3::runner::Json rows = ac3::runner::Json::Array();
   for (int diam : diameters) {
-    ac3::RunTimeline(diam);
+    rows.Push(ac3::RunTimeline(diam));
+  }
+  ac3::runner::Json results = ac3::runner::Json::Object();
+  results.Set("rows", std::move(rows));
+  auto written = ac3::runner::WriteBenchJson(context, "fig8_herlihy_timeline",
+                                             std::move(results));
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.status().ToString().c_str());
+    return 1;
   }
   return 0;
 }

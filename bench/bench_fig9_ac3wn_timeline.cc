@@ -18,7 +18,9 @@ namespace {
 
 constexpr TimePoint kDeadline = Minutes(60);
 
-void RunTimeline(int diameter) {
+runner::Json RunTimeline(int diameter) {
+  runner::Json row = runner::Json::Object();
+  row.Set("diameter", diameter);
   core::ScenarioOptions options;
   options.participants = diameter;
   options.asset_chains = std::min(diameter, 4);
@@ -34,15 +36,18 @@ void RunTimeline(int diameter) {
   if (!report.ok()) {
     std::printf("Diam=%d: engine error: %s\n", diameter,
                 report.status().ToString().c_str());
-    return;
+    row.Set("error", report.status().ToString());
+    return row;
   }
 
   std::printf("\nDiam(D) = %d  (%s)\n", diameter, report->Summary().c_str());
   std::printf("%28s | %10s\n", "phase", "t_ms");
   benchutil::PrintRule(44);
+  runner::Json phases = runner::Json::Object();
   for (const auto& [name, at] : report->phases) {
     std::printf("%28s | %10lld\n", name.c_str(),
                 static_cast<long long>(at - report->start_time));
+    phases.Set(name, at - report->start_time);
   }
   TimePoint first_pub = INT64_MAX, last_pub = -1;
   for (const auto& edge : report->edges) {
@@ -56,6 +61,12 @@ void RunTimeline(int diameter) {
               static_cast<long long>(last_pub - first_pub));
   std::printf("%28s | %10lld\n", "all_redeemed",
               static_cast<long long>(report->end_time - report->start_time));
+  row.Set("committed", report->committed);
+  row.Set("phases", std::move(phases));
+  row.Set("last_contract_published_ms", last_pub - report->start_time);
+  row.Set("publish_spread_ms", last_pub - first_pub);
+  row.Set("all_redeemed_ms", report->end_time - report->start_time);
+  return row;
 }
 
 }  // namespace
@@ -69,8 +80,17 @@ int main(int argc, char** argv) {
       "parallel deploy, SCw state change, parallel redeem) = 4 deltas");
   const std::vector<int> diameters =
       context.smoke ? std::vector<int>{2, 3} : std::vector<int>{2, 3, 4, 6};
+  ac3::runner::Json rows = ac3::runner::Json::Array();
   for (int diam : diameters) {
-    ac3::RunTimeline(diam);
+    rows.Push(ac3::RunTimeline(diam));
+  }
+  ac3::runner::Json results = ac3::runner::Json::Object();
+  results.Set("rows", std::move(rows));
+  auto written = ac3::runner::WriteBenchJson(context, "fig9_ac3wn_timeline",
+                                             std::move(results));
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.status().ToString().c_str());
+    return 1;
   }
   return 0;
 }

@@ -149,11 +149,17 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
   benchutil::PrintRule(10 + 8 * kMaxAttack);
+  runner::Json matrix = runner::Json::Array();
   for (uint32_t d = 0; d <= kMaxD; ++d) {
     std::printf("   d=%3u |", d);
     for (uint32_t attack = 1; attack <= kMaxAttack; ++attack) {
       const bool survives = DecisionSurvives(d, attack, 7100 + d * 17 + attack);
       std::printf("  %-5s ", survives ? "ok" : "FLIP");
+      runner::Json cell = runner::Json::Object();
+      cell.Set("d", d);
+      cell.Set("attack_length", attack);
+      cell.Set("decision_survives", survives);
+      matrix.Push(std::move(cell));
     }
     std::printf("\n");
   }
@@ -163,9 +169,24 @@ int main(int argc, char** argv) {
       "branch outweighs the honest suffix (decision block + d burials).\n"
       "Participants acting only on >= d confirmations are therefore exposed\n"
       "only to attacks of length > d, which Section 6.3 prices:\n");
+  runner::Json pricing = runner::Json::Array();
   for (uint32_t d : {2u, 6u, 21u}) {
+    const double cost = analysis::AttackCostForDepth(d + 1, 6.0, 300e3);
     std::printf("  d=%2u on Bitcoin-like witness: attack rental >= $%.0f\n", d,
-                analysis::AttackCostForDepth(d + 1, 6.0, 300e3));
+                cost);
+    runner::Json row = runner::Json::Object();
+    row.Set("d", d);
+    row.Set("attack_rental_usd", cost);
+    pricing.Push(std::move(row));
+  }
+  runner::Json results = runner::Json::Object();
+  results.Set("matrix", std::move(matrix));
+  results.Set("attack_pricing", std::move(pricing));
+  auto written = runner::WriteBenchJson(context, "fork_resolution",
+                                        std::move(results));
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.status().ToString().c_str());
+    return 1;
   }
   return 0;
 }

@@ -130,5 +130,5 @@ BENCHMARK(BM_VerifyTxEvidence)->Arg(2)->Arg(8)->Arg(32);
 }  // namespace ac3::chain
 
 int main(int argc, char** argv) {
-  return ac3::benchutil::GBenchMain(argc, argv);
+  return ac3::benchutil::GBenchMain(argc, argv, "micro_chain");
 }

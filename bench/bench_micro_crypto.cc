@@ -119,5 +119,5 @@ BENCHMARK(BM_SignatureCommitmentVerify);
 }  // namespace ac3::crypto
 
 int main(int argc, char** argv) {
-  return ac3::benchutil::GBenchMain(argc, argv);
+  return ac3::benchutil::GBenchMain(argc, argv, "micro_crypto");
 }

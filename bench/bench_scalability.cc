@@ -19,6 +19,7 @@
 // bottleneck per Section 5.2 — stay the same.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -138,11 +139,16 @@ int main(int argc, char** argv) {
   // Each batch world is independent and deterministic: fan the witness-
   // count axis across the worker pool.
   runner::SweepRunner pool(context.threads);
+  const auto batches_start = std::chrono::steady_clock::now();
   std::vector<BatchResult> batches = pool.Map<BatchResult>(
       static_cast<int>(witness_counts.size()), [&](int i) {
         const int w = witness_counts[static_cast<size_t>(i)];
         return RunBatch(w, swaps, 9100 + static_cast<uint64_t>(w));
       });
+  const double batches_wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - batches_start)
+          .count();
 
   std::printf("batch: %d two-party swaps over 2 shared asset chains\n\n",
               swaps);
@@ -176,8 +182,15 @@ int main(int argc, char** argv) {
   results.Set("delta_ms", delta_ms);
   results.Set("rows", std::move(rows));
 
-  auto written =
-      runner::WriteBenchJson(context, "scalability", std::move(results));
+  runner::Json wall = runner::Json::Object();
+  wall.Set("wall_ms_batches", batches_wall_ms);
+  wall.Set("worlds_per_sec",
+           batches_wall_ms > 0
+               ? static_cast<double>(batches.size()) /
+                     (batches_wall_ms / 1000.0)
+               : 0.0);
+  auto written = runner::WriteBenchJson(context, "scalability",
+                                        std::move(results), std::move(wall));
   if (!written.ok()) {
     std::fprintf(stderr, "%s\n", written.status().ToString().c_str());
     return 1;

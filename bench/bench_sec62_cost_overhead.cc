@@ -75,6 +75,7 @@ int main(int argc, char** argv) {
               "overhead");
   benchutil::PrintRule(78);
   const int max_n = context.smoke ? 4 : 8;
+  runner::Json rows = runner::Json::Array();
   for (int n = 2; n <= max_n; ++n) {
     const chain::Amount herlihy_analytic =
         analysis::HerlihyFee(static_cast<uint32_t>(n), fd, ffc);
@@ -90,6 +91,15 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(herlihy_sim),
                 static_cast<unsigned long long>(ac3wn_sim),
                 100.0 * analysis::Ac3wnOverheadRatio(static_cast<uint32_t>(n)));
+    runner::Json row = runner::Json::Object();
+    row.Set("n", n);
+    row.Set("herlihy_fee_analytic", herlihy_analytic);
+    row.Set("ac3wn_fee_analytic", ac3wn_analytic);
+    row.Set("herlihy_fee_simulated", herlihy_sim);
+    row.Set("ac3wn_fee_simulated", ac3wn_sim);
+    row.Set("overhead_ratio",
+            analysis::Ac3wnOverheadRatio(static_cast<uint32_t>(n)));
+    rows.Push(std::move(row));
   }
   // Larger N: analytic only (the asymptotic 1/N vanishing overhead).
   for (int n : {12, 16, 20}) {
@@ -109,5 +119,17 @@ int main(int argc, char** argv) {
   std::printf(
       "shape check: simulated fees match the analytic columns exactly and\n"
       "the AC3WN overhead is one extra contract: 1/N of Herlihy's fee.\n");
+  runner::Json results = runner::Json::Object();
+  results.Set("fd", fd);
+  results.Set("ffc", ffc);
+  results.Set("rows", std::move(rows));
+  results.Set("scw_usd_at_300", analysis::ScwDollarCost(4.0, 300.0));
+  results.Set("scw_usd_at_140", analysis::ScwDollarCost(4.0, 140.0));
+  auto written = runner::WriteBenchJson(context, "sec62_cost_overhead",
+                                        std::move(results));
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.status().ToString().c_str());
+    return 1;
+  }
   return 0;
 }

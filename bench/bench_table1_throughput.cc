@@ -66,8 +66,8 @@ double MeasureChainTps(const chain::ChainParams& params, uint64_t seed,
     env.StartMining();
     // User txs on the canonical branch = included - coinbases - genesis tx.
     const chain::Blockchain* chain = env.blockchain(id);
-    auto included_users = [&]() {
-      return chain->head()->included_txs->size() - chain->height() - 1;
+    auto included_users = [&]() -> uint64_t {
+      return chain->head()->included_tx_count - chain->height() - 1;
     };
     (void)env.sim()->RunUntilCondition(
         [&]() { return included_users() >= submitted; }, Minutes(5));
@@ -190,7 +190,9 @@ int main(int argc, char** argv) {
     compositions.Push(std::move(entry));
   }
 
-  const auto& best = analysis::BestWitnessAmongInvolved(
+  // Copy, not bind: the involved-set argument is a temporary, and the
+  // returned reference points into it (dangles past this expression).
+  const chain::ChainParams best = analysis::BestWitnessAmongInvolved(
       {chain::EthereumParams(), chain::LitecoinParams()});
   const double paper_example_tps = analysis::Ac2tThroughput(
       {chain::EthereumParams(), chain::LitecoinParams()},
@@ -215,7 +217,9 @@ int main(int argc, char** argv) {
   delta_world.seed = 999;
   const double delta_ms =
       runner::MeasureDeltaMs(delta_world, grid.confirm_depth);
-  const std::vector<runner::RunOutcome> outcomes = pool.RunGrid(grid);
+  runner::GridWallStats wall_stats;
+  const std::vector<runner::RunOutcome> outcomes =
+      pool.RunGridTimed(grid, &wall_stats);
 
   runner::Json protocols = runner::Json::Object();
   std::printf("\n%10s | %10s | %12s | %14s\n", "protocol", "committed",
@@ -245,7 +249,8 @@ int main(int argc, char** argv) {
   results.Set("protocols", std::move(protocols));
 
   auto written =
-      runner::WriteBenchJson(context, "table1_throughput", std::move(results));
+      runner::WriteBenchJson(context, "table1_throughput", std::move(results),
+                             runner::GridWallJson(wall_stats, outcomes));
   if (!written.ok()) {
     std::fprintf(stderr, "%s\n", written.status().ToString().c_str());
     return 1;

@@ -1,46 +1,64 @@
 // Shared main() for the google-benchmark micro-harnesses, so every bench
 // binary in the repo understands --smoke: CI runs each one briefly to
 // prove it still links and executes, without paying full measuring time.
+//
+// Like every other harness, a micro-benchmark run publishes the standard
+// BENCH_<name>.json envelope (results carry the harness kind; the
+// wall-clock section carries wall_ms_total), so the "every bench emits
+// wall-clock fields" contract holds across the whole bench/ directory.
 
 #ifndef AC3_BENCH_GBENCH_MAIN_H_
 #define AC3_BENCH_GBENCH_MAIN_H_
 
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "src/runner/bench_output.h"
+
 namespace ac3::benchutil {
 
 /// Strips the shared bench flags from the argument list — --smoke clamps
-/// per-benchmark measuring time to ~one iteration; --out/--threads are
-/// accepted-and-ignored so CI can pass one flag set to every bench binary
-/// — and hands the rest to google-benchmark.
-inline int GBenchMain(int argc, char** argv) {
+/// per-benchmark measuring time to ~one iteration; --out selects the
+/// BENCH_<name>.json directory; --threads is accepted-and-ignored so CI
+/// can pass one flag set to every bench binary — and hands the rest to
+/// google-benchmark.
+inline int GBenchMain(int argc, char** argv, const std::string& name) {
   static std::string min_time = "--benchmark_min_time=0.01";
+  runner::BenchContext context;
   std::vector<char*> args;
   args.reserve(static_cast<size_t>(argc) + 1);
-  bool smoke = false;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
+      context.smoke = true;
       continue;
     }
     if ((std::strcmp(argv[i], "--out") == 0 ||
          std::strcmp(argv[i], "--threads") == 0) &&
         i + 1 < argc) {
-      ++i;  // Micro-benchmarks have no sweep output; skip flag + value.
+      if (std::strcmp(argv[i], "--out") == 0) context.out_dir = argv[i + 1];
+      ++i;  // Skip flag + value either way.
       continue;
     }
     args.push_back(argv[i]);
   }
-  if (smoke) args.push_back(min_time.data());
+  if (context.smoke) args.push_back(min_time.data());
   int n = static_cast<int>(args.size());
   benchmark::Initialize(&n, args.data());
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+
+  runner::Json results = runner::Json::Object();
+  results.Set("harness", "google-benchmark");
+  auto written = runner::WriteBenchJson(context, name, std::move(results));
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.status().ToString().c_str());
+    return 1;
+  }
   return 0;
 }
 

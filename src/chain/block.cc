@@ -1,5 +1,8 @@
 #include "src/chain/block.h"
 
+#include <cassert>
+#include <cstring>
+
 #include "src/crypto/merkle.h"
 
 namespace ac3::chain {
@@ -13,17 +16,37 @@ Result<crypto::Hash256> ReadHash(ByteReader* r) {
 }
 }  // namespace
 
+namespace {
+inline uint8_t* PutLe32(uint8_t* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) *out++ = static_cast<uint8_t>(v >> (8 * i));
+  return out;
+}
+inline uint8_t* PutLe64(uint8_t* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) *out++ = static_cast<uint8_t>(v >> (8 * i));
+  return out;
+}
+}  // namespace
+
+void BlockHeader::EncodeTo(uint8_t (&out)[kEncodedSize]) const {
+  uint8_t* p = out;
+  p = PutLe32(p, chain_id);
+  p = PutLe64(p, height);
+  std::memcpy(p, prev_hash.bytes(), crypto::Hash256::kSize);
+  p += crypto::Hash256::kSize;
+  std::memcpy(p, tx_root.bytes(), crypto::Hash256::kSize);
+  p += crypto::Hash256::kSize;
+  std::memcpy(p, receipt_root.bytes(), crypto::Hash256::kSize);
+  p += crypto::Hash256::kSize;
+  p = PutLe64(p, static_cast<uint64_t>(time));
+  p = PutLe32(p, difficulty_bits);
+  p = PutLe64(p, nonce);
+  assert(p == out + kEncodedSize);
+}
+
 Bytes BlockHeader::Encode() const {
-  ByteWriter w;
-  w.PutU32(chain_id);
-  w.PutU64(height);
-  w.PutRaw(prev_hash.bytes(), crypto::Hash256::kSize);
-  w.PutRaw(tx_root.bytes(), crypto::Hash256::kSize);
-  w.PutRaw(receipt_root.bytes(), crypto::Hash256::kSize);
-  w.PutI64(time);
-  w.PutU32(difficulty_bits);
-  w.PutU64(nonce);
-  return w.Take();
+  uint8_t buf[kEncodedSize];
+  EncodeTo(buf);
+  return Bytes(buf, buf + kEncodedSize);
 }
 
 Result<BlockHeader> BlockHeader::Decode(ByteReader* reader) {
@@ -40,7 +63,9 @@ Result<BlockHeader> BlockHeader::Decode(ByteReader* reader) {
 }
 
 crypto::Hash256 BlockHeader::Hash() const {
-  return crypto::Hash256::DoubleOf(Encode());
+  uint8_t buf[kEncodedSize];
+  EncodeTo(buf);
+  return crypto::Hash256::DoubleOf(buf);
 }
 
 std::vector<crypto::Hash256> Block::TxLeaves() const {

@@ -31,7 +31,14 @@ struct BlockHeader {
   uint32_t difficulty_bits = 0;
   uint64_t nonce = 0;
 
+  /// Canonical encoding is fixed-width: 4 + 8 + 3*32 + 8 + 4 + 8 bytes,
+  /// with the nonce as the final 8 bytes (what HeaderHasher patches).
+  static constexpr size_t kEncodedSize = 128;
+
   Bytes Encode() const;
+  /// Same canonical bytes as Encode(), written into a caller buffer — the
+  /// allocation-free path used by hashing and proof-of-work.
+  void EncodeTo(uint8_t (&out)[kEncodedSize]) const;
   static Result<BlockHeader> Decode(ByteReader* reader);
 
   /// Double SHA-256 of the encoding — the block id and the PoW subject.

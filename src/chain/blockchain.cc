@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <set>
 
 #include "src/chain/pow.h"
 #include "src/common/logging.h"
@@ -37,15 +38,85 @@ Blockchain::Blockchain(ChainParams params, std::vector<TxOutput> allocations)
   entry.arrival_time = 0;
   entry.arrival_seq = next_arrival_seq_++;
   entry.state = GenesisState(genesis_tx);
-  auto included = std::make_shared<std::set<crypto::Hash256>>();
-  included->insert(genesis_tx.Id());
-  entry.included_txs = included;
+  entry.included_tx_count = 1;
   entry.tx_index[genesis_tx.Id()] = 0;
 
   auto [it, inserted] = entries_.emplace(entry.hash, std::move(entry));
   assert(inserted);
   genesis_ = &it->second;
   head_ = genesis_;
+  IndexEntry(genesis_);
+}
+
+namespace {
+
+/// Clears the lowest set bit (Bitcoin's skip-height helper).
+uint64_t InvertLowestOne(uint64_t n) { return n & (n - 1); }
+
+/// Height the skip pointer of a block at `height` jumps to: mostly a big
+/// power-of-two-aligned hop, with a +1 wobble on odd heights so paths mix
+/// both long and short jumps (exactly Bitcoin's GetSkipHeight).
+uint64_t SkipHeightFor(uint64_t height) {
+  if (height < 2) return 0;
+  return (height & 1) ? InvertLowestOne(InvertLowestOne(height - 1)) + 1
+                      : InvertLowestOne(height);
+}
+
+}  // namespace
+
+const BlockEntry* Blockchain::GetAncestor(const BlockEntry* entry,
+                                          uint64_t height) const {
+  if (entry == nullptr || height > entry->height()) return nullptr;
+  const BlockEntry* walk = entry;
+  uint64_t walk_height = walk->height();
+  while (walk_height > height) {
+    const uint64_t skip_height = SkipHeightFor(walk_height);
+    // Take the long jump unless it overshoots in a way the parent's own
+    // skip would have served better (Bitcoin's heuristic, which bounds the
+    // walk at O(log height)).
+    if (walk->skip != nullptr &&
+        (skip_height == height ||
+         (skip_height > height &&
+          !(SkipHeightFor(walk_height - 1) < skip_height - 2 &&
+            SkipHeightFor(walk_height - 1) >= height)))) {
+      walk = walk->skip;
+      walk_height = skip_height;
+    } else {
+      assert(walk->parent != nullptr);
+      walk = walk->parent;
+      --walk_height;
+    }
+  }
+  return walk;
+}
+
+bool Blockchain::OnBranch(const BlockEntry& tip,
+                          const BlockEntry* entry) const {
+  return entry != nullptr && entry->height() <= tip.height() &&
+         GetAncestor(&tip, entry->height()) == entry;
+}
+
+bool Blockchain::TxOnBranch(const BlockEntry& tip,
+                            const crypto::Hash256& tx_id) const {
+  auto it = tx_occurrences_.find(tx_id);
+  if (it == tx_occurrences_.end()) return false;
+  for (const TxOccurrence& occurrence : it->second) {
+    if (OnBranch(tip, occurrence.entry)) return true;
+  }
+  return false;
+}
+
+void Blockchain::IndexEntry(const BlockEntry* entry) {
+  arrival_order_.push_back(entry);
+  for (const auto& [tx_id, index] : entry->tx_index) {
+    tx_occurrences_[tx_id].push_back(TxOccurrence{entry, index});
+  }
+  for (const CallRecord& call : entry->calls) {
+    // One occurrence per contract even with several calls in the block.
+    std::vector<const BlockEntry*>& list =
+        contract_call_entries_[call.contract_id];
+    if (list.empty() || list.back() != entry) list.push_back(entry);
+  }
 }
 
 const BlockEntry* Blockchain::Get(const crypto::Hash256& hash) const {
@@ -81,7 +152,7 @@ Status Blockchain::ValidateAgainstParent(const Block& block,
   }
   // No transaction may repeat on this branch.
   for (size_t i = 1; i < block.txs.size(); ++i) {
-    if (parent.included_txs->count(block.txs[i].Id()) > 0) {
+    if (TxOnBranch(parent, block.txs[i].Id())) {
       return Status::InvalidArgument("transaction already included on branch");
     }
   }
@@ -125,22 +196,21 @@ Status Blockchain::SubmitBlock(const Block& block, TimePoint arrival_time) {
   entry.arrival_time = arrival_time;
   entry.arrival_seq = next_arrival_seq_++;
   entry.state = std::move(post_state);
-  auto included = std::make_shared<std::set<crypto::Hash256>>(
-      *parent->included_txs);
+  entry.parent = parent;
+  entry.skip = GetAncestor(parent, SkipHeightFor(block.header.height));
+  entry.included_tx_count = parent->included_tx_count + block.txs.size();
   for (uint32_t i = 0; i < block.txs.size(); ++i) {
     const Transaction& tx = block.txs[i];
-    const crypto::Hash256 tx_id = tx.Id();
-    included->insert(tx_id);
-    entry.tx_index[tx_id] = i;
+    entry.tx_index[tx.Id()] = i;
     if (tx.type == TxType::kCall) {
       entry.calls.push_back(
           CallRecord{tx.contract_id, tx.function, i, receipts[i].success});
     }
   }
-  entry.included_txs = included;
 
   auto [it, inserted] = entries_.emplace(hash, std::move(entry));
   assert(inserted);
+  IndexEntry(&it->second);
 
   // Longest-chain rule: adopt strictly heavier branches only, so the
   // first-seen block wins ties (Section 2.1: "miners accept the first
@@ -163,36 +233,29 @@ bool Blockchain::IsCanonical(const crypto::Hash256& hash) const {
 std::optional<uint64_t> Blockchain::ConfirmationsOf(
     const crypto::Hash256& hash) const {
   const BlockEntry* target = Get(hash);
-  if (target == nullptr) return std::nullopt;
-  const BlockEntry* cursor = head_;
-  while (cursor->block.header.height > target->block.header.height) {
-    cursor = Get(cursor->block.header.prev_hash);
-    assert(cursor != nullptr);
-  }
-  if (cursor->hash != hash) return std::nullopt;
+  if (!OnBranch(*head_, target)) return std::nullopt;
   return head_->block.header.height - target->block.header.height;
 }
 
 const BlockEntry* Blockchain::StableBlock(uint32_t depth) const {
-  const BlockEntry* cursor = head_;
-  for (uint32_t i = 0; i < depth && cursor != genesis_; ++i) {
-    cursor = Get(cursor->block.header.prev_hash);
-    assert(cursor != nullptr);
-  }
-  return cursor;
+  const uint64_t head_height = head_->height();
+  const uint64_t target = depth >= head_height ? 0 : head_height - depth;
+  const BlockEntry* entry = GetAncestor(head_, target);
+  assert(entry != nullptr);
+  return entry;
 }
 
 Result<std::vector<BlockHeader>> Blockchain::HeadersAfter(
     const crypto::Hash256& ancestor_hash) const {
-  if (!IsCanonical(ancestor_hash)) {
+  const BlockEntry* ancestor = Get(ancestor_hash);
+  if (!OnBranch(*head_, ancestor)) {
     return Status::NotFound("ancestor not on canonical chain");
   }
   std::vector<BlockHeader> headers;
-  const BlockEntry* cursor = head_;
-  while (cursor->hash != ancestor_hash) {
+  headers.reserve(head_->height() - ancestor->height());
+  for (const BlockEntry* cursor = head_; cursor != ancestor;
+       cursor = cursor->parent) {
     headers.push_back(cursor->block.header);
-    cursor = Get(cursor->block.header.prev_hash);
-    assert(cursor != nullptr);
   }
   std::reverse(headers.begin(), headers.end());
   return headers;
@@ -200,33 +263,44 @@ Result<std::vector<BlockHeader>> Blockchain::HeadersAfter(
 
 std::optional<Blockchain::TxLocation> Blockchain::FindTx(
     const crypto::Hash256& tx_id) const {
-  const BlockEntry* cursor = head_;
-  for (;;) {
-    auto it = cursor->tx_index.find(tx_id);
-    if (it != cursor->tx_index.end()) {
-      return TxLocation{cursor, it->second};
+  auto it = tx_occurrences_.find(tx_id);
+  if (it == tx_occurrences_.end()) return std::nullopt;
+  // At most one occurrence is canonical (duplicates are invalid per
+  // branch), so the first on-branch hit is THE location.
+  for (const TxOccurrence& occurrence : it->second) {
+    if (OnBranch(*head_, occurrence.entry)) {
+      return TxLocation{occurrence.entry, occurrence.index};
     }
-    if (cursor == genesis_) return std::nullopt;
-    cursor = Get(cursor->block.header.prev_hash);
-    assert(cursor != nullptr);
   }
+  return std::nullopt;
 }
 
 std::optional<Blockchain::TxLocation> Blockchain::FindCall(
     const crypto::Hash256& contract_id, const std::string& function,
     bool require_success) const {
-  const BlockEntry* cursor = head_;
-  for (;;) {
-    for (const CallRecord& call : cursor->calls) {
+  auto it = contract_call_entries_.find(contract_id);
+  if (it == contract_call_entries_.end()) return std::nullopt;
+  // Newest canonical entry containing a matching call; within an entry,
+  // calls are scanned in block order (same answer the old head-to-genesis
+  // walk produced, without visiting call-free blocks).
+  const BlockEntry* best_entry = nullptr;
+  uint32_t best_index = 0;
+  for (const BlockEntry* entry : it->second) {
+    if (best_entry != nullptr && entry->height() <= best_entry->height()) {
+      continue;
+    }
+    if (!OnBranch(*head_, entry)) continue;
+    for (const CallRecord& call : entry->calls) {
       if (call.contract_id == contract_id && call.function == function &&
           (!require_success || call.success)) {
-        return TxLocation{cursor, call.tx_index};
+        best_entry = entry;
+        best_index = call.tx_index;
+        break;
       }
     }
-    if (cursor == genesis_) return std::nullopt;
-    cursor = Get(cursor->block.header.prev_hash);
-    assert(cursor != nullptr);
   }
+  if (best_entry == nullptr) return std::nullopt;
+  return TxLocation{best_entry, best_index};
 }
 
 Result<contracts::ContractPtr> Blockchain::ContractAtHead(
@@ -243,7 +317,8 @@ Result<Block> Blockchain::AssembleBlock(
 
   BlockEnv env{params_.id, parent->block.header.height + 1, now};
 
-  // Selection pass: FIFO, skip invalid / duplicate transactions.
+  // Selection pass: FIFO, skip invalid / duplicate transactions. The
+  // per-candidate scratch snapshot is O(1) thanks to the persistent state.
   LedgerState working = parent->state;
   std::vector<Transaction> chosen;
   std::set<crypto::Hash256> chosen_ids;
@@ -251,7 +326,7 @@ Result<Block> Blockchain::AssembleBlock(
   for (const Transaction& tx : candidates) {
     if (chosen.size() >= params_.max_block_txs) break;
     const crypto::Hash256 tx_id = tx.Id();
-    if (parent->included_txs->count(tx_id) > 0 || chosen_ids.count(tx_id) > 0) {
+    if (TxOnBranch(*parent, tx_id) || chosen_ids.count(tx_id) > 0) {
       continue;
     }
     LedgerState scratch = working;  // Roll back cleanly on failure.

@@ -11,9 +11,7 @@
 #ifndef AC3_CHAIN_BLOCKCHAIN_H_
 #define AC3_CHAIN_BLOCKCHAIN_H_
 
-#include <memory>
 #include <optional>
-#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -33,6 +31,13 @@ struct CallRecord {
 };
 
 /// A validated block plus branch-local derived data.
+///
+/// Branch-cumulative data is chained, not materialized: each entry keeps
+/// only its own block's transaction ids (`tx_index`) plus a `parent` link
+/// and a skip pointer for O(log height) ancestor jumps, so storing a block
+/// costs O(block size) instead of O(chain length). "Is this transaction
+/// already on the branch?" is answered by Blockchain::TxOnBranch through
+/// the chain-global transaction index.
 struct BlockEntry {
   Block block;
   crypto::Hash256 hash;
@@ -42,14 +47,21 @@ struct BlockEntry {
   TimePoint arrival_time = 0;
   /// First-seen order; ties in total work keep the earlier block.
   uint64_t arrival_seq = 0;
-  /// State after applying this block to its parent's state.
+  /// State after applying this block to its parent's state (a persistent
+  /// snapshot sharing all unmodified structure with the parent's state).
   LedgerState state;
-  /// All transaction ids included on this branch, genesis..this block.
-  std::shared_ptr<const std::set<crypto::Hash256>> included_txs;
-  /// Transaction id -> index within this block.
+  /// Parent entry (nullptr for genesis). Entry pointers are stable.
+  const BlockEntry* parent = nullptr;
+  /// Ancestor jump pointer (Bitcoin's pskip scheme) for GetAncestor.
+  const BlockEntry* skip = nullptr;
+  /// Number of transactions included on this branch, genesis..this block.
+  uint64_t included_tx_count = 0;
+  /// Transaction id -> index within THIS block only (the per-entry delta).
   std::unordered_map<crypto::Hash256, uint32_t> tx_index;
   /// Contract calls in this block (for watching redeem/refund events).
   std::vector<CallRecord> calls;
+
+  uint64_t height() const { return block.header.height; }
 };
 
 class Blockchain {
@@ -78,6 +90,21 @@ class Blockchain {
   const std::unordered_map<crypto::Hash256, BlockEntry>& entries() const {
     return entries_;
   }
+  /// Every entry (genesis included) in arrival order — an append-only feed
+  /// consumers (the mining network's head trackers) index into.
+  const std::vector<const BlockEntry*>& arrival_order() const {
+    return arrival_order_;
+  }
+
+  /// The ancestor of `entry` at `height` (O(log height) via skip
+  /// pointers); nullptr when `height` exceeds the entry's height.
+  const BlockEntry* GetAncestor(const BlockEntry* entry,
+                                uint64_t height) const;
+
+  /// True when `tx_id` is included on the branch from genesis to `tip`
+  /// (inclusive). O(occurrences x log height) via the global tx index —
+  /// the duplicate check of block assembly and validation.
+  bool TxOnBranch(const BlockEntry& tip, const crypto::Hash256& tx_id) const;
 
   // ------------------------------------------------------ canonical queries
 
@@ -135,11 +162,33 @@ class Blockchain {
                                std::vector<Receipt>* receipts,
                                LedgerState* post_state) const;
 
+  /// Records `entry`'s transactions/calls in the chain-global indexes and
+  /// the arrival feed. Called once per stored entry.
+  void IndexEntry(const BlockEntry* entry);
+
+  /// One on-chain occurrence of a transaction. A transaction may occur in
+  /// several fork-sibling blocks, but at most once per branch.
+  struct TxOccurrence {
+    const BlockEntry* entry = nullptr;
+    uint32_t index = 0;
+  };
+
+  /// True when `entry` lies on the branch ending at `tip`.
+  bool OnBranch(const BlockEntry& tip, const BlockEntry* entry) const;
+
   ChainParams params_;
   std::unordered_map<crypto::Hash256, BlockEntry> entries_;
   const BlockEntry* genesis_ = nullptr;
   const BlockEntry* head_ = nullptr;
   uint64_t next_arrival_seq_ = 0;
+  /// All entries in arrival order (genesis first).
+  std::vector<const BlockEntry*> arrival_order_;
+  /// Transaction id -> every entry containing it (across all forks).
+  std::unordered_map<crypto::Hash256, std::vector<TxOccurrence>>
+      tx_occurrences_;
+  /// Contract id -> every entry containing >= 1 call on it.
+  std::unordered_map<crypto::Hash256, std::vector<const BlockEntry*>>
+      contract_call_entries_;
 };
 
 }  // namespace ac3::chain

@@ -26,11 +26,11 @@ Amount LedgerState::BalanceOf(const crypto::PublicKey& owner) const {
 
 Result<contracts::ContractPtr> LedgerState::GetContract(
     const crypto::Hash256& id) const {
-  auto it = contracts.find(id);
-  if (it == contracts.end()) {
+  const contracts::ContractPtr* contract = contracts.Find(id);
+  if (contract == nullptr) {
     return Status::NotFound("no contract " + id.ShortHex());
   }
-  return it->second;
+  return *contract;
 }
 
 namespace {
@@ -42,18 +42,26 @@ Result<Amount> ConsumeInputs(LedgerState* state, const Transaction& tx) {
   }
   Amount total = 0;
   // Validate first (no partial mutation on failure).
-  for (const OutPoint& in : tx.inputs) {
-    auto it = state->utxos.find(in);
-    if (it == state->utxos.end()) {
+  for (size_t i = 0; i < tx.inputs.size(); ++i) {
+    const OutPoint& in = tx.inputs[i];
+    // A repeated outpoint would be summed twice but erased once — minting
+    // value. Input lists are tiny, so the quadratic scan is free.
+    for (size_t j = 0; j < i; ++j) {
+      if (tx.inputs[j] == in) {
+        return Status::InvalidArgument("duplicate input outpoint");
+      }
+    }
+    const TxOutput* output = state->utxos.Find(in);
+    if (output == nullptr) {
       return Status::InvalidArgument("input not in UTXO set (double spend?)");
     }
-    if (it->second.owner != tx.signer) {
+    if (output->owner != tx.signer) {
       return Status::VerificationFailed(
           "input not owned by transaction signer");
     }
-    total += it->second.value;
+    total += output->value;
   }
-  for (const OutPoint& in : tx.inputs) state->utxos.erase(in);
+  for (const OutPoint& in : tx.inputs) state->utxos.Erase(in);
   return total;
 }
 
@@ -61,7 +69,7 @@ void CreateOutputs(LedgerState* state, const crypto::Hash256& tx_id,
                    const std::vector<TxOutput>& outputs,
                    uint32_t first_index = 0) {
   for (uint32_t i = 0; i < outputs.size(); ++i) {
-    state->utxos[OutPoint{tx_id, first_index + i}] = outputs[i];
+    state->utxos.Put(OutPoint{tx_id, first_index + i}, outputs[i]);
   }
 }
 
@@ -122,7 +130,7 @@ Result<Receipt> ApplyTransaction(LedgerState* state, const Transaction& tx,
         return deployed.status();
       }
       CreateOutputs(state, tx_id, tx.outputs);
-      state->contracts[tx_id] = *deployed;
+      state->contracts.Put(tx_id, *deployed);
       receipt.contract_id = tx_id;
       receipt.state_digest = (*deployed)->StateDigest();
       receipt.note = "deployed " + tx.contract_kind;
@@ -173,7 +181,7 @@ Result<Receipt> ApplyTransaction(LedgerState* state, const Transaction& tx,
       }
       CreateOutputs(state, tx_id, payout_outputs,
                     static_cast<uint32_t>(tx.outputs.size()));
-      state->contracts[tx.contract_id] = outcome->next;
+      state->contracts.Put(tx.contract_id, outcome->next);
       receipt.state_digest = outcome->next->StateDigest();
       receipt.note = outcome->note;
       return receipt;
@@ -225,7 +233,7 @@ LedgerState GenesisState(const Transaction& genesis_tx) {
   LedgerState state;
   const crypto::Hash256 id = genesis_tx.Id();
   for (uint32_t i = 0; i < genesis_tx.outputs.size(); ++i) {
-    state.utxos[OutPoint{id, i}] = genesis_tx.outputs[i];
+    state.utxos.Put(OutPoint{id, i}, genesis_tx.outputs[i]);
   }
   return state;
 }

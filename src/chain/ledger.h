@@ -5,6 +5,13 @@
 // deployed contract snapshots. States are value types; the blockchain keeps
 // one per block, so forks naturally own divergent contract states.
 //
+// Both maps are persistent (copy-on-write) trees: copying a LedgerState is
+// O(1) and mutations path-copy O(log n) shared nodes, so per-block and
+// per-candidate-transaction snapshots no longer cost O(state size). That
+// is what keeps per-block engine cost sublinear in chain length (see
+// README "Performance"). Iteration stays in key order, identical to the
+// old std::map representation, so every fold is bit-for-bit reproducible.
+//
 // ApplyTransaction is the single execution path shared by miners (block
 // assembly) and validators (block verification): "the validation is
 // explicitly enforced in the storage layer" (Section 2.3).
@@ -12,22 +19,22 @@
 #ifndef AC3_CHAIN_LEDGER_H_
 #define AC3_CHAIN_LEDGER_H_
 
-#include <map>
-
 #include "src/chain/block.h"
 #include "src/chain/params.h"
 #include "src/chain/receipt.h"
 #include "src/chain/transaction.h"
+#include "src/common/persistent_map.h"
 #include "src/contracts/contract.h"
 
 namespace ac3::chain {
 
-/// Snapshot of one branch's state.
+/// Snapshot of one branch's state. Copies are O(1) and fully independent:
+/// mutating a copy never affects the state it was copied from.
 struct LedgerState {
   /// Unspent outputs: the current ownership of every liquid asset.
-  std::map<OutPoint, TxOutput> utxos;
+  PersistentMap<OutPoint, TxOutput> utxos;
   /// Live contract snapshots by contract id.
-  std::map<crypto::Hash256, contracts::ContractPtr> contracts;
+  PersistentMap<crypto::Hash256, contracts::ContractPtr> contracts;
 
   /// Sum of all liquid (UTXO) value.
   Amount LiquidValue() const;

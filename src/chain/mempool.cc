@@ -9,38 +9,50 @@ Status Mempool::Submit(const Transaction& tx, TimePoint arrival) {
   if (ids_.count(id) > 0) {
     return Status::AlreadyExists("transaction already in mempool");
   }
-  entries_.push_back(Entry{arrival, tx, id});
+  Entry entry{arrival, tx, id};
+  if (entries_.empty() || entries_.back().arrival <= arrival) {
+    entries_.push_back(std::move(entry));  // The production (monotone) path.
+  } else {
+    // Out-of-order arrival (tests, replays): keep the sort stable so equal
+    // arrivals preserve submission order.
+    auto at = std::upper_bound(
+        entries_.begin(), entries_.end(), arrival,
+        [](TimePoint t, const Entry& e) { return t < e.arrival; });
+    entries_.insert(at, std::move(entry));
+  }
   ids_.insert(id);
   return Status::OK();
 }
 
 std::vector<Transaction> Mempool::CandidatesAt(
-    TimePoint now, const std::set<crypto::Hash256>& already_included) const {
-  std::vector<const Entry*> visible;
-  for (const Entry& entry : entries_) {
-    if (entry.arrival <= now && already_included.count(entry.id) == 0) {
-      visible.push_back(&entry);
-    }
-  }
-  std::stable_sort(visible.begin(), visible.end(),
-                   [](const Entry* a, const Entry* b) {
-                     return a->arrival < b->arrival;
-                   });
+    TimePoint now, const TxFilter& already_included) const {
   std::vector<Transaction> out;
-  out.reserve(visible.size());
-  for (const Entry* entry : visible) out.push_back(entry->tx);
+  for (const Entry& entry : entries_) {
+    if (entry.arrival > now) break;  // Sorted: nothing later is visible.
+    if (already_included && already_included(entry.id)) continue;
+    out.push_back(entry.tx);
+  }
   return out;
 }
 
-void Mempool::Prune(const std::set<crypto::Hash256>& included) {
-  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
-                                [&](const Entry& entry) {
-                                  return included.count(entry.id) > 0;
-                                }),
-                 entries_.end());
-  std::erase_if(ids_, [&](const crypto::Hash256& id) {
-    return included.count(id) > 0;
+std::vector<Transaction> Mempool::CandidatesAt(
+    TimePoint now, const std::set<crypto::Hash256>& already_included) const {
+  return CandidatesAt(now, [&](const crypto::Hash256& id) {
+    return already_included.count(id) > 0;
   });
+}
+
+void Mempool::Prune(const std::set<crypto::Hash256>& included) {
+  size_t keep = 0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (included.count(entries_[i].id) > 0) {
+      ids_.erase(entries_[i].id);  // Both containers pruned in one pass.
+      continue;
+    }
+    if (keep != i) entries_[keep] = std::move(entries_[i]);
+    ++keep;
+  }
+  entries_.resize(keep);
 }
 
 }  // namespace ac3::chain

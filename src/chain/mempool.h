@@ -4,11 +4,19 @@
 // (Section 2.1); the mempool models the union of miners' pending sets with
 // per-transaction arrival times — a miner assembling at time t only sees
 // transactions that arrived by t.
+//
+// Entries are kept sorted by (arrival, submission order) — production
+// submissions arrive in nondecreasing time, so inserts are O(1) appends —
+// which lets candidate selection stop at the first not-yet-visible entry
+// instead of scanning and re-sorting the whole pool. Ids are hash-indexed
+// for O(1) duplicate checks and one-pass pruning.
 
 #ifndef AC3_CHAIN_MEMPOOL_H_
 #define AC3_CHAIN_MEMPOOL_H_
 
+#include <functional>
 #include <set>
+#include <unordered_set>
 #include <vector>
 
 #include "src/chain/transaction.h"
@@ -19,15 +27,24 @@ namespace ac3::chain {
 
 class Mempool {
  public:
+  /// Branch-membership oracle: true when a transaction id is already
+  /// included on the assembling branch (see Blockchain::TxOnBranch).
+  using TxFilter = std::function<bool(const crypto::Hash256&)>;
+
   /// Queues `tx`; duplicates by id are rejected.
   Status Submit(const Transaction& tx, TimePoint arrival);
 
-  /// Transactions visible at `now` and not in `already_included`
-  /// (the assembling branch's cumulative tx set), in arrival order.
+  /// Transactions visible at `now` for which `already_included` returns
+  /// false, in arrival order.
+  std::vector<Transaction> CandidatesAt(TimePoint now,
+                                        const TxFilter& already_included) const;
+
+  /// Convenience overload for explicit id sets (tests, replay tools).
   std::vector<Transaction> CandidatesAt(
       TimePoint now, const std::set<crypto::Hash256>& already_included) const;
 
   /// Drops entries whose ids appear in `included` (canonical cleanup).
+  /// One pass over the pool; ids are unindexed as their entries drop.
   void Prune(const std::set<crypto::Hash256>& included);
 
   size_t size() const { return entries_.size(); }
@@ -41,8 +58,9 @@ class Mempool {
     Transaction tx;
     crypto::Hash256 id;
   };
+  /// Sorted by arrival; equal arrivals keep submission order.
   std::vector<Entry> entries_;
-  std::set<crypto::Hash256> ids_;
+  std::unordered_set<crypto::Hash256> ids_;
 };
 
 }  // namespace ac3::chain

@@ -54,7 +54,8 @@ Duration MiningNetwork::GossipDelay(const crypto::Hash256& block_hash,
       draw % (static_cast<uint64_t>(config_.max_propagation_delay) + 1));
 }
 
-const BlockEntry* MiningNetwork::VisibleHead(int miner, TimePoint now) const {
+const BlockEntry* MiningNetwork::VisibleHeadScan(int miner,
+                                                 TimePoint now) const {
   const BlockEntry* best = chain_->genesis();
   for (const auto& [hash, entry] : chain_->entries()) {
     if (entry.arrival_time + GossipDelay(hash, miner) > now) continue;
@@ -67,6 +68,47 @@ const BlockEntry* MiningNetwork::VisibleHead(int miner, TimePoint now) const {
   return best;
 }
 
+const BlockEntry* MiningNetwork::VisibleHead(int miner, TimePoint now) const {
+  if (miner < 0 || miner >= config_.miner_count) {
+    // Stay total over miner ids, like the scan (delays are defined for any
+    // id); only configured miners get incremental trackers.
+    return VisibleHeadScan(miner, now);
+  }
+  if (views_.empty()) views_.resize(static_cast<size_t>(config_.miner_count));
+  MinerView& view = views_[static_cast<size_t>(miner)];
+  if (now < view.last_now) return VisibleHeadScan(miner, now);
+  view.last_now = now;
+  if (view.best == nullptr) view.best = chain_->genesis();
+
+  // The fold is a max over (total_work, -arrival_seq); visibility is
+  // monotone in `now`, so folding each block exactly once as it becomes
+  // visible reproduces the full scan's answer.
+  auto consider = [&](const BlockEntry* entry) {
+    if (entry->total_work > view.best->total_work ||
+        (entry->total_work == view.best->total_work &&
+         entry->arrival_seq < view.best->arrival_seq)) {
+      view.best = entry;
+    }
+  };
+
+  const std::vector<const BlockEntry*>& feed = chain_->arrival_order();
+  for (; view.cursor < feed.size(); ++view.cursor) {
+    const BlockEntry* entry = feed[view.cursor];
+    const TimePoint visible_at =
+        entry->arrival_time + GossipDelay(entry->hash, miner);
+    if (visible_at <= now) {
+      consider(entry);
+    } else {
+      view.pending.push(MinerView::Pending{visible_at, entry});
+    }
+  }
+  while (!view.pending.empty() && view.pending.top().visible_at <= now) {
+    consider(view.pending.top().entry);
+    view.pending.pop();
+  }
+  return view.best;
+}
+
 void MiningNetwork::ProduceBlock() {
   if (!running_) return;
   const TimePoint now = sim_->Now();
@@ -74,8 +116,11 @@ void MiningNetwork::ProduceBlock() {
       rng_.NextBelow(static_cast<uint64_t>(config_.miner_count)));
   const BlockEntry* parent = VisibleHead(miner, now);
 
+  // No duplicate filter here: AssembleBlock's selection loop already skips
+  // on-branch transactions (without consuming block capacity), so filtering
+  // in CandidatesAt would just walk the tx index a second time per block.
   std::vector<Transaction> candidates =
-      mempool_->CandidatesAt(now, *parent->included_txs);
+      mempool_->CandidatesAt(now, Mempool::TxFilter());
   auto block = chain_->AssembleBlock(parent->hash, candidates,
                                      miner_keys_[miner].public_key(), now,
                                      &rng_);
@@ -111,7 +156,6 @@ Result<std::vector<Block>> MiningNetwork::BuildPrivateBranch(
   if (parent_entry == nullptr) return Status::NotFound("unknown parent");
 
   LedgerState state = parent_entry->state;
-  std::set<crypto::Hash256> included = *parent_entry->included_txs;
   uint64_t height = parent_entry->block.header.height;
   crypto::KeyPair attacker = crypto::KeyPair::Generate(&rng_);
 
@@ -130,7 +174,8 @@ Result<std::vector<Block>> MiningNetwork::BuildPrivateBranch(
     std::vector<Transaction> body;
     if (i == 0) {
       for (const Transaction& tx : txs) {
-        if (included.count(tx.Id()) > 0) continue;
+        if (chain_->TxOnBranch(*parent_entry, tx.Id())) continue;
+        // O(1) persistent-state snapshot: roll back cleanly on failure.
         LedgerState scratch = state;
         if (!ApplyTransaction(&scratch, tx, env).ok()) continue;
         state = std::move(scratch);
@@ -148,13 +193,13 @@ Result<std::vector<Block>> MiningNetwork::BuildPrivateBranch(
     block.txs.push_back(coinbase);
     for (Transaction& tx : body) block.txs.push_back(std::move(tx));
 
-    // Receipts via the canonical execution path.
+    // Receipts via the canonical execution path: the first block re-runs
+    // from the parent state (its body was staged above), later blocks run
+    // on the branch state they extend.
     LedgerState verify = i == 0 ? parent_entry->state : state;
-    if (i == 0) verify = parent_entry->state;
     AC3_ASSIGN_OR_RETURN(block.receipts,
                          ApplyBlockBody(&verify, block, chain_->params()));
-    state = verify;
-    for (const Transaction& tx : block.txs) included.insert(tx.Id());
+    state = std::move(verify);
 
     block.header.tx_root = block.ComputeTxRoot();
     block.header.receipt_root = block.ComputeReceiptRoot();

@@ -17,6 +17,7 @@
 #ifndef AC3_CHAIN_MINING_H_
 #define AC3_CHAIN_MINING_H_
 
+#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -47,8 +48,18 @@ class MiningNetwork {
   bool running() const { return running_; }
 
   /// Head visible to `miner` at `now`: heaviest entry whose gossip has
-  /// reached the miner.
+  /// reached the miner. Incremental: each miner keeps a cursor into the
+  /// chain's arrival feed plus a small pending-visibility heap, so a query
+  /// costs O(new blocks x log pending) instead of a full-store scan.
+  /// Queries with a `now` earlier than a previous query for the same miner
+  /// fall back to the exact full scan (visibility is monotone, so the
+  /// incremental best would over-approximate the past).
   const BlockEntry* VisibleHead(int miner, TimePoint now) const;
+
+  /// Reference implementation: full scan over every stored entry. Exact
+  /// same answer as VisibleHead for any (miner, now); kept public as the
+  /// equivalence oracle for tests and for non-monotone replay queries.
+  const BlockEntry* VisibleHeadScan(int miner, TimePoint now) const;
 
   /// Mines `length` blocks privately on top of `parent_hash` (including
   /// `txs` in the first block) without submitting them. Timestamps start at
@@ -63,6 +74,26 @@ class MiningNetwork {
   uint64_t blocks_mined() const { return blocks_mined_; }
 
  private:
+  /// Per-miner incremental view over the chain's arrival feed.
+  struct MinerView {
+    /// A block whose gossip has not yet reached this miner.
+    struct Pending {
+      TimePoint visible_at;
+      const BlockEntry* entry;
+      bool operator>(const Pending& other) const {
+        return visible_at > other.visible_at;
+      }
+    };
+    /// Next unseen index into Blockchain::arrival_order().
+    size_t cursor = 0;
+    /// Latest query time (the monotonicity watermark).
+    TimePoint last_now = 0;
+    /// Heaviest visible entry so far (visibility only ever grows).
+    const BlockEntry* best = nullptr;
+    std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
+        pending;
+  };
+
   void ScheduleNext();
   void ProduceBlock();
   Duration GossipDelay(const crypto::Hash256& block_hash, int miner) const;
@@ -75,6 +106,8 @@ class MiningNetwork {
   std::vector<crypto::KeyPair> miner_keys_;
   /// Which miner produced each block (producers see their block at once).
   std::unordered_map<crypto::Hash256, int> producer_;
+  /// Lazily grown per-miner trackers (logically const caches).
+  mutable std::vector<MinerView> views_;
   sim::EventHandle pending_;
   bool running_ = false;
   uint64_t blocks_mined_ = 0;

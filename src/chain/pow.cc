@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/crypto/header_hasher.h"
+
 namespace ac3::chain {
 
 bool HashMeetsDifficulty(const crypto::Hash256& hash,
@@ -17,12 +19,21 @@ bool CheckProofOfWork(const BlockHeader& header) {
 }
 
 uint64_t MineHeader(BlockHeader* header, Rng* rng) {
-  header->nonce = rng->NextU64();
+  // Encode once; the nonce search only re-hashes from the cached SHA-256
+  // midstate of the fixed prefix, patching the trailing nonce in place.
+  uint8_t preimage[BlockHeader::kEncodedSize];
+  header->EncodeTo(preimage);
+  crypto::HeaderHasher hasher(preimage);
+  uint64_t nonce = rng->NextU64();
   uint64_t evaluations = 0;
   for (;;) {
     ++evaluations;
-    if (CheckProofOfWork(*header)) return evaluations;
-    ++header->nonce;
+    if (HashMeetsDifficulty(hasher.HashWithNonce(nonce),
+                            header->difficulty_bits)) {
+      header->nonce = nonce;
+      return evaluations;
+    }
+    ++nonce;
   }
 }
 

@@ -1,0 +1,269 @@
+// PersistentMap: an immutable-node, copy-on-write ordered map.
+//
+// This is the structure behind the engine's O(1) ledger snapshots: every
+// BlockEntry keeps the full post-state of its branch, and block assembly
+// takes a scratch copy per candidate transaction. With std::map those
+// copies cost O(state size) each — quadratic over a growing chain. Here a
+// copy is a shared root pointer; mutation path-copies O(log n) nodes of a
+// weight-balanced search tree, so divergent snapshots (forks, scratch
+// states) share all unmodified structure.
+//
+// Determinism: iteration is strictly in key order (same order as std::map
+// with std::less), independent of insertion history, so every fold over a
+// ledger state is reproducible bit-for-bit.
+//
+// The API is the std::map subset the ledger needs — Find/At/Put/Erase plus
+// const in-order iteration (range-for compatible). Iterators are
+// invalidated by any mutation of the *handle* they came from; snapshots
+// taken before the mutation remain valid and unchanged (that is the
+// point).
+
+#ifndef AC3_COMMON_PERSISTENT_MAP_H_
+#define AC3_COMMON_PERSISTENT_MAP_H_
+
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace ac3 {
+
+template <typename K, typename V>
+class PersistentMap {
+ private:
+  struct Node;  // Defined below; declared early for the iterator.
+
+ public:
+  PersistentMap() = default;
+
+  size_t size() const { return Size(root_); }
+  bool empty() const { return root_ == nullptr; }
+
+  /// Pointer to the value for `key`, or nullptr when absent. The pointer
+  /// is stable for the lifetime of any snapshot still holding the node.
+  const V* Find(const K& key) const {
+    const Node* walk = root_.get();
+    while (walk != nullptr) {
+      if (key < walk->key) {
+        walk = walk->left.get();
+      } else if (walk->key < key) {
+        walk = walk->right.get();
+      } else {
+        return &walk->value;
+      }
+    }
+    return nullptr;
+  }
+
+  bool Contains(const K& key) const { return Find(key) != nullptr; }
+
+  /// Accessor for keys known to exist; throws like std::map::at so a
+  /// missing key stays a defined failure in release builds too.
+  const V& at(const K& key) const {
+    const V* value = Find(key);
+    if (value == nullptr) throw std::out_of_range("PersistentMap::at");
+    return *value;
+  }
+
+  /// Inserts or replaces `key`. Mutates only this handle: other copies of
+  /// the map keep observing the previous version.
+  void Put(const K& key, V value) {
+    root_ = Insert(root_, key, std::move(value));
+  }
+
+  /// Removes `key`; returns whether it was present.
+  bool Erase(const K& key) {
+    if (!Contains(key)) return false;  // Avoid path-copying on a miss.
+    root_ = Remove(root_, key);
+    return true;
+  }
+
+  /// In-order traversal (key order), cheapest way to fold over the map.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    ForEachNode(root_.get(), fn);
+  }
+
+  bool operator==(const PersistentMap& other) const {
+    if (size() != other.size()) return false;
+    const_iterator a = begin();
+    const_iterator b = other.begin();
+    for (; a != end(); ++a, ++b) {
+      if ((*a).first != (*b).first || !((*a).second == (*b).second)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // ---- in-order const iteration (range-for support) ------------------------
+
+  class const_iterator {
+   public:
+    using value_type = std::pair<const K&, const V&>;
+
+    const_iterator() = default;
+
+    value_type operator*() const {
+      const Node* node = stack_.back();
+      return {node->key, node->value};
+    }
+
+    const_iterator& operator++() {
+      const Node* node = stack_.back();
+      stack_.pop_back();
+      PushLeftSpine(node->right.get());
+      return *this;
+    }
+
+    bool operator==(const const_iterator& other) const {
+      if (stack_.empty() || other.stack_.empty()) {
+        return stack_.empty() == other.stack_.empty();
+      }
+      return stack_.back() == other.stack_.back();
+    }
+    bool operator!=(const const_iterator& other) const {
+      return !(*this == other);
+    }
+
+   private:
+    friend class PersistentMap;
+    void PushLeftSpine(const Node* node) {
+      for (; node != nullptr; node = node->left.get()) {
+        stack_.push_back(node);
+      }
+    }
+    std::vector<const Node*> stack_;
+  };
+
+  const_iterator begin() const {
+    const_iterator it;
+    it.PushLeftSpine(root_.get());
+    return it;
+  }
+  const_iterator end() const { return const_iterator(); }
+
+ private:
+  using Ptr = std::shared_ptr<const Node>;
+
+  struct Node {
+    K key;
+    V value;
+    Ptr left;
+    Ptr right;
+    size_t size;
+  };
+
+  static size_t Size(const Ptr& node) { return node ? node->size : 0; }
+  /// Weight = size + 1, the standard trick that keeps the balance
+  /// inequalities valid for empty subtrees.
+  static size_t Weight(const Ptr& node) { return Size(node) + 1; }
+
+  static Ptr Make(Ptr left, const K& key, V value, Ptr right) {
+    const size_t size = 1 + Size(left) + Size(right);
+    return std::make_shared<const Node>(
+        Node{key, std::move(value), std::move(left), std::move(right), size});
+  }
+
+  static Ptr RotateLeft(const Ptr& left, const K& key, const V& value,
+                        const Ptr& right) {
+    return Make(Make(left, key, value, right->left), right->key, right->value,
+                right->right);
+  }
+  static Ptr RotateLeftDouble(const Ptr& left, const K& key, const V& value,
+                              const Ptr& right) {
+    const Ptr& pivot = right->left;
+    return Make(Make(left, key, value, pivot->left), pivot->key, pivot->value,
+                Make(pivot->right, right->key, right->value, right->right));
+  }
+  static Ptr RotateRight(const Ptr& left, const K& key, const V& value,
+                         const Ptr& right) {
+    return Make(left->left, left->key, left->value,
+                Make(left->right, key, value, right));
+  }
+  static Ptr RotateRightDouble(const Ptr& left, const K& key, const V& value,
+                               const Ptr& right) {
+    const Ptr& pivot = left->right;
+    return Make(Make(left->left, left->key, left->value, pivot->left),
+                pivot->key, pivot->value,
+                Make(pivot->right, key, value, right));
+  }
+
+  /// Rebuilds a node whose children differ by at most one insertion or
+  /// removal, restoring the weight-balance invariant
+  /// (Adams-style weight-balanced tree, delta = 3, gamma = 2).
+  static Ptr Balance(Ptr left, const K& key, V value, Ptr right) {
+    const size_t lw = Weight(left);
+    const size_t rw = Weight(right);
+    if (lw + rw <= 2) return Make(std::move(left), key, std::move(value),
+                                  std::move(right));
+    if (rw > 3 * lw) {
+      return Weight(right->left) < 2 * Weight(right->right)
+                 ? RotateLeft(left, key, value, right)
+                 : RotateLeftDouble(left, key, value, right);
+    }
+    if (lw > 3 * rw) {
+      return Weight(left->right) < 2 * Weight(left->left)
+                 ? RotateRight(left, key, value, right)
+                 : RotateRightDouble(left, key, value, right);
+    }
+    return Make(std::move(left), key, std::move(value), std::move(right));
+  }
+
+  static Ptr Insert(const Ptr& node, const K& key, V value) {
+    if (node == nullptr) return Make(nullptr, key, std::move(value), nullptr);
+    if (key < node->key) {
+      return Balance(Insert(node->left, key, std::move(value)), node->key,
+                     node->value, node->right);
+    }
+    if (node->key < key) {
+      return Balance(node->left, node->key, node->value,
+                     Insert(node->right, key, std::move(value)));
+    }
+    return Make(node->left, key, std::move(value), node->right);  // Replace.
+  }
+
+  /// Removes the minimum of `node` (must be non-null), exporting it.
+  static Ptr PopMin(const Ptr& node, const K** min_key, const V** min_value) {
+    if (node->left == nullptr) {
+      *min_key = &node->key;
+      *min_value = &node->value;
+      return node->right;
+    }
+    return Balance(PopMin(node->left, min_key, min_value), node->key,
+                   node->value, node->right);
+  }
+
+  /// `key` is known to exist under `node`.
+  static Ptr Remove(const Ptr& node, const K& key) {
+    if (key < node->key) {
+      return Balance(Remove(node->left, key), node->key, node->value,
+                     node->right);
+    }
+    if (node->key < key) {
+      return Balance(node->left, node->key, node->value,
+                     Remove(node->right, key));
+    }
+    if (node->left == nullptr) return node->right;
+    if (node->right == nullptr) return node->left;
+    const K* succ_key = nullptr;
+    const V* succ_value = nullptr;
+    Ptr right = PopMin(node->right, &succ_key, &succ_value);
+    return Balance(node->left, *succ_key, *succ_value, std::move(right));
+  }
+
+  template <typename Fn>
+  static void ForEachNode(const Node* node, Fn& fn) {
+    if (node == nullptr) return;
+    ForEachNode(node->left.get(), fn);
+    fn(node->key, node->value);
+    ForEachNode(node->right.get(), fn);
+  }
+
+  Ptr root_;
+};
+
+}  // namespace ac3
+
+#endif  // AC3_COMMON_PERSISTENT_MAP_H_

@@ -4,15 +4,16 @@
 
 namespace ac3::crypto {
 
-Hash256 Hash256::Of(const Bytes& input) {
+Hash256 Hash256::Of(std::span<const uint8_t> input) {
   return Hash256(Sha256::Digest(input));
 }
 
 Hash256 Hash256::OfString(const std::string& input) {
-  return Of(Bytes(input.begin(), input.end()));
+  return Of(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(input.data()), input.size()));
 }
 
-Hash256 Hash256::DoubleOf(const Bytes& input) {
+Hash256 Hash256::DoubleOf(std::span<const uint8_t> input) {
   auto first = Sha256::Digest(input);
   Sha256 h;
   h.Update(first.data(), first.size());

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <span>
 #include <string>
 
 #include "src/common/bytes.h"
@@ -27,12 +28,13 @@ class Hash256 {
   Hash256() { data_.fill(0); }
   explicit Hash256(const std::array<uint8_t, kSize>& data) : data_(data) {}
 
-  /// SHA-256 of `input`.
-  static Hash256 Of(const Bytes& input);
+  /// SHA-256 of `input` (Bytes, arrays, and stack buffers all bind here
+  /// without an owning temporary).
+  static Hash256 Of(std::span<const uint8_t> input);
   /// SHA-256 of the UTF-8 bytes of `input`.
   static Hash256 OfString(const std::string& input);
   /// Double SHA-256 (Bitcoin-style), used for proof-of-work header hashes.
-  static Hash256 DoubleOf(const Bytes& input);
+  static Hash256 DoubleOf(std::span<const uint8_t> input);
   /// SHA-256 of the concatenation of two hashes (Merkle interior nodes).
   static Hash256 OfPair(const Hash256& left, const Hash256& right);
   /// Parses a 64-char hex string.

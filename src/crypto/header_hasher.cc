@@ -1,0 +1,39 @@
+#include "src/crypto/header_hasher.h"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace ac3::crypto {
+
+HeaderHasher::HeaderHasher(std::span<const uint8_t> preimage) {
+  if (preimage.size() < 8) {
+    // Defined failure in release builds too: a shorter preimage has no
+    // trailing nonce field and the prefix arithmetic below would wrap.
+    throw std::invalid_argument("HeaderHasher preimage shorter than a nonce");
+  }
+  // Absorb whole 64-byte blocks that end strictly before the nonce field;
+  // everything after them (at most 63 + 8 bytes) stays in the tail, so the
+  // midstate never has to be recomputed.
+  const size_t prefix =
+      ((preimage.size() - 8) / Sha256::kBlockSize) * Sha256::kBlockSize;
+  tail_len_ = preimage.size() - prefix;
+  assert(tail_len_ <= kMaxTail);
+  midstate_.Update(preimage.data(), prefix);
+  std::memcpy(tail_, preimage.data() + prefix, tail_len_);
+}
+
+Hash256 HeaderHasher::HashWithNonce(uint64_t nonce) {
+  uint8_t* hole = tail_ + (tail_len_ - 8);
+  for (int i = 0; i < 8; ++i) {
+    hole[i] = static_cast<uint8_t>(nonce >> (8 * i));  // Little-endian.
+  }
+  Sha256 first = midstate_;  // Copying restores the cached prefix state.
+  first.Update(tail_, tail_len_);
+  const auto inner = first.Finish();
+  Sha256 second;
+  second.Update(inner.data(), inner.size());
+  return Hash256(second.Finish());
+}
+
+}  // namespace ac3::crypto

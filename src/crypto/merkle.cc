@@ -2,6 +2,24 @@
 
 namespace ac3::crypto {
 
+namespace {
+
+/// One place owns the pairing rule: with an odd node count the last node
+/// is paired with itself (Bitcoin convention). Used by both the full tree
+/// build and the root-only fold so they can never disagree.
+std::vector<Hash256> NextLevel(const std::vector<Hash256>& prev) {
+  std::vector<Hash256> next;
+  next.reserve((prev.size() + 1) / 2);
+  for (size_t i = 0; i < prev.size(); i += 2) {
+    const Hash256& left = prev[i];
+    const Hash256& right = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
+    next.push_back(Hash256::OfPair(left, right));
+  }
+  return next;
+}
+
+}  // namespace
+
 Bytes MerkleStep::Encode() const {
   ByteWriter w;
   w.PutRaw(sibling.bytes(), Hash256::kSize);
@@ -47,15 +65,7 @@ MerkleTree::MerkleTree(std::vector<Hash256> leaves) {
   }
   levels_.push_back(std::move(leaves));
   while (levels_.back().size() > 1) {
-    const std::vector<Hash256>& prev = levels_.back();
-    std::vector<Hash256> next;
-    next.reserve((prev.size() + 1) / 2);
-    for (size_t i = 0; i < prev.size(); i += 2) {
-      const Hash256& left = prev[i];
-      const Hash256& right = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
-      next.push_back(Hash256::OfPair(left, right));
-    }
-    levels_.push_back(std::move(next));
+    levels_.push_back(NextLevel(levels_.back()));
   }
   root_ = levels_.back()[0];
 }
@@ -85,7 +95,12 @@ Result<MerkleProof> MerkleTree::Prove(size_t index) const {
 }
 
 Hash256 MerkleTree::RootOf(const std::vector<Hash256>& leaves) {
-  return MerkleTree(leaves).root();
+  // Root-only fold: keep just the current level instead of storing every
+  // level of the tree.
+  if (leaves.empty()) return Hash256();
+  std::vector<Hash256> level = leaves;
+  while (level.size() > 1) level = NextLevel(level);
+  return level[0];
 }
 
 bool VerifyMerkleProof(const Hash256& leaf, const MerkleProof& proof,

@@ -113,8 +113,6 @@ void Sha256::Update(const uint8_t* data, size_t len) {
   }
 }
 
-void Sha256::Update(const Bytes& data) { Update(data.data(), data.size()); }
-
 std::array<uint8_t, Sha256::kDigestSize> Sha256::Finish() {
   // Append 0x80, pad with zeros to 56 mod 64, then the 64-bit big-endian
   // message bit length.
@@ -143,7 +141,8 @@ std::array<uint8_t, Sha256::kDigestSize> Sha256::Finish() {
   return digest;
 }
 
-std::array<uint8_t, Sha256::kDigestSize> Sha256::Digest(const Bytes& data) {
+std::array<uint8_t, Sha256::kDigestSize> Sha256::Digest(
+    std::span<const uint8_t> data) {
   Sha256 h;
   h.Update(data);
   return h.Finish();

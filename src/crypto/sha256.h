@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 #include "src/common/bytes.h"
 
@@ -16,6 +17,11 @@ namespace ac3::crypto {
 
 /// Incremental SHA-256 context. Typical use:
 ///   Sha256 h; h.Update(a); h.Update(b); auto digest = h.Finish();
+///
+/// Contexts are plain copyable values: copying one after absorbing a
+/// prefix captures the compression-function midstate, which is how the
+/// proof-of-work HeaderHasher avoids re-hashing the fixed header prefix on
+/// every nonce attempt.
 class Sha256 {
  public:
   static constexpr size_t kDigestSize = 32;
@@ -25,14 +31,17 @@ class Sha256 {
 
   /// Absorbs `len` bytes.
   void Update(const uint8_t* data, size_t len);
-  void Update(const Bytes& data);
+  void Update(std::span<const uint8_t> data) {
+    Update(data.data(), data.size());
+  }
 
   /// Pads, finalizes, and returns the 32-byte digest. The context must not
   /// be reused afterwards.
   std::array<uint8_t, kDigestSize> Finish();
 
-  /// One-shot convenience.
-  static std::array<uint8_t, kDigestSize> Digest(const Bytes& data);
+  /// One-shot convenience (accepts Bytes, arrays, and spans alike).
+  static std::array<uint8_t, kDigestSize> Digest(
+      std::span<const uint8_t> data);
 
  private:
   void ProcessBlock(const uint8_t* block);

@@ -57,23 +57,39 @@ BenchContext ParseBenchArgs(int argc, char** argv) {
 }
 
 Json BenchEnvelope(const BenchContext& context, const std::string& name,
-                   Json results) {
+                   Json results, Json wall_extra) {
   Json envelope = Json::Object();
-  envelope.Set("schema_version", 1);
+  envelope.Set("schema_version", 2);
   envelope.Set("bench", name);
   envelope.Set("smoke", context.smoke);
   envelope.Set("results", std::move(results));
+  // Wall-clock section: machine-dependent, so deliberately separate from
+  // the deterministic "results" the golden tests fingerprint.
+  Json wall = Json::Object();
+  wall.Set("wall_ms_total",
+           std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - context.start_time)
+               .count());
+  if (wall_extra.type() == Json::Type::kObject) {
+    for (const auto& [key, value] : wall_extra.members()) {
+      wall.Set(key, value);
+    }
+  }
+  envelope.Set("wall", std::move(wall));
   return envelope;
 }
 
 Result<std::string> WriteBenchJson(const BenchContext& context,
-                                   const std::string& name, Json results) {
+                                   const std::string& name, Json results,
+                                   Json wall_extra) {
   const std::string path = context.out_dir + "/BENCH_" + name + ".json";
   std::ofstream out(path);
   if (!out) {
     return Status::Unavailable("cannot open " + path + " for writing");
   }
-  out << BenchEnvelope(context, name, std::move(results)).Serialize();
+  out << BenchEnvelope(context, name, std::move(results),
+                       std::move(wall_extra))
+             .Serialize();
   out.close();
   if (!out) return Status::Unavailable("short write to " + path);
   std::fprintf(stderr, "wrote %s\n", path.c_str());

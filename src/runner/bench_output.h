@@ -11,6 +11,7 @@
 #ifndef AC3_RUNNER_BENCH_OUTPUT_H_
 #define AC3_RUNNER_BENCH_OUTPUT_H_
 
+#include <chrono>
 #include <string>
 
 #include "src/common/status.h"
@@ -26,6 +27,10 @@ struct BenchContext {
   /// should exit (status 0 for help, 1 otherwise) without running.
   bool exit_early = false;
   int exit_code = 0;
+  /// Process start, for the envelope's wall_ms_total. Default-initialized
+  /// at construction so hand-built contexts (tests) also carry a clock.
+  std::chrono::steady_clock::time_point start_time =
+      std::chrono::steady_clock::now();
 };
 
 /// Parses the shared bench CLI. Unknown flags print usage to stderr and
@@ -34,15 +39,20 @@ BenchContext ParseBenchArgs(int argc, char** argv);
 
 /// Wraps `results` in the standard envelope and writes
 /// `<out_dir>/BENCH_<name>.json`:
-///   {"schema_version": 1, "bench": name, "smoke": ..., "results": ...}
+///   {"schema_version": 2, "bench": name, "smoke": ...,
+///    "results": ..., "wall": {"wall_ms_total": ..., ...wall_extra...}}
+/// `results` is the deterministic section (bit-for-bit stable across runs
+/// and thread counts); wall-clock measurements are machine-dependent and
+/// belong in `wall_extra` (an object whose members are merged into "wall").
 /// Returns the path written.
 Result<std::string> WriteBenchJson(const BenchContext& context,
-                                   const std::string& name, Json results);
+                                   const std::string& name, Json results,
+                                   Json wall_extra = Json());
 
 /// The envelope alone (what WriteBenchJson serializes) — exposed so tests
 /// can assert on it without touching the filesystem.
 Json BenchEnvelope(const BenchContext& context, const std::string& name,
-                   Json results);
+                   Json results, Json wall_extra = Json());
 
 }  // namespace ac3::runner
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <memory>
 #include <thread>
@@ -157,6 +158,21 @@ RunOutcome ErrorOutcome(const SweepPoint& point, const Status& status) {
   outcome.point = point;
   outcome.ok = false;
   outcome.error = status.ToString();
+  return outcome;
+}
+
+}  // namespace
+
+namespace {
+
+/// Wraps RunSwapPoint with per-cell wall-clock accounting.
+RunOutcome TimedSwapPoint(const SweepGridConfig& config,
+                          const SweepPoint& point) {
+  const auto start = std::chrono::steady_clock::now();
+  RunOutcome outcome = RunSwapPoint(config, point);
+  outcome.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
   return outcome;
 }
 
@@ -358,10 +374,46 @@ SweepRunner::SweepRunner(int threads) : threads_(threads) {
 
 std::vector<RunOutcome> SweepRunner::RunGrid(
     const SweepGridConfig& config) const {
+  return RunGridTimed(config, nullptr);
+}
+
+std::vector<RunOutcome> SweepRunner::RunGridTimed(const SweepGridConfig& config,
+                                                  GridWallStats* stats) const {
   const std::vector<SweepPoint> points = GridPoints(config);
-  return ParallelMap<RunOutcome>(
-      static_cast<int>(points.size()), threads_,
-      [&](int i) { return RunSwapPoint(config, points[static_cast<size_t>(i)]); });
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<RunOutcome> outcomes = ParallelMap<RunOutcome>(
+      static_cast<int>(points.size()), threads_, [&](int i) {
+        return TimedSwapPoint(config, points[static_cast<size_t>(i)]);
+      });
+  if (stats != nullptr) {
+    stats->wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    stats->worlds_per_sec =
+        stats->wall_ms > 0
+            ? static_cast<double>(outcomes.size()) / (stats->wall_ms / 1000.0)
+            : 0;
+  }
+  return outcomes;
+}
+
+Json GridWallJson(const GridWallStats& stats,
+                  const std::vector<RunOutcome>& outcomes) {
+  Json wall = Json::Object();
+  wall.Set("wall_ms_grid", stats.wall_ms);
+  wall.Set("worlds_per_sec", stats.worlds_per_sec);
+  Json cells = Json::Array();
+  for (const RunOutcome& outcome : outcomes) {
+    Json cell = Json::Object();
+    cell.Set("protocol", ProtocolName(outcome.point.protocol));
+    cell.Set("diameter", outcome.point.diameter);
+    cell.Set("failure", FailureModeName(outcome.point.failure));
+    cell.Set("seed", outcome.point.seed);
+    cell.Set("wall_ms", outcome.wall_ms);
+    cells.Push(std::move(cell));
+  }
+  wall.Set("cells", std::move(cells));
+  return wall;
 }
 
 }  // namespace ac3::runner

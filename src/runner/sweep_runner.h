@@ -123,6 +123,11 @@ struct RunOutcome {
   int edges_refunded = 0;
   int edges_stranded = 0;
   int edges_unpublished = 0;
+
+  /// Wall-clock cost of this cell's world (machine-dependent; excluded
+  /// from OutcomeToJson so the determinism contract stays intact — see
+  /// GridWallJson for publishing it).
+  double wall_ms = 0;
 };
 
 /// Reduces an engine's SwapReport (already run) to a RunOutcome.
@@ -173,6 +178,22 @@ SweepAggregate Aggregate(const std::vector<RunOutcome>& outcomes,
 Json OutcomeToJson(const RunOutcome& outcome);
 Json AggregateToJson(const SweepAggregate& aggregate);
 
+/// Wall-clock stats of one RunGrid invocation.
+struct GridWallStats {
+  /// Elapsed wall time of the whole grid (across all workers).
+  double wall_ms = 0;
+  /// Grid cells completed per wall-clock second (the sweep substrate's
+  /// own throughput metric — worlds, not swaps).
+  double worlds_per_sec = 0;
+};
+
+/// The envelope "wall" payload for a grid run: wall_ms_grid,
+/// worlds_per_sec, and one {point, wall_ms} record per cell. Everything
+/// here is machine-dependent by design; deterministic values belong in
+/// OutcomeToJson / AggregateToJson.
+Json GridWallJson(const GridWallStats& stats,
+                  const std::vector<RunOutcome>& outcomes);
+
 /// Measures Δ empirically: the time for one participant to publish a
 /// transaction and have it publicly recognized (confirm_depth blocks deep)
 /// on asset chain 0 of a fresh world built from `options`. Grounds the
@@ -192,6 +213,11 @@ class SweepRunner {
   /// Runs every grid point; outcomes are in GridPoints() order regardless
   /// of the thread count.
   std::vector<RunOutcome> RunGrid(const SweepGridConfig& config) const;
+
+  /// RunGrid plus wall-clock accounting (per-cell wall_ms is always
+  /// filled in; `stats` receives the grid totals when non-null).
+  std::vector<RunOutcome> RunGridTimed(const SweepGridConfig& config,
+                                       GridWallStats* stats) const;
 
   /// Generic escape hatch for sweeps that are not single-swap grids (e.g.
   /// chain-saturation throughput runs): a deterministic parallel map over

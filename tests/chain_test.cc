@@ -167,6 +167,27 @@ TEST(LedgerTest, ForeignInputsRejected) {
   EXPECT_EQ(receipt.status().code(), StatusCode::kVerificationFailed);
 }
 
+TEST(LedgerTest, DuplicateInputOutpointRejected) {
+  TestChain tc(FastParams(), Fund({Alice().public_key()}, 500));
+  // Listing the same 500-value outpoint twice must not let Alice claim
+  // 1000 of outputs (value inflation).
+  Transaction tx;
+  tx.type = TxType::kTransfer;
+  tx.chain_id = 0;
+  const OutPoint funding{tc.chain().genesis_tx().Id(), 0};
+  tx.inputs = {funding, funding};
+  tx.outputs.push_back(TxOutput{999, Bob().public_key()});
+  tx.fee = 1;
+  tx.SignWith(Alice());
+
+  LedgerState state = tc.chain().StateAtHead();
+  BlockEnv env{0, 1, 100};
+  auto receipt = ApplyTransaction(&state, tx, env);
+  EXPECT_FALSE(receipt.ok());
+  EXPECT_EQ(receipt.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(state.TotalValue(), 500u);
+}
+
 TEST(LedgerTest, ValueImbalanceRejected) {
   TestChain tc(FastParams(), Fund({Alice().public_key()}, 500));
   Transaction tx;
@@ -367,8 +388,8 @@ TEST(MempoolTest, VisibilityByArrivalTime) {
   tx.nonce = 1;
   tx.SignWith(Alice());
   ASSERT_TRUE(pool.Submit(tx, 100).ok());
-  EXPECT_TRUE(pool.CandidatesAt(50, {}).empty());
-  EXPECT_EQ(pool.CandidatesAt(100, {}).size(), 1u);
+  EXPECT_TRUE(pool.CandidatesAt(50, std::set<crypto::Hash256>{}).empty());
+  EXPECT_EQ(pool.CandidatesAt(100, std::set<crypto::Hash256>{}).size(), 1u);
 }
 
 TEST(MempoolTest, RejectsDuplicates) {

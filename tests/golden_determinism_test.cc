@@ -1,0 +1,160 @@
+// Golden determinism: the engine's domain outputs are pinned to exact
+// pre-refactor values, so any perf work on the hot paths (visible-head
+// tracking, copy-on-write ledger state, midstate PoW, mempool indexing)
+// is provably behavior-preserving. Three fingerprints are pinned:
+//
+//  * a manually-mined chain (assembly + validation + ledger execution):
+//    the head block hash after 60 blocks x 4 funded transfers;
+//  * a Poisson mining simulation (visible-head selection under gossip
+//    delays and forks): the head hash and fork count at height 200;
+//  * a full protocol sweep (herlihy / ac3tw / ac3wn worlds run to their
+//    verdicts): a SHA-256 over the serialized outcome + aggregate JSON,
+//    identical on 1 thread and on 4.
+//
+// If an intentional semantic change ever invalidates these, the failure
+// message prints the new value to re-pin — but for a perf PR, a mismatch
+// here means the optimization changed behavior and must be fixed.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/chain/blockchain.h"
+#include "src/chain/wallet.h"
+#include "src/core/environment.h"
+#include "src/crypto/hash256.h"
+#include "src/runner/sweep_runner.h"
+
+namespace ac3 {
+namespace {
+
+// ---- golden values (pinned from the pre-refactor engine) -------------------
+
+constexpr char kChainBuildHeadHash[] =
+    "059d9117eef71ecf146919c7d2be43f61d5917f6bd344c4c4b1ac2c230ae9339";
+constexpr char kMiningSimHeadHash[] =
+    "0ef05f39fb0a3c791adbe6c87a6baefdf83047b889c90cad26c0f404683790f7";
+constexpr size_t kMiningSimBlocksStored = 213;
+constexpr char kSweepFingerprint[] =
+    "a0ada1ea779eb696570720b13c3e056e81e8afe09c1740ff1ad1da7a9e3f8343";
+
+// ---- scenario 1: manual chain build ---------------------------------------
+
+std::string BuildChainHeadHash() {
+  constexpr int kUsers = 4;
+  constexpr uint64_t kBlocks = 60;
+  chain::ChainParams params = chain::TestChainParams();
+  params.difficulty_bits = 4;
+  std::vector<crypto::KeyPair> keys;
+  std::vector<chain::TxOutput> allocations;
+  for (int i = 0; i < kUsers; ++i) {
+    keys.push_back(crypto::KeyPair::FromSeed(7000 + static_cast<uint64_t>(i)));
+    allocations.push_back(chain::TxOutput{100'000, keys.back().public_key()});
+  }
+  chain::Blockchain chain(params, allocations);
+  std::vector<chain::Wallet> wallets;
+  for (int i = 0; i < kUsers; ++i) wallets.emplace_back(keys[i], chain.id());
+  const crypto::KeyPair miner = crypto::KeyPair::FromSeed(6999);
+
+  Rng rng(2025);
+  TimePoint now = 0;
+  uint64_t nonce = 1;
+  for (uint64_t b = 0; b < kBlocks; ++b) {
+    now += 100;
+    std::vector<chain::Transaction> txs;
+    for (int j = 0; j < 4; ++j) {
+      const int from = static_cast<int>((b + static_cast<uint64_t>(j)) %
+                                        kUsers);
+      auto tx = wallets[static_cast<size_t>(from)].BuildTransfer(
+          chain.StateAtHead(),
+          keys[static_cast<size_t>((from + 1) % kUsers)].public_key(),
+          /*amount=*/10, /*fee=*/1, nonce++);
+      if (tx.ok()) txs.push_back(*tx);
+    }
+    auto block = chain.AssembleBlock(chain.head()->hash, txs,
+                                     miner.public_key(), now, &rng);
+    EXPECT_TRUE(block.ok()) << block.status().ToString();
+    if (!block.ok()) break;
+    Status submitted = chain.SubmitBlock(*block, now);
+    EXPECT_TRUE(submitted.ok()) << submitted.ToString();
+  }
+  EXPECT_EQ(chain.height(), kBlocks);
+  return chain.head()->hash.ToHex();
+}
+
+TEST(GoldenDeterminismTest, ChainBuildHeadHashMatchesPinned) {
+  EXPECT_EQ(BuildChainHeadHash(), kChainBuildHeadHash)
+      << "chain-build domain output drifted; if intentional, re-pin.";
+}
+
+// ---- scenario 2: Poisson mining with gossip-delayed views ------------------
+
+struct MiningSimResult {
+  std::string head_hash;
+  size_t blocks_stored = 0;
+};
+
+MiningSimResult RunMiningSim() {
+  chain::ChainParams params = chain::TestChainParams();
+  params.difficulty_bits = 4;
+  params.block_interval = Milliseconds(200);
+  core::Environment env(/*seed=*/7);
+  chain::MiningConfig mining;
+  mining.miner_count = 5;
+  mining.max_propagation_delay = Milliseconds(40);
+  const chain::ChainId id = env.AddChain(params, {}, mining);
+  env.StartMining();
+  const chain::Blockchain* chain = env.blockchain(id);
+  Status ran = env.sim()->RunUntilCondition(
+      [&]() { return chain->height() >= 200; }, Hours(2));
+  EXPECT_TRUE(ran.ok()) << ran.ToString();
+  env.StopMining();
+  return MiningSimResult{chain->head()->hash.ToHex(), chain->block_count()};
+}
+
+TEST(GoldenDeterminismTest, MiningSimHeadHashMatchesPinned) {
+  MiningSimResult result = RunMiningSim();
+  EXPECT_EQ(result.head_hash, kMiningSimHeadHash)
+      << "mining-sim head drifted (" << result.blocks_stored
+      << " blocks stored); if intentional, re-pin.";
+  EXPECT_EQ(result.blocks_stored, kMiningSimBlocksStored)
+      << "fork count drifted; visible-head selection changed.";
+}
+
+// ---- scenario 3: protocol sweep, thread-invariant --------------------------
+
+std::string SweepFingerprint(int threads) {
+  runner::SweepGridConfig config;
+  config.protocols = {runner::Protocol::kHerlihy, runner::Protocol::kAc3tw,
+                      runner::Protocol::kAc3wn};
+  config.diameters = {2};
+  config.failures = {runner::FailureMode::kNone};
+  config.seeds = {11};
+  config.deadline = Minutes(20);
+
+  std::vector<runner::RunOutcome> outcomes =
+      runner::SweepRunner(threads).RunGrid(config);
+  runner::Json doc = runner::Json::Object();
+  runner::Json arr = runner::Json::Array();
+  for (const runner::RunOutcome& outcome : outcomes) {
+    arr.Push(runner::OutcomeToJson(outcome));
+  }
+  doc.Set("outcomes", std::move(arr));
+  doc.Set("aggregate", runner::AggregateToJson(
+                           runner::Aggregate(outcomes, /*delta_ms=*/2000.0)));
+  return crypto::Hash256::OfString(doc.Serialize()).ToHex();
+}
+
+TEST(GoldenDeterminismTest, SweepOutputsMatchPinnedGolden) {
+  EXPECT_EQ(SweepFingerprint(/*threads=*/1), kSweepFingerprint)
+      << "swap reports / aggregates drifted; if intentional, re-pin.";
+}
+
+TEST(GoldenDeterminismTest, SweepOutputsThreadInvariant) {
+  EXPECT_EQ(SweepFingerprint(/*threads=*/4), kSweepFingerprint)
+      << "thread count changed domain outputs — determinism bug.";
+}
+
+}  // namespace
+}  // namespace ac3

@@ -124,10 +124,25 @@ TEST(BenchOutputTest, EnvelopeShape) {
   Json results = Json::Object();
   results.Set("answer", 42);
   Json envelope = BenchEnvelope(context, "unit", std::move(results));
-  EXPECT_EQ(envelope.at("schema_version").AsInt(), 1);
+  EXPECT_EQ(envelope.at("schema_version").AsInt(), 2);
   EXPECT_EQ(envelope.at("bench").AsString(), "unit");
   EXPECT_TRUE(envelope.at("smoke").AsBool());
   EXPECT_EQ(envelope.at("results").at("answer").AsInt(), 42);
+  // Every envelope carries the wall-clock section, outside "results" so
+  // the deterministic section stays machine-independent.
+  ASSERT_TRUE(envelope.Has("wall"));
+  EXPECT_GE(envelope.at("wall").at("wall_ms_total").AsDouble(), 0.0);
+}
+
+TEST(BenchOutputTest, EnvelopeMergesWallExtras) {
+  BenchContext context;
+  Json wall_extra = Json::Object();
+  wall_extra.Set("worlds_per_sec", 12.5);
+  Json envelope =
+      BenchEnvelope(context, "unit", Json::Object(), std::move(wall_extra));
+  const Json& wall = envelope.at("wall");
+  EXPECT_TRUE(wall.Has("wall_ms_total"));
+  EXPECT_DOUBLE_EQ(wall.at("worlds_per_sec").AsDouble(), 12.5);
 }
 
 TEST(BenchOutputTest, WriteBenchJsonRoundTripsThroughDisk) {
