@@ -155,6 +155,76 @@ MiningSimRun RunMiningSim(uint64_t target_height) {
   return run;
 }
 
+// ---- section 2b: saturated mempool drain ----------------------------------
+//
+// `users` one-shot transfers flood the mempool at t=0 and the Poisson
+// miners drain it. Candidate selection copies every pending-and-visible
+// entry per assembled block, so with no mempool hygiene the per-block cost
+// stays O(users) for the whole run; with prune-on-head-move batching
+// (Environment wires Mempool::Prune to canonical head movement) the pool
+// shrinks as transactions land and the drain accelerates.
+
+struct MempoolDrainRun {
+  size_t submitted = 0;
+  uint64_t included = 0;
+  uint64_t height = 0;
+  size_t pool_left = 0;  ///< Deterministic: pending entries at the end.
+  std::string head_hash;
+  double wall_ms = 0;
+  double txs_per_sec = 0;
+};
+
+MempoolDrainRun RunMempoolDrain(int users) {
+  chain::ChainParams params = chain::TestChainParams();
+  params.difficulty_bits = 4;
+  params.block_interval = Milliseconds(100);
+  params.max_block_txs = 32;
+
+  const Clock::time_point t0 = Clock::now();
+  core::Environment env(/*seed=*/21);
+  std::vector<crypto::KeyPair> keys;
+  std::vector<chain::TxOutput> allocations;
+  keys.reserve(static_cast<size_t>(users));
+  for (int i = 0; i < users; ++i) {
+    keys.push_back(crypto::KeyPair::FromSeed(70'000 + static_cast<uint64_t>(i)));
+    allocations.push_back(chain::TxOutput{100, keys.back().public_key()});
+  }
+  chain::MiningConfig mining;
+  mining.miner_count = 3;
+  mining.max_propagation_delay = Milliseconds(2);
+  const chain::ChainId id = env.AddChain(params, allocations, mining);
+  chain::Mempool* mempool = env.mempool(id);
+  const chain::LedgerState& genesis_state = env.blockchain(id)->genesis()->state;
+  for (int i = 0; i < users; ++i) {
+    chain::Wallet wallet(keys[static_cast<size_t>(i)], id);
+    auto tx = wallet.BuildTransfer(
+        genesis_state, keys[static_cast<size_t>((i + 1) % users)].public_key(),
+        /*amount=*/50, /*fee=*/1, /*nonce=*/1);
+    if (tx.ok()) (void)mempool->Submit(*tx, 0);
+  }
+
+  MempoolDrainRun run;
+  run.submitted = mempool->size();
+  env.StartMining();
+  const chain::Blockchain* chain = env.blockchain(id);
+  auto included_users = [&]() -> uint64_t {
+    return chain->head()->included_tx_count - chain->height() - 1;
+  };
+  (void)env.sim()->RunUntilCondition(
+      [&]() { return included_users() >= run.submitted; }, Hours(1));
+  env.StopMining();
+
+  run.wall_ms = ElapsedMs(t0);
+  run.included = included_users();
+  run.height = chain->height();
+  run.pool_left = mempool->size();
+  run.head_hash = chain->head()->hash.ToHex();
+  run.txs_per_sec = run.wall_ms > 0 ? static_cast<double>(run.included) /
+                                          (run.wall_ms / 1000.0)
+                                    : 0;
+  return run;
+}
+
 // ---- section 3: PoW nonce search ------------------------------------------
 
 struct PowRun {
@@ -197,6 +267,7 @@ int main(int argc, char** argv) {
   const uint64_t growth_segment = context.smoke ? 100 : 250;
   const int txs_per_block = 4;
   const uint64_t sim_height = context.smoke ? 150 : 1200;
+  const int drain_users = context.smoke ? 500 : 3000;
   const uint32_t pow_bits = context.smoke ? 12 : 16;
   const uint64_t pow_headers = context.smoke ? 4 : 16;
 
@@ -233,6 +304,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(sim.height), sim.blocks_stored,
               sim.wall_ms, sim.blocks_per_sec);
 
+  MempoolDrainRun drain = RunMempoolDrain(drain_users);
+  std::printf("mempool drain: %zu txs over %llu blocks (%zu left pending) in "
+              "%.1f ms — %.0f txs/s\n",
+              drain.submitted, static_cast<unsigned long long>(drain.height),
+              drain.pool_left, drain.wall_ms, drain.txs_per_sec);
+
   PowRun pow = RunPow(pow_bits, pow_headers);
   std::printf("pow: %llu headers at %u bits, %llu evals in %.1f ms — "
               "%.2fM evals/s\n",
@@ -257,6 +334,13 @@ int main(int argc, char** argv) {
   sim_json.Set("blocks_stored", sim.blocks_stored);
   sim_json.Set("head_hash", sim.head_hash);
   results.Set("mining_sim", std::move(sim_json));
+  runner::Json drain_json = runner::Json::Object();
+  drain_json.Set("submitted", drain.submitted);
+  drain_json.Set("included", drain.included);
+  drain_json.Set("height", drain.height);
+  drain_json.Set("pool_left", drain.pool_left);
+  drain_json.Set("head_hash", drain.head_hash);
+  results.Set("mempool_drain", std::move(drain_json));
   runner::Json pow_json = runner::Json::Object();
   pow_json.Set("difficulty_bits", pow_bits);
   pow_json.Set("headers", pow.headers);
@@ -270,6 +354,10 @@ int main(int argc, char** argv) {
   sim_wall.Set("wall_ms", sim.wall_ms);
   sim_wall.Set("blocks_per_sec", sim.blocks_per_sec);
   wall.Set("mining_sim", std::move(sim_wall));
+  runner::Json drain_wall = runner::Json::Object();
+  drain_wall.Set("wall_ms", drain.wall_ms);
+  drain_wall.Set("txs_per_sec", drain.txs_per_sec);
+  wall.Set("mempool_drain", std::move(drain_wall));
   runner::Json pow_wall = runner::Json::Object();
   pow_wall.Set("wall_ms", pow.wall_ms);
   pow_wall.Set("evals_per_sec", pow.evals_per_sec);

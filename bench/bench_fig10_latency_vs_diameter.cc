@@ -29,16 +29,20 @@ int main(int argc, char** argv) {
   const int max_diameter = context.smoke ? 4 : 12;
   const int seeds_per_point = context.smoke ? 1 : 5;
 
+  // A ring of n participants has Diam(D) = n, so the diameter axis is the
+  // size axis of the ring family.
   runner::SweepGridConfig grid;
   grid.protocols = {runner::Protocol::kHerlihy, runner::Protocol::kAc3wn};
-  grid.diameters.clear();
+  grid.topologies = {runner::Topology::kRing};
+  grid.sizes.clear();
   for (int diam = 2; diam <= max_diameter; ++diam) {
-    grid.diameters.push_back(diam);
+    grid.sizes.push_back(diam);
   }
   grid.seeds.clear();
   for (int s = 0; s < seeds_per_point; ++s) {
     grid.seeds.push_back(1000 + static_cast<uint64_t>(s));
   }
+  runner::ApplyAxisOverrides(context, &grid);
 
   benchutil::PrintHeader(
       "Figure 10 — AC2T latency vs. graph diameter Diam(D)\n"
@@ -62,7 +66,7 @@ int main(int argc, char** argv) {
     std::vector<runner::RunOutcome> mine;
     for (const runner::RunOutcome& outcome : outcomes) {
       if (outcome.point.protocol == protocol &&
-          outcome.point.diameter == diameter) {
+          outcome.point.size == diameter) {
         mine.push_back(outcome);
       }
     }
@@ -75,7 +79,7 @@ int main(int argc, char** argv) {
   benchutil::PrintRule(100);
 
   runner::Json rows = runner::Json::Array();
-  for (int diam : grid.diameters) {
+  for (int diam : grid.sizes) {
     const uint32_t herlihy_analytic =
         analysis::HerlihyLatencyDeltas(static_cast<uint32_t>(diam));
     const uint32_t ac3wn_analytic = analysis::Ac3wnLatencyDeltas();

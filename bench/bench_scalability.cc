@@ -100,7 +100,8 @@ BatchResult RunBatch(int witness_networks, int swaps, uint64_t seed) {
     auto report = engine->Run(kDeadline);  // Finalizes; already done.
     runner::SweepPoint point;
     point.protocol = runner::Protocol::kAc3wn;
-    point.diameter = 2;
+    point.topology = runner::Topology::kRing;
+    point.size = 2;
     point.seed = seed;
     if (!report.ok()) {
       runner::RunOutcome outcome;

@@ -207,7 +207,9 @@ int main(int argc, char** argv) {
   // ---- per-protocol swap sweep: measured latency in Δs and swap rate ----
   runner::SweepGridConfig grid;
   grid.protocols = {runner::Protocol::kHerlihy, runner::Protocol::kAc3wn};
-  grid.diameters = {2};
+  grid.topologies = {runner::Topology::kRing};
+  grid.sizes = {2};
+  runner::ApplyAxisOverrides(context, &grid);
   grid.seeds.clear();
   const int sweep_seeds = context.smoke ? 1 : 3;
   for (int s = 0; s < sweep_seeds; ++s) {

@@ -24,7 +24,6 @@ inline protocols::Ac3wnConfig FastAc3wnConfig() {
   config.delta = Seconds(2);
   config.confirm_depth = 1;
   config.witness_depth_d = 2;
-  config.poll_interval = Milliseconds(20);
   config.resubmit_interval = Milliseconds(800);
   config.publish_patience = Seconds(20);
   return config;
@@ -34,7 +33,6 @@ inline protocols::Ac3twConfig FastAc3twConfig() {
   protocols::Ac3twConfig config;
   config.delta = Seconds(2);
   config.confirm_depth = 1;
-  config.poll_interval = Milliseconds(20);
   config.resubmit_interval = Milliseconds(800);
   config.publish_patience = Seconds(20);
   return config;
@@ -44,7 +42,6 @@ inline protocols::HtlcConfig FastHtlcConfig() {
   protocols::HtlcConfig config;
   config.delta = Seconds(2);
   config.confirm_depth = 1;
-  config.poll_interval = Milliseconds(20);
   config.resubmit_interval = Milliseconds(800);
   return config;
 }

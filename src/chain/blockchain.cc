@@ -221,9 +221,26 @@ Status Blockchain::SubmitBlock(const Block& block, TimePoint arrival_time) {
                      << hash.ShortHex() << " at height "
                      << block.header.height;
     }
+    const BlockEntry* old_head = head_;
     head_ = &it->second;
+    // Iterate by index: a listener may subscribe another listener (growing
+    // the vector) but unsubscription mid-notification is not supported.
+    for (size_t i = 0; i < head_listeners_.size(); ++i) {
+      head_listeners_[i].second(*old_head);
+    }
   }
   return Status::OK();
+}
+
+Blockchain::SubscriptionId Blockchain::SubscribeHead(HeadListener listener) {
+  const SubscriptionId id = next_subscription_id_++;
+  head_listeners_.emplace_back(id, std::move(listener));
+  return id;
+}
+
+void Blockchain::UnsubscribeHead(SubscriptionId id) {
+  std::erase_if(head_listeners_,
+                [id](const auto& entry) { return entry.first == id; });
 }
 
 bool Blockchain::IsCanonical(const crypto::Hash256& hash) const {

@@ -11,8 +11,10 @@
 #ifndef AC3_CHAIN_BLOCKCHAIN_H_
 #define AC3_CHAIN_BLOCKCHAIN_H_
 
+#include <functional>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/chain/block.h"
@@ -96,6 +98,21 @@ class Blockchain {
     return arrival_order_;
   }
 
+  // ------------------------------------------------- head subscriptions
+
+  /// Fires after the canonical head moves (extension or reorg), with the
+  /// store fully indexed — subscribers may query any canonical API. This is
+  /// the substrate reactive protocol engines wake on instead of polling:
+  /// confirmations only ever change when the head moves, so one callback
+  /// per head movement replaces O(duration / poll_interval) timer events.
+  /// `old_head` is the previous canonical tip. Callbacks run synchronously
+  /// inside SubmitBlock; they must not submit blocks reentrantly.
+  using HeadListener = std::function<void(const BlockEntry& old_head)>;
+  using SubscriptionId = uint64_t;
+  SubscriptionId SubscribeHead(HeadListener listener);
+  /// Unknown ids are ignored (idempotent).
+  void UnsubscribeHead(SubscriptionId id);
+
   /// The ancestor of `entry` at `height` (O(log height) via skip
   /// pointers); nullptr when `height` exceeds the entry's height.
   const BlockEntry* GetAncestor(const BlockEntry* entry,
@@ -178,6 +195,8 @@ class Blockchain {
 
   ChainParams params_;
   std::unordered_map<crypto::Hash256, BlockEntry> entries_;
+  std::vector<std::pair<SubscriptionId, HeadListener>> head_listeners_;
+  SubscriptionId next_subscription_id_ = 1;
   const BlockEntry* genesis_ = nullptr;
   const BlockEntry* head_ = nullptr;
   uint64_t next_arrival_seq_ = 0;

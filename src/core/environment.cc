@@ -1,8 +1,53 @@
 #include "src/core/environment.h"
 
 #include <cassert>
+#include <set>
 
 namespace ac3::core {
+
+namespace {
+
+/// Batched canonical cleanup on a head move: prunes from `pool` every
+/// transaction included on the new canonical segment (head() down to its
+/// lowest common ancestor with `old_head`), and — on a reorg — re-queues
+/// the orphaned branch's user transactions that did not make it onto the
+/// winning branch, so they are re-mined instead of silently lost (the
+/// "disconnect pool" behavior of real nodes). Coinbase ids are harmlessly
+/// absent from the pool and never re-queued.
+void PruneIncludedOnHeadMove(const chain::Blockchain* chain,
+                             chain::Mempool* pool,
+                             const chain::BlockEntry& old_head) {
+  const chain::BlockEntry* fork = chain->head();
+  const chain::BlockEntry* other = &old_head;
+  if (fork->height() > other->height()) {
+    fork = chain->GetAncestor(fork, other->height());
+  } else if (other->height() > fork->height()) {
+    other = chain->GetAncestor(other, fork->height());
+  }
+  while (fork != other) {
+    fork = fork->parent;
+    other = other->parent;
+  }
+  std::set<crypto::Hash256> included;
+  for (const chain::BlockEntry* walk = chain->head(); walk != fork;
+       walk = walk->parent) {
+    for (const auto& [tx_id, index] : walk->tx_index) included.insert(tx_id);
+  }
+  if (!included.empty()) pool->Prune(included);
+  // Disconnected (reorged-out) blocks: anything not re-included on the
+  // winning branch goes back into the pool at its original arrival time.
+  for (const chain::BlockEntry* walk = &old_head; walk != fork;
+       walk = walk->parent) {
+    for (const chain::Transaction& tx : walk->block.txs) {
+      if (tx.type == chain::TxType::kCoinbase) continue;
+      if (chain->TxOnBranch(*chain->head(), tx.Id())) continue;
+      // Duplicate submissions are rejected by id; ignore them.
+      (void)pool->Submit(tx, walk->arrival_time);
+    }
+  }
+}
+
+}  // namespace
 
 Environment::Environment(uint64_t seed, sim::LatencyModel latency)
     : sim_(seed), network_(&sim_, latency), failures_(&sim_, &network_) {}
@@ -19,6 +64,15 @@ chain::ChainId Environment::AddChain(chain::ChainParams params,
   runtime.miners = std::make_unique<chain::MiningNetwork>(
       &sim_, runtime.blockchain.get(), runtime.mempool.get(), mining);
   runtime.gateway = network_.AddNode(params.name + "-gateway");
+  // Batched mempool hygiene: included transactions leave the pool once per
+  // canonical head movement, not via per-call-site cleanup. The raw
+  // pointers outlive the subscription (the runtime owns both objects).
+  chain::Blockchain* blockchain = runtime.blockchain.get();
+  chain::Mempool* pool = runtime.mempool.get();
+  blockchain->SubscribeHead([blockchain, pool](
+                                const chain::BlockEntry& old_head) {
+    PruneIncludedOnHeadMove(blockchain, pool, old_head);
+  });
   chains_.push_back(std::move(runtime));
   return id;
 }

@@ -5,6 +5,14 @@
 // network (participants talk to chains through it, so submissions suffer
 // latency and crash/partition loss), and any number of blockchains, each
 // with its own mempool and Poisson mining network.
+//
+// Mempool hygiene is event-driven: every chain's mempool is subscribed to
+// its blockchain's canonical-head movements, so transactions included on
+// the canonical branch are pruned in one batch per head move (extension or
+// reorg) instead of by ad-hoc calls. Transactions reorged *off* the
+// canonical branch are not re-queued — protocol engines re-gossip their
+// own unconfirmed transactions, which is the at-least-once submission
+// model the simulator already assumes.
 
 #ifndef AC3_CORE_ENVIRONMENT_H_
 #define AC3_CORE_ENVIRONMENT_H_

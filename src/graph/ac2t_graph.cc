@@ -229,6 +229,67 @@ Ac2tGraph MakeRing(const std::vector<crypto::PublicKey>& participants,
   return Ac2tGraph(participants, edges, timestamp);
 }
 
+Ac2tGraph MakePath(const std::vector<crypto::PublicKey>& participants,
+                   const std::vector<chain::ChainId>& chains,
+                   chain::Amount amount, TimePoint timestamp) {
+  std::vector<Ac2tEdge> edges;
+  const uint32_t n = static_cast<uint32_t>(participants.size());
+  for (uint32_t i = 0; i + 1 < n; ++i) {
+    edges.push_back(Ac2tEdge{i, i + 1, ChainFor(chains, i), amount});
+  }
+  return Ac2tGraph(participants, edges, timestamp);
+}
+
+Ac2tGraph MakeStar(const std::vector<crypto::PublicKey>& participants,
+                   const std::vector<chain::ChainId>& chains,
+                   chain::Amount amount, TimePoint timestamp) {
+  std::vector<Ac2tEdge> edges;
+  const uint32_t n = static_cast<uint32_t>(participants.size());
+  for (uint32_t i = 1; i < n; ++i) {
+    edges.push_back(Ac2tEdge{0, i, ChainFor(chains, 2 * (i - 1)), amount});
+    edges.push_back(Ac2tEdge{i, 0, ChainFor(chains, 2 * (i - 1) + 1), amount});
+  }
+  return Ac2tGraph(participants, edges, timestamp);
+}
+
+Ac2tGraph MakeCompleteDigraph(
+    const std::vector<crypto::PublicKey>& participants,
+    const std::vector<chain::ChainId>& chains, chain::Amount amount,
+    TimePoint timestamp) {
+  std::vector<Ac2tEdge> edges;
+  const uint32_t n = static_cast<uint32_t>(participants.size());
+  size_t chain_cursor = 0;
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v = 0; v < n; ++v) {
+      if (u == v) continue;
+      edges.push_back(Ac2tEdge{u, v, ChainFor(chains, chain_cursor++), amount});
+    }
+  }
+  return Ac2tGraph(participants, edges, timestamp);
+}
+
+Ac2tGraph MakeRandomFeasibleGraph(
+    const std::vector<crypto::PublicKey>& participants,
+    const std::vector<chain::ChainId>& chains, chain::Amount amount,
+    double chord_prob, Rng* rng, TimePoint timestamp) {
+  Ac2tGraph ring = MakeRing(participants, chains, amount, timestamp);
+  std::vector<Ac2tEdge> edges = ring.edges();
+  const uint32_t n = static_cast<uint32_t>(participants.size());
+  size_t chain_cursor = edges.size();
+  // Forward chords only (u < v, neither incident edge closing a cycle that
+  // avoids vertex 0): the subgraph without vertex 0 stays a DAG, so the
+  // graph remains single-leader feasible with leader 0 for every draw.
+  for (uint32_t u = 1; u < n; ++u) {
+    for (uint32_t v = u + 2; v < n; ++v) {
+      if (rng->NextBool(chord_prob)) {
+        edges.push_back(
+            Ac2tEdge{u, v, ChainFor(chains, chain_cursor++), amount});
+      }
+    }
+  }
+  return Ac2tGraph(participants, edges, timestamp);
+}
+
 Ac2tGraph MakeFigure7aCyclic(
     const std::vector<crypto::PublicKey>& participants,
     const std::vector<chain::ChainId>& chains, chain::Amount amount,

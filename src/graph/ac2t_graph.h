@@ -109,6 +109,41 @@ Ac2tGraph MakeRing(const std::vector<crypto::PublicKey>& participants,
                    const std::vector<chain::ChainId>& chains,
                    chain::Amount amount, TimePoint timestamp);
 
+/// A directed path 0 -> 1 -> ... -> n-1 (n-1 edges, diameter n-1): a
+/// payment chain rather than a cycle — every vertex is a valid single
+/// leader, so the HTLC baselines always accept it.
+Ac2tGraph MakePath(const std::vector<crypto::PublicKey>& participants,
+                   const std::vector<chain::ChainId>& chains,
+                   chain::Amount amount, TimePoint timestamp);
+
+/// A star centered on vertex 0: edges 0 -> i and i -> 0 for every leaf i
+/// (2(n-1) edges, diameter 2). A hub swapping with n-1 spokes in one
+/// AC2T; removing the hub leaves no edges, so the hub is a valid single
+/// leader at any size.
+Ac2tGraph MakeStar(const std::vector<crypto::PublicKey>& participants,
+                   const std::vector<chain::ChainId>& chains,
+                   chain::Amount amount, TimePoint timestamp);
+
+/// The complete digraph: every ordered pair (u, v) is a sub-transaction
+/// (n(n-1) edges, diameter 1). For n >= 3 removing ANY single vertex
+/// still leaves a 2-cycle, so no single-leader protocol can run it —
+/// together with the Figure 7 shapes this is the "Herlihy must reject,
+/// AC3WN commits" family (Section 5.3).
+Ac2tGraph MakeCompleteDigraph(
+    const std::vector<crypto::PublicKey>& participants,
+    const std::vector<chain::ChainId>& chains, chain::Amount amount,
+    TimePoint timestamp);
+
+/// A random *single-leader-feasible* digraph: the directed ring plus
+/// random forward chords u -> v (0 < u < v), each kept with probability
+/// `chord_prob`. Removing vertex 0 leaves only forward edges — a DAG — so
+/// vertex 0 is a valid leader by construction, whatever the draw.
+/// Deterministic for a given `rng` state.
+Ac2tGraph MakeRandomFeasibleGraph(
+    const std::vector<crypto::PublicKey>& participants,
+    const std::vector<chain::ChainId>& chains, chain::Amount amount,
+    double chord_prob, Rng* rng, TimePoint timestamp);
+
 /// Figure 7(a): a bidirectional ring — cyclic no matter which single vertex
 /// is removed, so no single-leader protocol can run it.
 Ac2tGraph MakeFigure7aCyclic(const std::vector<crypto::PublicKey>& participants,

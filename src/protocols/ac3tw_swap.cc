@@ -13,52 +13,33 @@ Ac3twSwapEngine::Ac3twSwapEngine(core::Environment* env,
                                  graph::Ac2tGraph graph,
                                  std::vector<Participant*> participants,
                                  TrustedWitness* trent, Ac3twConfig config)
-    : env_(env),
-      graph_(std::move(graph)),
-      participants_(std::move(participants)),
+    : SwapEngineBase(
+          env, std::move(graph), std::move(participants),
+          WatchConfig{config.confirm_depth, config.resubmit_interval},
+          "AC3TW"),
       trent_(trent),
-      config_(config) {
-  report_.protocol = "AC3TW";
-}
+      config_(config) {}
 
-Status Ac3twSwapEngine::Start() {
-  AC3_RETURN_IF_ERROR(graph_.Validate());
-  if (participants_.size() != graph_.participant_count()) {
-    return Status::InvalidArgument("participant list does not match graph");
-  }
-
+Status Ac3twSwapEngine::OnStart() {
   // Step 1: all participants multisign (D, t). Even a participant that will
   // later decline to publish signs here — agreeing on D is how the swap is
   // proposed; declining to fund it is the abort trigger.
   std::vector<crypto::KeyPair> keys;
-  keys.reserve(participants_.size());
-  for (Participant* p : participants_) keys.push_back(p->key());
-  AC3_ASSIGN_OR_RETURN(ms_, graph::SignGraph(graph_, keys));
+  keys.reserve(participants().size());
+  for (Participant* p : participants()) keys.push_back(p->key());
+  AC3_ASSIGN_OR_RETURN(ms_, graph::SignGraph(graph(), keys));
   ms_id_ = ms_.Id();
 
-  start_time_ = env_->sim()->Now();
-  report_.start_time = start_time_;
-
-  for (const graph::Ac2tEdge& e : graph_.edges()) {
+  for (const graph::Ac2tEdge& e : graph().edges()) {
     EdgeRt rt;
     rt.edge = e;
     edges_.push_back(std::move(rt));
   }
-
-  started_ = true;
-  env_->sim()->After(config_.poll_interval, [this]() { Poll(); });
   return Status::OK();
 }
 
-Participant* Ac3twSwapEngine::FirstLiveParticipant() const {
-  for (Participant* p : participants_) {
-    if (p->IsUp()) return p;
-  }
-  return nullptr;
-}
-
 void Ac3twSwapEngine::TryRegister() {
-  const TimePoint now = env_->sim()->Now();
+  const TimePoint now = env()->sim()->Now();
   if (last_register_attempt_ >= 0 &&
       now - last_register_attempt_ < config_.resubmit_interval) {
     return;
@@ -66,35 +47,42 @@ void Ac3twSwapEngine::TryRegister() {
   Participant* registrar = FirstLiveParticipant();
   if (registrar == nullptr) return;
   last_register_attempt_ = now;
+  RequestResubmitWake();
 
   // Step 2: the registration message travels to Trent; his acknowledgement
   // travels back. Either leg can be lost to a crash.
-  env_->network()->Send(registrar->node(), trent_->node(), [this, registrar]() {
+  env()->network()->Send(registrar->node(), trent_->node(), [this,
+                                                             registrar]() {
     Status status = trent_->HandleRegister(ms_);
     const bool accepted =
         status.ok() || status.code() == StatusCode::kAlreadyExists;
-    env_->network()->Send(trent_->node(), registrar->node(),
-                          [this, accepted]() {
-                            if (accepted && !registered_) {
-                              registered_ = true;
-                              registered_at_ = env_->sim()->Now();
-                              report_.MarkPhase("registered_at_trent",
-                                                registered_at_);
-                            }
-                          });
+    env()->network()->Send(trent_->node(), registrar->node(),
+                           [this, accepted]() {
+                             if (accepted && !registered_) {
+                               registered_ = true;
+                               registered_at_ = env()->sim()->Now();
+                               mutable_report()->MarkPhase(
+                                   "registered_at_trent", registered_at_);
+                               // The patience clock starts now; guarantee a
+                               // wake when it runs out.
+                               RequestWakeAt(registered_at_ +
+                                             config_.publish_patience);
+                               ScheduleStep();
+                             }
+                           });
   });
 }
 
 void Ac3twSwapEngine::TryPublish(EdgeRt* rt) {
-  Participant* sender = participants_[rt->edge.from];
+  Participant* sender = participant(rt->edge.from);
   if (sender->behavior().decline_publish) return;
   if (!sender->IsUp()) return;
-  const TimePoint now = env_->sim()->Now();
+  const TimePoint now = env()->sim()->Now();
 
   if (!rt->deploy_built) {
-    const chain::Blockchain* chain = env_->blockchain(rt->edge.chain_id);
+    const chain::Blockchain* chain = env()->blockchain(rt->edge.chain_id);
     Bytes payload = contracts::CentralizedContract::MakeInitPayload(
-        participants_[rt->edge.to]->pk(), ms_id_, trent_->pk());
+        participant(rt->edge.to)->pk(), ms_id_, trent_->pk());
     auto tx = sender->WalletFor(rt->edge.chain_id)
                   ->BuildDeploy(chain->StateAtHead(), contracts::kCentralizedKind,
                                 payload, rt->edge.amount,
@@ -111,27 +99,11 @@ void Ac3twSwapEngine::TryPublish(EdgeRt* rt) {
     rt->publish_submitted_at = now;
     rt->outcome = EdgeOutcome::kPublished;
   }
-  if (rt->last_submit < 0 ||
-      now - rt->last_submit >= config_.resubmit_interval) {
-    env_->SubmitTransaction(sender->node(), rt->edge.chain_id, rt->deploy_tx);
-    rt->last_submit = now;
-  }
-}
-
-void Ac3twSwapEngine::TrackPublishConfirmation(EdgeRt* rt) {
-  const chain::Blockchain* chain = env_->blockchain(rt->edge.chain_id);
-  auto location = chain->FindTx(rt->contract_id);
-  if (!location.has_value()) return;
-  auto confirmations = chain->ConfirmationsOf(location->entry->hash);
-  if (!confirmations.has_value() || *confirmations < config_.confirm_depth) {
-    return;
-  }
-  rt->publish_confirmed = true;
-  rt->published_at = env_->sim()->Now();
+  GossipDeploy(rt, sender);
 }
 
 void Ac3twSwapEngine::RequestDecision(crypto::CommitmentTag tag) {
-  const TimePoint now = env_->sim()->Now();
+  const TimePoint now = env()->sim()->Now();
   if (last_request_attempt_ >= 0 &&
       now - last_request_attempt_ < config_.resubmit_interval) {
     return;
@@ -139,11 +111,12 @@ void Ac3twSwapEngine::RequestDecision(crypto::CommitmentTag tag) {
   Participant* requester = FirstLiveParticipant();
   if (requester == nullptr) return;
   last_request_attempt_ = now;
+  RequestResubmitWake();
 
   // Step 5 / 6: the request travels to Trent, who consults (and possibly
   // updates) his key/value store, and the value travels back.
-  env_->network()->Send(requester->node(), trent_->node(), [this, tag,
-                                                            requester]() {
+  env()->network()->Send(requester->node(), trent_->node(), [this, tag,
+                                                             requester]() {
     Result<TrentDecision> result =
         tag == crypto::CommitmentTag::kRedeem
             ? trent_->HandleRedeemRequest(ms_id_)
@@ -153,27 +126,36 @@ void Ac3twSwapEngine::RequestDecision(crypto::CommitmentTag tag) {
       return;
     }
     TrentDecision decision = *result;
-    env_->network()->Send(trent_->node(), requester->node(),
-                          [this, decision]() {
-                            if (decision_.has_value()) return;
-                            decision_ = decision;
-                            report_.decision_time = env_->sim()->Now();
-                            report_.MarkPhase(
-                                decision.tag == crypto::CommitmentTag::kRedeem
-                                    ? "trent_signed_redeem"
-                                    : "trent_signed_refund",
-                                env_->sim()->Now());
-                          });
+    env()->network()->Send(trent_->node(), requester->node(),
+                           [this, decision]() {
+                             if (decision_.has_value()) return;
+                             decision_ = decision;
+                             mutable_report()->decision_time =
+                                 env()->sim()->Now();
+                             mutable_report()->MarkPhase(
+                                 decision.tag == crypto::CommitmentTag::kRedeem
+                                     ? "trent_signed_redeem"
+                                     : "trent_signed_refund",
+                                 env()->sim()->Now());
+                             ScheduleStep();
+                           });
   });
 }
 
 void Ac3twSwapEngine::TrySettle(EdgeRt* rt) {
-  if (!decision_.has_value() || rt->settle_submitted) return;
-  const chain::Blockchain* chain = env_->blockchain(rt->edge.chain_id);
+  if (!decision_.has_value()) return;
+  const TimePoint now = env()->sim()->Now();
+  // A settle call may have been lost (crash mid-flight); re-gossip the
+  // cached transaction after the resubmit interval.
+  if (rt->settle_submitted && rt->last_settle_submit >= 0 &&
+      now - rt->last_settle_submit < config_.resubmit_interval) {
+    return;
+  }
+  const chain::Blockchain* chain = env()->blockchain(rt->edge.chain_id);
   const Bytes secret = decision_->signature.Encode();
   const bool redeem = decision_->tag == crypto::CommitmentTag::kRedeem;
   Participant* actor =
-      redeem ? participants_[rt->edge.to] : participants_[rt->edge.from];
+      redeem ? participant(rt->edge.to) : participant(rt->edge.from);
   if (!actor->IsUp()) return;
 
   // Build the call once and re-gossip the SAME transaction on retries;
@@ -184,8 +166,7 @@ void Ac3twSwapEngine::TrySettle(EdgeRt* rt) {
                               redeem ? contracts::kRedeemFunction
                                      : contracts::kRefundFunction,
                               secret, chain->params().call_fee,
-                              static_cast<uint64_t>(env_->sim()->Now()) ^
-                                  rt->edge.from);
+                              static_cast<uint64_t>(now) ^ rt->edge.from);
     if (!tx.ok()) {
       AC3_LOG(kDebug) << "cannot build settle call: " << tx.status().ToString();
       return;
@@ -193,138 +174,71 @@ void Ac3twSwapEngine::TrySettle(EdgeRt* rt) {
     rt->settle_tx = *tx;
     rt->settle_built = true;
   }
-  env_->SubmitTransaction(actor->node(), rt->edge.chain_id, rt->settle_tx);
+  env()->SubmitTransaction(actor->node(), rt->edge.chain_id, rt->settle_tx);
   rt->settle_submitted = true;
-  rt->last_settle_submit = env_->sim()->Now();
+  rt->last_settle_submit = now;
+  RequestResubmitWake();
 }
 
-void Ac3twSwapEngine::TrackSettlement(EdgeRt* rt) {
-  const chain::Blockchain* chain = env_->blockchain(rt->edge.chain_id);
-  for (const char* function :
-       {contracts::kRedeemFunction, contracts::kRefundFunction}) {
-    auto call = chain->FindCall(rt->contract_id, function,
-                                /*require_success=*/true);
-    if (!call.has_value()) continue;
-    auto confirmations = chain->ConfirmationsOf(call->entry->hash);
-    if (!confirmations.has_value() || *confirmations < config_.confirm_depth) {
-      continue;
-    }
-    rt->settled = true;
-    rt->settled_at = env_->sim()->Now();
-    rt->outcome = function == std::string(contracts::kRedeemFunction)
-                      ? EdgeOutcome::kRedeemed
-                      : EdgeOutcome::kRefunded;
-    return;
-  }
-  // A settle call may have been lost (crash mid-flight); allow a retry of
-  // the cached transaction after the resubmit interval.
-  if (rt->settle_submitted && rt->last_settle_submit >= 0 &&
-      env_->sim()->Now() - rt->last_settle_submit >=
-          config_.resubmit_interval) {
-    rt->settle_submitted = false;
-  }
-}
-
-bool Ac3twSwapEngine::AllPublished() const {
-  return std::all_of(edges_.begin(), edges_.end(),
-                     [](const EdgeRt& rt) { return rt.publish_confirmed; });
-}
-
-void Ac3twSwapEngine::CheckDone() {
-  if (!decision_.has_value()) return;
+bool Ac3twSwapEngine::IsComplete() const {
+  if (!decision_.has_value()) return false;
   for (const EdgeRt& rt : edges_) {
     if (!rt.deploy_built) continue;  // Never published: nothing to settle.
     // On the refund path, contracts whose deploy never confirmed on-chain
     // may still confirm later; wait for them too (they hold locked assets
     // the moment they land). Contracts that never reached a chain at all
     // cannot settle; give up on them once nothing is pending.
-    const chain::Blockchain* chain = env_->blockchain(rt.edge.chain_id);
+    const chain::Blockchain* chain = env()->blockchain(rt.edge.chain_id);
     const bool on_chain = chain->FindTx(rt.contract_id).has_value();
     if (!on_chain && decision_->tag == crypto::CommitmentTag::kRefund) {
       continue;
     }
-    if (!rt.settled) return;
+    if (!rt.settled) return false;
   }
-  done_ = true;
+  return true;
 }
 
-void Ac3twSwapEngine::Poll() {
-  if (done_) return;
-  const TimePoint now = env_->sim()->Now();
+void Ac3twSwapEngine::Step() {
+  const TimePoint now = env()->sim()->Now();
 
   if (!registered_) {
     TryRegister();
+    return;
+  }
+  for (EdgeRt& rt : edges_) {
+    if (rt.settled) continue;
+    if (!rt.publish_confirmed) {
+      TryPublish(&rt);
+      if (rt.deploy_built) TrackPublishConfirmation(&rt);
+    }
+  }
+  if (!decision_.has_value()) {
+    if (config_.request_abort) {
+      RequestDecision(crypto::CommitmentTag::kRefund);
+    } else if (AllPublished()) {
+      RequestDecision(crypto::CommitmentTag::kRedeem);
+    } else if (now - registered_at_ >= config_.publish_patience) {
+      // Step 6: a participant declines (or stays crashed) — fall back to
+      // the refund secret so everyone else recovers their assets.
+      RequestDecision(crypto::CommitmentTag::kRefund);
+    }
   } else {
     for (EdgeRt& rt : edges_) {
       if (rt.settled) continue;
-      if (!rt.publish_confirmed) {
-        TryPublish(&rt);
-        if (rt.deploy_built) TrackPublishConfirmation(&rt);
+      if (rt.publish_confirmed ||
+          env()->blockchain(rt.edge.chain_id)->FindTx(rt.contract_id)) {
+        TrySettle(&rt);
+        TrackSettlement(&rt);
       }
     }
-    if (!decision_.has_value()) {
-      if (config_.request_abort) {
-        RequestDecision(crypto::CommitmentTag::kRefund);
-      } else if (AllPublished()) {
-        RequestDecision(crypto::CommitmentTag::kRedeem);
-      } else if (now - registered_at_ >= config_.publish_patience) {
-        // Step 6: a participant declines (or stays crashed) — fall back to
-        // the refund secret so everyone else recovers their assets.
-        RequestDecision(crypto::CommitmentTag::kRefund);
-      }
-    } else {
-      for (EdgeRt& rt : edges_) {
-        if (rt.settled) continue;
-        if (rt.publish_confirmed ||
-            env_->blockchain(rt.edge.chain_id)->FindTx(rt.contract_id)) {
-          TrySettle(&rt);
-          TrackSettlement(&rt);
-        }
-      }
-    }
-  }
-
-  CheckDone();
-  if (!done_) {
-    env_->sim()->After(config_.poll_interval, [this]() { Poll(); });
   }
 }
 
-void Ac3twSwapEngine::FinalizeReport() {
-  report_.finished = done_;
-  report_.edges.clear();
-  TimePoint last_settle = -1;
-  chain::Amount fees = 0;
-  for (const EdgeRt& rt : edges_) {
-    EdgeReport edge;
-    edge.edge = rt.edge;
-    edge.contract_id = rt.contract_id;
-    edge.outcome = rt.outcome;
-    edge.publish_submitted_at = rt.publish_submitted_at;
-    edge.published_at = rt.published_at;
-    edge.settled_at = rt.settled_at;
-    report_.edges.push_back(edge);
-    last_settle = std::max(last_settle, rt.settled_at);
-    const chain::ChainParams& params =
-        env_->blockchain(rt.edge.chain_id)->params();
-    if (rt.publish_confirmed) fees += params.deploy_fee;
-    if (rt.settled) fees += params.call_fee;
-  }
-  report_.total_fees = fees;
-  report_.end_time = last_settle >= 0 ? last_settle : env_->sim()->Now();
-  report_.committed =
+void Ac3twSwapEngine::FillVerdict(SwapReport* report) const {
+  report->committed =
       decision_.has_value() && decision_->tag == crypto::CommitmentTag::kRedeem;
-  report_.aborted =
+  report->aborted =
       decision_.has_value() && decision_->tag == crypto::CommitmentTag::kRefund;
-}
-
-Result<SwapReport> Ac3twSwapEngine::Run(TimePoint deadline) {
-  if (!started_) {
-    AC3_RETURN_IF_ERROR(Start());
-  }
-  (void)env_->sim()->RunUntilCondition([this]() { return done_; }, deadline);
-  FinalizeReport();
-  return report_;
 }
 
 }  // namespace ac3::protocols

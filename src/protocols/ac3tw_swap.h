@@ -17,6 +17,11 @@
 // exclusive. The protocol's weakness — Trent is a trusted single point of
 // failure — is directly observable here: crash Trent (failure injector) and
 // every request is lost until he recovers.
+//
+// The engine is a thin state machine over the reactive SwapEngineBase
+// substrate: it advances on canonical-head movements, connectivity
+// changes, Trent's (possibly lost) replies, and retry timers — no
+// fixed-interval polling.
 
 #ifndef AC3_PROTOCOLS_AC3TW_SWAP_H_
 #define AC3_PROTOCOLS_AC3TW_SWAP_H_
@@ -26,6 +31,7 @@
 
 #include "src/core/environment.h"
 #include "src/graph/ac2t_graph.h"
+#include "src/protocols/engine_base.h"
 #include "src/protocols/participant.h"
 #include "src/protocols/swap_report.h"
 #include "src/protocols/trent.h"
@@ -37,73 +43,42 @@ struct Ac3twConfig {
   Duration delta = Seconds(3);
   /// Confirmations before a contract counts as publicly recognized.
   uint32_t confirm_depth = 1;
-  Duration poll_interval = Milliseconds(25);
   /// Re-gossip an unconfirmed transaction / unanswered request.
   Duration resubmit_interval = Seconds(2);
   /// Give up waiting for missing contracts and ask Trent for the refund
-  /// secret after this long (measured from Start()).
+  /// secret after this long (measured from registration).
   Duration publish_patience = Seconds(30);
   /// When true, a participant "changes her mind": request the refund secret
   /// immediately after registration (abort path, paper step 6).
   bool request_abort = false;
 };
 
-class Ac3twSwapEngine {
+class Ac3twSwapEngine : public SwapEngineBase {
  public:
   Ac3twSwapEngine(core::Environment* env, graph::Ac2tGraph graph,
                   std::vector<Participant*> participants,
                   TrustedWitness* trent, Ac3twConfig config);
 
-  /// Multisigns D, schedules registration at Trent and the polling loop;
-  /// returns immediately.
-  Status Start();
-
-  bool Done() const { return done_; }
-  const SwapReport& report() const { return report_; }
   const crypto::Hash256& ms_id() const { return ms_id_; }
 
-  /// Start() + run the simulation until done or `deadline`; finalizes and
-  /// returns the report.
-  Result<SwapReport> Run(TimePoint deadline);
+ protected:
+  Status OnStart() override;
+  void Step() override;
+  bool IsComplete() const override;
+  size_t EdgeCount() const override { return edges_.size(); }
+  EdgeState* Edge(size_t i) override { return &edges_[i]; }
+  void FillVerdict(SwapReport* report) const override;
 
  private:
-  struct EdgeRt {
-    graph::Ac2tEdge edge;
-    crypto::Hash256 contract_id;
-    chain::Transaction deploy_tx;
-    bool deploy_built = false;
-    TimePoint last_submit = -1;
-    bool publish_confirmed = false;
-    /// Built once, re-gossiped on retries (avoids re-reserving funds).
-    chain::Transaction settle_tx;
-    bool settle_built = false;
-    bool settle_submitted = false;
-    TimePoint last_settle_submit = -1;
-    bool settled = false;
-    EdgeOutcome outcome = EdgeOutcome::kUnpublished;
-    TimePoint publish_submitted_at = -1;
-    TimePoint published_at = -1;
-    TimePoint settled_at = -1;
-  };
+  using EdgeRt = EdgeState;
 
-  void Poll();
   void TryRegister();
   void TryPublish(EdgeRt* rt);
-  void TrackPublishConfirmation(EdgeRt* rt);
   /// Sends a redeem- or refund-secret request from the first live
   /// participant; the response arrives via the network (or is lost).
   void RequestDecision(crypto::CommitmentTag tag);
   void TrySettle(EdgeRt* rt);
-  void TrackSettlement(EdgeRt* rt);
-  bool AllPublished() const;
-  /// First participant that is currently up, if any.
-  Participant* FirstLiveParticipant() const;
-  void CheckDone();
-  void FinalizeReport();
 
-  core::Environment* env_;
-  graph::Ac2tGraph graph_;
-  std::vector<Participant*> participants_;
   TrustedWitness* trent_;
   Ac3twConfig config_;
 
@@ -117,10 +92,6 @@ class Ac3twSwapEngine {
   /// Trent's answer once it reaches a live participant.
   std::optional<TrentDecision> decision_;
   std::vector<EdgeRt> edges_;
-  TimePoint start_time_ = 0;
-  bool started_ = false;
-  bool done_ = false;
-  SwapReport report_;
 };
 
 }  // namespace ac3::protocols

@@ -13,46 +13,38 @@ Ac3wnSwapEngine::Ac3wnSwapEngine(core::Environment* env,
                                  std::vector<Participant*> participants,
                                  chain::ChainId witness_chain,
                                  Ac3wnConfig config)
-    : env_(env),
-      graph_(std::move(graph)),
-      participants_(std::move(participants)),
+    : SwapEngineBase(
+          env, std::move(graph), std::move(participants),
+          WatchConfig{config.confirm_depth, config.resubmit_interval},
+          "AC3WN"),
       witness_chain_(witness_chain),
-      config_(config) {
-  report_.protocol = "AC3WN";
-}
+      config_(config) {}
 
-Status Ac3wnSwapEngine::Start() {
-  AC3_RETURN_IF_ERROR(graph_.Validate());
-  if (participants_.size() != graph_.participant_count()) {
-    return Status::InvalidArgument("participant list does not match graph");
-  }
-  if (env_->blockchain(witness_chain_) == nullptr) {
+Status Ac3wnSwapEngine::OnStart() {
+  if (env()->blockchain(witness_chain_) == nullptr) {
     return Status::InvalidArgument("unknown witness chain");
   }
 
   // Step 1: all participants multisign (D, t) -> ms(D).
   std::vector<crypto::KeyPair> keys;
-  keys.reserve(participants_.size());
-  for (Participant* p : participants_) keys.push_back(p->key());
-  AC3_ASSIGN_OR_RETURN(ms_, graph::SignGraph(graph_, keys));
-
-  start_time_ = env_->sim()->Now();
-  report_.start_time = start_time_;
+  keys.reserve(participants().size());
+  for (Participant* p : participants()) keys.push_back(p->key());
+  AC3_ASSIGN_OR_RETURN(ms_, graph::SignGraph(graph(), keys));
 
   // The agreed shape of every asset contract, with a stable checkpoint of
   // its chain: this is what SCw's VerifyContracts later validates evidence
   // against (asset deployments happen strictly after this point, so the
   // checkpoint is an ancestor of every deployment block).
-  for (const graph::Ac2tEdge& e : graph_.edges()) {
-    const chain::Blockchain* asset_chain = env_->blockchain(e.chain_id);
+  for (const graph::Ac2tEdge& e : graph().edges()) {
+    const chain::Blockchain* asset_chain = env()->blockchain(e.chain_id);
     if (asset_chain == nullptr) {
       return Status::InvalidArgument("edge references an unknown blockchain");
     }
     EdgeRt rt;
     rt.edge = e;
     rt.spec.chain_id = e.chain_id;
-    rt.spec.sender = participants_[e.from]->pk();
-    rt.spec.recipient = participants_[e.to]->pk();
+    rt.spec.sender = participant(e.from)->pk();
+    rt.spec.recipient = participant(e.to)->pk();
     rt.spec.amount = e.amount;
     rt.spec.min_evidence_depth = config_.witness_depth_d;
     rt.spec.asset_checkpoint =
@@ -62,30 +54,24 @@ Status Ac3wnSwapEngine::Start() {
     edges_.push_back(std::move(rt));
   }
 
-  started_ = true;
-  env_->sim()->After(config_.poll_interval, [this]() { Poll(); });
+  // The witness chain is a wake source too (SCw confirmation, the buried
+  // state change); edge chains are watched by the base.
+  WatchChain(witness_chain_);
   return Status::OK();
-}
-
-Participant* Ac3wnSwapEngine::FirstLiveParticipant() const {
-  for (Participant* p : participants_) {
-    if (p->IsUp()) return p;
-  }
-  return nullptr;
 }
 
 void Ac3wnSwapEngine::TryDeployWitnessContract() {
   Participant* registrar = FirstLiveParticipant();
   if (registrar == nullptr) return;
-  const TimePoint now = env_->sim()->Now();
+  const TimePoint now = env()->sim()->Now();
 
   if (!scw_deploy_built_) {
     contracts::WitnessInit init;
-    for (Participant* p : participants_) init.participants.push_back(p->pk());
+    for (Participant* p : participants()) init.participants.push_back(p->pk());
     init.ms_encoded = ms_.Encode();
     for (const EdgeRt& rt : edges_) init.edges.push_back(rt.spec);
 
-    const chain::Blockchain* witness = env_->blockchain(witness_chain_);
+    const chain::Blockchain* witness = env()->blockchain(witness_chain_);
     auto tx = registrar->WalletFor(witness_chain_)
                   ->BuildDeploy(witness->StateAtHead(), contracts::kWitnessKind,
                                 init.Encode(), /*locked_value=*/0,
@@ -102,36 +88,35 @@ void Ac3wnSwapEngine::TryDeployWitnessContract() {
   }
   if (scw_last_submit_ < 0 ||
       now - scw_last_submit_ >= config_.resubmit_interval) {
-    env_->SubmitTransaction(registrar->node(), witness_chain_, scw_deploy_tx_);
+    env()->SubmitTransaction(registrar->node(), witness_chain_,
+                             scw_deploy_tx_);
     scw_last_submit_ = now;
+    RequestResubmitWake();
   }
 }
 
 void Ac3wnSwapEngine::TrackWitnessDeployment() {
-  const chain::Blockchain* witness = env_->blockchain(witness_chain_);
-  auto location = witness->FindTx(scw_id_);
-  if (!location.has_value()) return;
-  auto confirmations = witness->ConfirmationsOf(location->entry->hash);
-  if (!confirmations.has_value() || *confirmations < config_.confirm_depth) {
-    return;
-  }
+  const chain::Blockchain* witness = env()->blockchain(witness_chain_);
+  if (!TxConfirmedAtDepth(witness, scw_id_, config_.confirm_depth)) return;
   scw_confirmed_ = true;
-  scw_confirmed_at_ = env_->sim()->Now();
-  report_.MarkPhase("scw_published", scw_confirmed_at_);
+  scw_confirmed_at_ = env()->sim()->Now();
+  mutable_report()->MarkPhase("scw_published", scw_confirmed_at_);
+  // The patience clock starts now; guarantee a wake when it runs out.
+  RequestWakeAt(scw_confirmed_at_ + config_.publish_patience);
 }
 
 void Ac3wnSwapEngine::TryPublish(EdgeRt* rt) {
-  Participant* sender = participants_[rt->edge.from];
+  Participant* sender = participant(rt->edge.from);
   if (sender->behavior().decline_publish) return;
   if (!sender->IsUp()) return;
-  const TimePoint now = env_->sim()->Now();
+  const TimePoint now = env()->sim()->Now();
 
   if (!rt->deploy_built) {
     // Algorithm 4 constructor arguments: conditioned on *this* SCw at depth
     // d, anchored at a stable witness-chain checkpoint (an ancestor of any
     // future state-change block).
-    const chain::Blockchain* witness = env_->blockchain(witness_chain_);
-    rt->init.recipient = participants_[rt->edge.to]->pk();
+    const chain::Blockchain* witness = env()->blockchain(witness_chain_);
+    rt->init.recipient = participant(rt->edge.to)->pk();
     rt->init.witness_chain_id = witness_chain_;
     rt->init.scw_id = scw_id_;
     rt->init.depth = config_.witness_depth_d;
@@ -139,7 +124,7 @@ void Ac3wnSwapEngine::TryPublish(EdgeRt* rt) {
         witness->StableBlock(witness->params().stable_depth)->block.header;
     rt->init.witness_difficulty_bits = witness->params().difficulty_bits;
 
-    const chain::Blockchain* asset_chain = env_->blockchain(rt->edge.chain_id);
+    const chain::Blockchain* asset_chain = env()->blockchain(rt->edge.chain_id);
     auto tx =
         sender->WalletFor(rt->edge.chain_id)
             ->BuildDeploy(asset_chain->StateAtHead(),
@@ -157,34 +142,13 @@ void Ac3wnSwapEngine::TryPublish(EdgeRt* rt) {
     rt->publish_submitted_at = now;
     rt->outcome = EdgeOutcome::kPublished;
   }
-  if (rt->last_submit < 0 ||
-      now - rt->last_submit >= config_.resubmit_interval) {
-    env_->SubmitTransaction(sender->node(), rt->edge.chain_id, rt->deploy_tx);
-    rt->last_submit = now;
-  }
-}
-
-void Ac3wnSwapEngine::TrackPublishConfirmation(EdgeRt* rt) {
-  const chain::Blockchain* asset_chain = env_->blockchain(rt->edge.chain_id);
-  auto location = asset_chain->FindTx(rt->contract_id);
-  if (!location.has_value()) return;
-  auto confirmations = asset_chain->ConfirmationsOf(location->entry->hash);
-  if (!confirmations.has_value() || *confirmations < config_.confirm_depth) {
-    return;
-  }
-  rt->publish_confirmed = true;
-  rt->published_at = env_->sim()->Now();
-}
-
-bool Ac3wnSwapEngine::AllPublished() const {
-  return std::all_of(edges_.begin(), edges_.end(),
-                     [](const EdgeRt& rt) { return rt.publish_confirmed; });
+  GossipDeploy(rt, sender);
 }
 
 void Ac3wnSwapEngine::TryAuthorizeRedeem() {
   Participant* requester = FirstLiveParticipant();
   if (requester == nullptr) return;
-  const TimePoint now = env_->sim()->Now();
+  const TimePoint now = env()->sim()->Now();
   if (authorize_last_submit_ >= 0 &&
       now - authorize_last_submit_ < config_.resubmit_interval) {
     return;
@@ -202,7 +166,8 @@ void Ac3wnSwapEngine::TryAuthorizeRedeem() {
     std::vector<contracts::HeaderChainEvidence> evidence;
     evidence.reserve(edges_.size());
     for (const EdgeRt& rt : edges_) {
-      const chain::Blockchain* asset_chain = env_->blockchain(rt.edge.chain_id);
+      const chain::Blockchain* asset_chain =
+          env()->blockchain(rt.edge.chain_id);
       auto ev = contracts::BuildTxEvidence(
           *asset_chain, rt.spec.asset_checkpoint.Hash(), rt.contract_id);
       if (!ev.ok()) {
@@ -212,7 +177,7 @@ void Ac3wnSwapEngine::TryAuthorizeRedeem() {
       evidence.push_back(std::move(*ev));
     }
 
-    const chain::Blockchain* witness = env_->blockchain(witness_chain_);
+    const chain::Blockchain* witness = env()->blockchain(witness_chain_);
     auto tx = requester->WalletFor(witness_chain_)
                   ->BuildCall(witness->StateAtHead(), scw_id_,
                               contracts::kAuthorizeRedeemFunction,
@@ -228,24 +193,25 @@ void Ac3wnSwapEngine::TryAuthorizeRedeem() {
     authorize_builder_ = requester;
     if (!authorize_built_) {
       authorize_built_ = true;
-      report_.MarkPhase("authorize_redeem_submitted", now);
+      mutable_report()->MarkPhase("authorize_redeem_submitted", now);
     }
   }
-  env_->SubmitTransaction(requester->node(), witness_chain_, authorize_tx_);
+  env()->SubmitTransaction(requester->node(), witness_chain_, authorize_tx_);
   authorize_last_submit_ = now;
+  RequestResubmitWake();
 }
 
 void Ac3wnSwapEngine::TryAuthorizeRefund() {
   Participant* requester = FirstLiveParticipant();
   if (requester == nullptr) return;
-  const TimePoint now = env_->sim()->Now();
+  const TimePoint now = env()->sim()->Now();
   if (abort_last_submit_ >= 0 &&
       now - abort_last_submit_ < config_.resubmit_interval) {
     return;
   }
 
   if (!abort_authorize_built_ || abort_builder_ != requester) {
-    const chain::Blockchain* witness = env_->blockchain(witness_chain_);
+    const chain::Blockchain* witness = env()->blockchain(witness_chain_);
     auto tx = requester->WalletFor(witness_chain_)
                   ->BuildCall(witness->StateAtHead(), scw_id_,
                               contracts::kAuthorizeRefundFunction, Bytes{},
@@ -260,17 +226,18 @@ void Ac3wnSwapEngine::TryAuthorizeRefund() {
     abort_builder_ = requester;
     if (!abort_authorize_built_) {
       abort_authorize_built_ = true;
-      report_.MarkPhase("authorize_refund_submitted", now);
+      mutable_report()->MarkPhase("authorize_refund_submitted", now);
     }
   }
-  env_->SubmitTransaction(requester->node(), witness_chain_,
-                          abort_authorize_tx_);
+  env()->SubmitTransaction(requester->node(), witness_chain_,
+                           abort_authorize_tx_);
   abort_last_submit_ = now;
+  RequestResubmitWake();
 }
 
 void Ac3wnSwapEngine::TrackDecision() {
   if (decided_state_.has_value()) return;
-  const chain::Blockchain* witness = env_->blockchain(witness_chain_);
+  const chain::Blockchain* witness = env()->blockchain(witness_chain_);
 
   struct Candidate {
     const char* function;
@@ -295,18 +262,19 @@ void Ac3wnSwapEngine::TrackDecision() {
     }
     decided_state_ = c.state;
     decision_tx_id_ = call->entry->block.txs[call->index].Id();
-    report_.decision_time = env_->sim()->Now();
-    report_.MarkPhase(c.state == contracts::WitnessState::kRedeemAuthorized
-                          ? "commit_decided_buried_d"
-                          : "abort_decided_buried_d",
-                      env_->sim()->Now());
+    mutable_report()->decision_time = env()->sim()->Now();
+    mutable_report()->MarkPhase(
+        c.state == contracts::WitnessState::kRedeemAuthorized
+            ? "commit_decided_buried_d"
+            : "abort_decided_buried_d",
+        env()->sim()->Now());
     return;
   }
 }
 
 void Ac3wnSwapEngine::TrySettle(EdgeRt* rt) {
   if (!decided_state_.has_value()) return;
-  const TimePoint now = env_->sim()->Now();
+  const TimePoint now = env()->sim()->Now();
   if (rt->settle_submitted && rt->last_settle_submit >= 0 &&
       now - rt->last_settle_submit < config_.resubmit_interval) {
     return;
@@ -315,12 +283,12 @@ void Ac3wnSwapEngine::TrySettle(EdgeRt* rt) {
   const bool redeem =
       *decided_state_ == contracts::WitnessState::kRedeemAuthorized;
   Participant* actor =
-      redeem ? participants_[rt->edge.to] : participants_[rt->edge.from];
+      redeem ? participant(rt->edge.to) : participant(rt->edge.from);
   if (!actor->IsUp()) return;
 
   // Receipt evidence: the SCw state-change receipt, proven against the
   // witness checkpoint this very contract stores, buried >= d.
-  const chain::Blockchain* witness = env_->blockchain(witness_chain_);
+  const chain::Blockchain* witness = env()->blockchain(witness_chain_);
   auto evidence = contracts::BuildReceiptEvidence(
       *witness, rt->init.witness_checkpoint.Hash(), decision_tx_id_);
   if (!evidence.ok()) {
@@ -329,7 +297,7 @@ void Ac3wnSwapEngine::TrySettle(EdgeRt* rt) {
     return;
   }
 
-  const chain::Blockchain* asset_chain = env_->blockchain(rt->edge.chain_id);
+  const chain::Blockchain* asset_chain = env()->blockchain(rt->edge.chain_id);
   if (!rt->settle_built) {
     auto tx = actor->WalletFor(rt->edge.chain_id)
                   ->BuildCall(asset_chain->StateAtHead(), rt->contract_id,
@@ -346,55 +314,37 @@ void Ac3wnSwapEngine::TrySettle(EdgeRt* rt) {
     rt->settle_tx = *tx;
     rt->settle_built = true;
   }
-  env_->SubmitTransaction(actor->node(), rt->edge.chain_id, rt->settle_tx);
+  env()->SubmitTransaction(actor->node(), rt->edge.chain_id, rt->settle_tx);
   rt->settle_submitted = true;
   rt->last_settle_submit = now;
+  RequestResubmitWake();
 }
 
-void Ac3wnSwapEngine::TrackSettlement(EdgeRt* rt) {
-  const chain::Blockchain* asset_chain = env_->blockchain(rt->edge.chain_id);
-  for (const char* function :
-       {contracts::kRedeemFunction, contracts::kRefundFunction}) {
-    auto call = asset_chain->FindCall(rt->contract_id, function,
-                                      /*require_success=*/true);
-    if (!call.has_value()) continue;
-    auto confirmations = asset_chain->ConfirmationsOf(call->entry->hash);
-    if (!confirmations.has_value() || *confirmations < config_.confirm_depth) {
-      continue;
-    }
-    rt->settled = true;
-    rt->settled_at = env_->sim()->Now();
-    rt->outcome = function == std::string(contracts::kRedeemFunction)
-                      ? EdgeOutcome::kRedeemed
-                      : EdgeOutcome::kRefunded;
-    return;
-  }
-}
-
-void Ac3wnSwapEngine::CheckDone() {
-  if (!decided_state_.has_value()) return;
+bool Ac3wnSwapEngine::IsComplete() const {
+  if (!decided_state_.has_value()) return false;
   for (const EdgeRt& rt : edges_) {
     if (!rt.deploy_built) continue;  // Never published: nothing locked.
-    const chain::Blockchain* asset_chain = env_->blockchain(rt.edge.chain_id);
+    const chain::Blockchain* asset_chain = env()->blockchain(rt.edge.chain_id);
     const bool on_chain = asset_chain->FindTx(rt.contract_id).has_value();
     if (!on_chain &&
         *decided_state_ == contracts::WitnessState::kRefundAuthorized) {
       continue;  // Built but never landed; nothing to refund.
     }
-    if (!rt.settled) return;
+    if (!rt.settled) return false;
   }
-  done_ = true;
+  return true;
 }
 
-void Ac3wnSwapEngine::Poll() {
-  if (done_) return;
-  const TimePoint now = env_->sim()->Now();
+void Ac3wnSwapEngine::Step() {
+  const TimePoint now = env()->sim()->Now();
 
   if (!scw_confirmed_) {
     // Phase 1: SCw deployment.
     TryDeployWitnessContract();
     if (scw_deploy_built_) TrackWitnessDeployment();
-  } else if (!decided_state_.has_value()) {
+    if (!scw_confirmed_) return;
+  }
+  if (!decided_state_.has_value()) {
     // Phase 2: parallel deployments.
     bool was_all_published = AllPublished();
     for (EdgeRt& rt : edges_) {
@@ -404,7 +354,7 @@ void Ac3wnSwapEngine::Poll() {
       }
     }
     if (!was_all_published && AllPublished()) {
-      report_.MarkPhase("contracts_published", now);
+      mutable_report()->MarkPhase("contracts_published", now);
     }
     // Phase 3: the state-change request.
     if (config_.request_abort) {
@@ -417,68 +367,37 @@ void Ac3wnSwapEngine::Poll() {
       TryAuthorizeRefund();
     }
     TrackDecision();
-  } else {
-    // Phase 4: parallel settlement under the buried decision.
-    for (EdgeRt& rt : edges_) {
-      if (rt.settled) continue;
-      const chain::Blockchain* asset_chain =
-          env_->blockchain(rt.edge.chain_id);
-      if (rt.deploy_built && asset_chain->FindTx(rt.contract_id)) {
-        TrySettle(&rt);
-        TrackSettlement(&rt);
-      }
-    }
+    if (!decided_state_.has_value()) return;
   }
-
-  CheckDone();
-  if (!done_) {
-    env_->sim()->After(config_.poll_interval, [this]() { Poll(); });
+  // Phase 4: parallel settlement under the buried decision.
+  for (EdgeRt& rt : edges_) {
+    if (rt.settled) continue;
+    const chain::Blockchain* asset_chain = env()->blockchain(rt.edge.chain_id);
+    if (rt.deploy_built && asset_chain->FindTx(rt.contract_id)) {
+      TrySettle(&rt);
+      TrackSettlement(&rt);
+    }
   }
 }
 
-void Ac3wnSwapEngine::FinalizeReport() {
-  report_.finished = done_;
-  report_.edges.clear();
-  TimePoint last_settle = -1;
-  chain::Amount fees = 0;
-  for (const EdgeRt& rt : edges_) {
-    EdgeReport edge;
-    edge.edge = rt.edge;
-    edge.contract_id = rt.contract_id;
-    edge.outcome = rt.outcome;
-    edge.publish_submitted_at = rt.publish_submitted_at;
-    edge.published_at = rt.published_at;
-    edge.settled_at = rt.settled_at;
-    report_.edges.push_back(edge);
-    last_settle = std::max(last_settle, rt.settled_at);
-    const chain::ChainParams& params =
-        env_->blockchain(rt.edge.chain_id)->params();
-    if (rt.publish_confirmed) fees += params.deploy_fee;
-    if (rt.settled) fees += params.call_fee;
-  }
+chain::Amount Ac3wnSwapEngine::ExtraFees() const {
   // Section 6.2: AC3WN additionally pays for SCw's deployment and one state
   // change — the (N+1)/N overhead.
   const chain::ChainParams& witness_params =
-      env_->blockchain(witness_chain_)->params();
+      env()->blockchain(witness_chain_)->params();
+  chain::Amount fees = 0;
   if (scw_confirmed_) fees += witness_params.deploy_fee;
   if (decided_state_.has_value()) fees += witness_params.call_fee;
-  report_.total_fees = fees;
-  report_.end_time = last_settle >= 0 ? last_settle : env_->sim()->Now();
-  report_.committed =
-      decided_state_.has_value() &&
-      *decided_state_ == contracts::WitnessState::kRedeemAuthorized;
-  report_.aborted =
-      decided_state_.has_value() &&
-      *decided_state_ == contracts::WitnessState::kRefundAuthorized;
+  return fees;
 }
 
-Result<SwapReport> Ac3wnSwapEngine::Run(TimePoint deadline) {
-  if (!started_) {
-    AC3_RETURN_IF_ERROR(Start());
-  }
-  (void)env_->sim()->RunUntilCondition([this]() { return done_; }, deadline);
-  FinalizeReport();
-  return report_;
+void Ac3wnSwapEngine::FillVerdict(SwapReport* report) const {
+  report->committed =
+      decided_state_.has_value() &&
+      *decided_state_ == contracts::WitnessState::kRedeemAuthorized;
+  report->aborted =
+      decided_state_.has_value() &&
+      *decided_state_ == contracts::WitnessState::kRefundAuthorized;
 }
 
 }  // namespace ac3::protocols

@@ -15,10 +15,12 @@
 //      witness blocks, every recipient redeems (or every sender refunds)
 //      with receipt evidence.
 //
-// The engine is fully event-driven over simulated chains, so crash
-// failures, network delays, and witness-chain forks shape what happens; the
-// depth-d discipline (participants ignore unburied SCw states) is what
-// Lemma 5.3's atomicity argument rests on.
+// The engine is a thin state machine over the reactive SwapEngineBase
+// substrate: it advances on canonical-head movements of the asset and
+// witness chains, connectivity changes, and retry/patience timers, so
+// crash failures, network delays, and witness-chain forks shape what
+// happens; the depth-d discipline (participants ignore unburied SCw
+// states) is what Lemma 5.3's atomicity argument rests on.
 //
 // Commitment (the second protocol obligation): after a decision, the engine
 // never gives up on a published contract — a participant that crashes and
@@ -35,6 +37,7 @@
 #include "src/contracts/witness_contract.h"
 #include "src/core/environment.h"
 #include "src/graph/ac2t_graph.h"
+#include "src/protocols/engine_base.h"
 #include "src/protocols/participant.h"
 #include "src/protocols/swap_report.h"
 
@@ -48,17 +51,16 @@ struct Ac3wnConfig {
   /// d: burial depth required of the SCw state change before anyone acts on
   /// it (Section 4.2 / Section 6.3's d > Va*dh/Ch rule).
   uint32_t witness_depth_d = 2;
-  Duration poll_interval = Milliseconds(25);
   Duration resubmit_interval = Seconds(2);
   /// Request AuthorizeRefund when contracts are still missing this long
-  /// after Start().
+  /// after SCw confirmed.
   Duration publish_patience = Seconds(30);
   /// A participant "changes her mind": request AuthorizeRefund immediately
   /// after SCw is published (abort path, protocol step 6).
   bool request_abort = false;
 };
 
-class Ac3wnSwapEngine {
+class Ac3wnSwapEngine : public SwapEngineBase {
  public:
   /// `witness_chain` selects which permissionless network coordinates this
   /// AC2T (Section 5.2: different AC2Ts may use different witnesses).
@@ -66,12 +68,6 @@ class Ac3wnSwapEngine {
                   std::vector<Participant*> participants,
                   chain::ChainId witness_chain, Ac3wnConfig config);
 
-  /// Multisigns D, schedules SCw deployment and the polling loop; returns
-  /// immediately.
-  Status Start();
-
-  bool Done() const { return done_; }
-  const SwapReport& report() const { return report_; }
   chain::ChainId witness_chain() const { return witness_chain_; }
   const crypto::Hash256& scw_id() const { return scw_id_; }
 
@@ -80,40 +76,26 @@ class Ac3wnSwapEngine {
     return decided_state_;
   }
 
-  /// Start() + run the simulation until done or `deadline`; finalizes and
-  /// returns the report.
-  Result<SwapReport> Run(TimePoint deadline);
+ protected:
+  Status OnStart() override;
+  void Step() override;
+  bool IsComplete() const override;
+  size_t EdgeCount() const override { return edges_.size(); }
+  EdgeState* Edge(size_t i) override { return &edges_[i]; }
+  void FillVerdict(SwapReport* report) const override;
+  chain::Amount ExtraFees() const override;
 
  private:
-  struct EdgeRt {
-    graph::Ac2tEdge edge;
+  struct EdgeRt : EdgeState {
     contracts::EdgeSpec spec;
     contracts::PermissionlessInit init;
-    crypto::Hash256 contract_id;
-    chain::Transaction deploy_tx;
-    bool deploy_built = false;
-    TimePoint last_submit = -1;
-    bool publish_confirmed = false;
-    /// The settle call is built once and re-gossiped; rebuilding on every
-    /// retry would re-reserve the actor's wallet funds.
-    chain::Transaction settle_tx;
-    bool settle_built = false;
-    bool settle_submitted = false;
-    TimePoint last_settle_submit = -1;
-    bool settled = false;
-    EdgeOutcome outcome = EdgeOutcome::kUnpublished;
-    TimePoint publish_submitted_at = -1;
-    TimePoint published_at = -1;
-    TimePoint settled_at = -1;
   };
 
-  void Poll();
   /// Phase 1: build + deploy SCw from the first live participant.
   void TryDeployWitnessContract();
   void TrackWitnessDeployment();
   /// Phase 2: parallel PermissionlessSC deployments.
   void TryPublish(EdgeRt* rt);
-  void TrackPublishConfirmation(EdgeRt* rt);
   /// Phase 3: submit the SCw state-change request.
   void TryAuthorizeRedeem();
   void TryAuthorizeRefund();
@@ -121,16 +103,7 @@ class Ac3wnSwapEngine {
   void TrackDecision();
   /// Phase 4: settle one edge with receipt evidence of the SCw change.
   void TrySettle(EdgeRt* rt);
-  void TrackSettlement(EdgeRt* rt);
 
-  bool AllPublished() const;
-  Participant* FirstLiveParticipant() const;
-  void CheckDone();
-  void FinalizeReport();
-
-  core::Environment* env_;
-  graph::Ac2tGraph graph_;
-  std::vector<Participant*> participants_;
   chain::ChainId witness_chain_;
   Ac3wnConfig config_;
 
@@ -162,10 +135,6 @@ class Ac3wnSwapEngine {
   crypto::Hash256 decision_tx_id_;
 
   std::vector<EdgeRt> edges_;
-  TimePoint start_time_ = 0;
-  bool started_ = false;
-  bool done_ = false;
-  SwapReport report_;
 };
 
 }  // namespace ac3::protocols

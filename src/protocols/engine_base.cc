@@ -1,0 +1,202 @@
+#include "src/protocols/engine_base.h"
+
+#include <algorithm>
+
+#include "src/contracts/atomic_swap_contract.h"
+
+namespace ac3::protocols {
+
+SwapEngineBase::SwapEngineBase(core::Environment* env, graph::Ac2tGraph graph,
+                               std::vector<Participant*> participants,
+                               WatchConfig watch, std::string protocol_name)
+    : env_(env),
+      graph_(std::move(graph)),
+      participants_(std::move(participants)),
+      watch_(watch) {
+  report_.protocol = std::move(protocol_name);
+}
+
+SwapEngineBase::~SwapEngineBase() {
+  for (const auto& [chain_id, subscription] : head_subscriptions_) {
+    chain::Blockchain* chain = env_->blockchain(chain_id);
+    if (chain != nullptr) chain->UnsubscribeHead(subscription);
+  }
+  if (connectivity_subscribed_) {
+    env_->network()->UnsubscribeConnectivity(connectivity_subscription_);
+  }
+  // Cancel queued wakes so a destroyed engine is never called back (other
+  // engines may keep running the same simulation afterwards).
+  step_handle_.Cancel();
+  for (auto& [at, handle] : pending_wakes_) handle.Cancel();
+}
+
+Status SwapEngineBase::Start() {
+  AC3_RETURN_IF_ERROR(graph_.Validate());
+  if (participants_.size() != graph_.participant_count()) {
+    return Status::InvalidArgument("participant list does not match graph");
+  }
+
+  start_time_ = env_->sim()->Now();
+  report_.start_time = start_time_;
+
+  AC3_RETURN_IF_ERROR(OnStart());
+
+  // Wake sources: every chain an edge lives on, plus connectivity changes
+  // (a recovered participant must act on what it missed). Engines add
+  // extra chains (e.g. the witness chain) from OnStart().
+  for (const graph::Ac2tEdge& e : graph_.edges()) WatchChain(e.chain_id);
+  connectivity_subscription_ = env_->network()->SubscribeConnectivity(
+      [this](sim::NodeId) { ScheduleStep(); });
+  connectivity_subscribed_ = true;
+
+  started_ = true;
+  ScheduleStep();
+  return Status::OK();
+}
+
+void SwapEngineBase::WatchChain(chain::ChainId id) {
+  if (watched_chains_.count(id) > 0) return;
+  chain::Blockchain* chain = env_->blockchain(id);
+  if (chain == nullptr) return;
+  watched_chains_.insert(id);
+  head_subscriptions_.emplace_back(
+      id, chain->SubscribeHead(
+              [this](const chain::BlockEntry&) { ScheduleStep(); }));
+}
+
+void SwapEngineBase::ScheduleStep() {
+  if (done_ || step_pending_) return;
+  step_pending_ = true;
+  step_handle_ = env_->sim()->After(0, [this]() {
+    step_pending_ = false;
+    RunStep();
+  });
+}
+
+void SwapEngineBase::RequestWakeAt(TimePoint at) {
+  const TimePoint now = env_->sim()->Now();
+  if (at <= now) {
+    ScheduleStep();
+    return;
+  }
+  if (done_ || pending_wakes_.count(at) > 0) return;
+  pending_wakes_.emplace(at, env_->sim()->At(at, [this, at]() {
+    pending_wakes_.erase(at);
+    // Route through the coalescer: if an immediate step is already queued
+    // at this instant, this timer must not run Step() a second time.
+    ScheduleStep();
+  }));
+}
+
+void SwapEngineBase::RequestResubmitWake() {
+  RequestWakeAt(env_->sim()->Now() + watch_.resubmit_interval);
+}
+
+void SwapEngineBase::RunStep() {
+  if (done_ || !started_) return;
+  Step();
+  if (IsComplete()) done_ = true;
+}
+
+bool SwapEngineBase::TxConfirmedAtDepth(const chain::Blockchain* chain,
+                                        const crypto::Hash256& tx_id,
+                                        uint32_t depth) const {
+  auto location = chain->FindTx(tx_id);
+  if (!location.has_value()) return false;
+  auto confirmations = chain->ConfirmationsOf(location->entry->hash);
+  return confirmations.has_value() && *confirmations >= depth;
+}
+
+void SwapEngineBase::TrackPublishConfirmation(EdgeState* edge) {
+  const chain::Blockchain* chain = env_->blockchain(edge->edge.chain_id);
+  if (!TxConfirmedAtDepth(chain, edge->contract_id, watch_.confirm_depth)) {
+    return;
+  }
+  edge->publish_confirmed = true;
+  edge->published_at = env_->sim()->Now();
+}
+
+void SwapEngineBase::TrackSettlement(EdgeState* edge) {
+  const chain::Blockchain* chain = env_->blockchain(edge->edge.chain_id);
+  for (const char* function :
+       {contracts::kRedeemFunction, contracts::kRefundFunction}) {
+    auto call = chain->FindCall(edge->contract_id, function,
+                                /*require_success=*/true);
+    if (!call.has_value()) continue;
+    auto confirmations = chain->ConfirmationsOf(call->entry->hash);
+    if (!confirmations.has_value() ||
+        *confirmations < watch_.confirm_depth) {
+      continue;
+    }
+    edge->settled = true;
+    edge->settled_at = env_->sim()->Now();
+    edge->outcome = function == std::string(contracts::kRedeemFunction)
+                        ? EdgeOutcome::kRedeemed
+                        : EdgeOutcome::kRefunded;
+    OnEdgeSettled(edge);
+    return;
+  }
+}
+
+void SwapEngineBase::GossipDeploy(EdgeState* edge, Participant* sender) {
+  const TimePoint now = env_->sim()->Now();
+  if (edge->last_submit >= 0 &&
+      now - edge->last_submit < watch_.resubmit_interval) {
+    return;
+  }
+  env_->SubmitTransaction(sender->node(), edge->edge.chain_id,
+                          edge->deploy_tx);
+  edge->last_submit = now;
+  RequestResubmitWake();
+}
+
+bool SwapEngineBase::AllPublished() const {
+  for (size_t i = 0; i < EdgeCount(); ++i) {
+    if (!Edge(i)->publish_confirmed) return false;
+  }
+  return true;
+}
+
+Participant* SwapEngineBase::FirstLiveParticipant() const {
+  for (Participant* p : participants_) {
+    if (p->IsUp()) return p;
+  }
+  return nullptr;
+}
+
+void SwapEngineBase::FinalizeReport() {
+  report_.finished = done_;
+  report_.edges.clear();
+  TimePoint last_settle = -1;
+  chain::Amount fees = 0;
+  for (size_t i = 0; i < EdgeCount(); ++i) {
+    const EdgeState* rt = Edge(i);
+    EdgeReport edge;
+    edge.edge = rt->edge;
+    edge.contract_id = rt->contract_id;
+    edge.outcome = rt->outcome;
+    edge.publish_submitted_at = rt->publish_submitted_at;
+    edge.published_at = rt->published_at;
+    edge.settled_at = rt->settled_at;
+    report_.edges.push_back(edge);
+    last_settle = std::max(last_settle, rt->settled_at);
+    const chain::ChainParams& params =
+        env_->blockchain(rt->edge.chain_id)->params();
+    if (rt->publish_confirmed) fees += params.deploy_fee;
+    if (rt->settled) fees += params.call_fee;
+  }
+  report_.total_fees = fees + ExtraFees();
+  report_.end_time = last_settle >= 0 ? last_settle : env_->sim()->Now();
+  FillVerdict(&report_);
+}
+
+Result<SwapReport> SwapEngineBase::Run(TimePoint deadline) {
+  if (!started_) {
+    AC3_RETURN_IF_ERROR(Start());
+  }
+  (void)env_->sim()->RunUntilCondition([this]() { return done_; }, deadline);
+  FinalizeReport();
+  return report_;
+}
+
+}  // namespace ac3::protocols

@@ -1,0 +1,212 @@
+// The shared reactive protocol-engine substrate.
+//
+// Every atomic-commitment engine in this repo has the same operational
+// skeleton: publish transactions on simulated chains, wait for them to be
+// confirmed at depth k, re-gossip what has not landed, watch deadlines and
+// patience windows, survive participant crashes, and assemble a SwapReport.
+// The seed implemented that skeleton three times as fixed-interval polling
+// loops (one `Poll()` rescheduled every ~25 ms per engine). This base class
+// implements it once, *reactively*:
+//
+//   * the engine's `Step()` — its protocol state machine — runs only when
+//     something it watches changes: a canonical head moves on a watched
+//     chain (Blockchain::SubscribeHead), a participant's connectivity
+//     changes (Network::SubscribeConnectivity), a requested timer fires
+//     (resubmission intervals, patience windows, timelocks), or a network
+//     message addressed to the engine arrives;
+//   * wakes are coalesced: any number of triggers at one instant execute
+//     `Step()` once, as an ordinary deterministic simulation event.
+//
+// Event counts per world drop from O(duration / poll_interval x engines)
+// to O(blocks + messages + retries) — the block interval, not an arbitrary
+// polling constant, is the natural granularity of chain observation.
+//
+// The ChainWatcher portion (confirmation tracking, deploy re-gossip,
+// settlement detection, report assembly) operates on the `EdgeState`
+// common prefix that every engine's per-edge runtime extends.
+
+#ifndef AC3_PROTOCOLS_ENGINE_BASE_H_
+#define AC3_PROTOCOLS_ENGINE_BASE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/environment.h"
+#include "src/graph/ac2t_graph.h"
+#include "src/protocols/participant.h"
+#include "src/protocols/swap_report.h"
+
+namespace ac3::protocols {
+
+/// Chain-observation knobs every engine shares.
+struct WatchConfig {
+  /// Confirmations before a transaction counts as publicly recognized.
+  uint32_t confirm_depth = 1;
+  /// Re-gossip an unconfirmed transaction / unanswered request after this
+  /// long.
+  Duration resubmit_interval = Seconds(2);
+};
+
+class SwapEngineBase {
+ public:
+  SwapEngineBase(const SwapEngineBase&) = delete;
+  SwapEngineBase& operator=(const SwapEngineBase&) = delete;
+  virtual ~SwapEngineBase();
+
+  /// Validates the graph, runs the engine-specific `OnStart()`, then wires
+  /// the reactive wake sources (every edge chain's head, connectivity) and
+  /// schedules the first step; returns immediately.
+  Status Start();
+
+  bool Done() const { return done_; }
+  const SwapReport& report() const { return report_; }
+
+  /// Start() + run the simulation until done or `deadline`; finalizes and
+  /// returns the report.
+  Result<SwapReport> Run(TimePoint deadline);
+
+ protected:
+  /// Per-edge runtime state common to every protocol; engines extend it
+  /// with protocol-specific fields and expose their vector via `Edge()`.
+  struct EdgeState {
+    graph::Ac2tEdge edge;
+    crypto::Hash256 contract_id;
+    /// Built once, re-gossiped on retries (rebuilding would re-reserve the
+    /// sender's wallet funds).
+    chain::Transaction deploy_tx;
+    bool deploy_built = false;
+    TimePoint last_submit = -1;
+    bool publish_confirmed = false;
+    /// Settlement call, same build-once discipline.
+    chain::Transaction settle_tx;
+    bool settle_built = false;
+    bool settle_submitted = false;
+    TimePoint last_settle_submit = -1;
+    bool settled = false;
+    EdgeOutcome outcome = EdgeOutcome::kUnpublished;
+    TimePoint publish_submitted_at = -1;
+    TimePoint published_at = -1;
+    TimePoint settled_at = -1;
+  };
+
+  SwapEngineBase(core::Environment* env, graph::Ac2tGraph graph,
+                 std::vector<Participant*> participants, WatchConfig watch,
+                 std::string protocol_name);
+
+  // ---- engine-specific hooks --------------------------------------------
+
+  /// Protocol setup after common validation (multisigning, edge runtime
+  /// construction, extra chain watches, initial timers). `start_time()` is
+  /// already set.
+  virtual Status OnStart() = 0;
+  /// The protocol state machine, run once per coalesced wake. Must be
+  /// idempotent: it observes chain/network/timer state and advances
+  /// whatever can advance.
+  virtual void Step() = 0;
+  /// Terminal condition, evaluated after every Step.
+  virtual bool IsComplete() const = 0;
+  /// The engine's per-edge runtimes, exposed through their common prefix.
+  virtual size_t EdgeCount() const = 0;
+  virtual EdgeState* Edge(size_t i) = 0;
+  const EdgeState* Edge(size_t i) const {
+    return const_cast<SwapEngineBase*>(this)->Edge(i);
+  }
+  /// Fills the report's committed/aborted verdict during finalize.
+  virtual void FillVerdict(SwapReport* report) const = 0;
+  /// Protocol fees beyond the per-edge deploy+settle (e.g. SCw's).
+  virtual chain::Amount ExtraFees() const { return 0; }
+  /// Called when an edge's settlement is first observed confirmed.
+  virtual void OnEdgeSettled(EdgeState* edge) { (void)edge; }
+
+  // ---- wake plumbing -----------------------------------------------------
+
+  /// Wakes the engine whenever `id`'s canonical head moves. Edge chains are
+  /// watched automatically by Start(); engines add extra chains (e.g. the
+  /// witness chain) from OnStart().
+  void WatchChain(chain::ChainId id);
+  /// Schedules a coalesced Step at the current instant.
+  void ScheduleStep();
+  /// Schedules a Step at absolute time `at` (deduplicated per instant);
+  /// `at` in the past degrades to ScheduleStep().
+  void RequestWakeAt(TimePoint at);
+  /// RequestWakeAt(Now + resubmit_interval): the retry heartbeat after any
+  /// submission or request attempt.
+  void RequestResubmitWake();
+
+  // ---- ChainWatcher helpers ---------------------------------------------
+
+  /// True when `tx_id` is canonical on `chain` and buried >= `depth`.
+  bool TxConfirmedAtDepth(const chain::Blockchain* chain,
+                          const crypto::Hash256& tx_id, uint32_t depth) const;
+
+  /// Marks the edge publicly recognized once its deploy is canonical at
+  /// confirm_depth.
+  void TrackPublishConfirmation(EdgeState* edge);
+
+  /// Detects a confirmed redeem/refund call on the edge's contract, sets
+  /// settled/outcome/settled_at and fires OnEdgeSettled.
+  void TrackSettlement(EdgeState* edge);
+
+  /// Re-gossips the edge's built deploy transaction from `sender` when the
+  /// resubmit interval has elapsed, and arms the retry heartbeat.
+  void GossipDeploy(EdgeState* edge, Participant* sender);
+
+  /// True when every edge's deploy is publicly recognized.
+  bool AllPublished() const;
+
+  /// First participant that is currently up, if any.
+  Participant* FirstLiveParticipant() const;
+
+  /// Edge reports, fee accounting, end time, and the engine verdict.
+  void FinalizeReport();
+
+  // ---- shared state accessors -------------------------------------------
+
+  core::Environment* env() const { return env_; }
+  const graph::Ac2tGraph& graph() const { return graph_; }
+  const std::vector<Participant*>& participants() const {
+    return participants_;
+  }
+  Participant* participant(uint32_t v) const { return participants_[v]; }
+  const WatchConfig& watch() const { return watch_; }
+  TimePoint start_time() const { return start_time_; }
+  bool started() const { return started_; }
+  SwapReport* mutable_report() { return &report_; }
+
+ private:
+  void RunStep();
+
+  core::Environment* env_;
+  graph::Ac2tGraph graph_;
+  std::vector<Participant*> participants_;
+  WatchConfig watch_;
+
+  /// Subscriptions to cancel on destruction.
+  std::vector<std::pair<chain::ChainId, chain::Blockchain::SubscriptionId>>
+      head_subscriptions_;
+  std::set<chain::ChainId> watched_chains_;
+  sim::Network::SubscriptionId connectivity_subscription_ = 0;
+  bool connectivity_subscribed_ = false;
+
+  /// Coalescing state: at most one immediate step event and one timer per
+  /// distinct wake instant are ever queued. A timer that fires routes
+  /// through ScheduleStep(), so mixed timer+immediate wakes at one instant
+  /// still execute Step() once. Fired timers erase their own map entry;
+  /// the immediate-step handle slot is reused — outstanding handles stay
+  /// bounded by pending wakes, not by wakes ever scheduled.
+  bool step_pending_ = false;
+  sim::EventHandle step_handle_;
+  std::map<TimePoint, sim::EventHandle> pending_wakes_;
+
+  TimePoint start_time_ = 0;
+  bool started_ = false;
+  bool done_ = false;
+  SwapReport report_;
+};
+
+}  // namespace ac3::protocols
+
+#endif  // AC3_PROTOCOLS_ENGINE_BASE_H_

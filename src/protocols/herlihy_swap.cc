@@ -39,28 +39,26 @@ HerlihySwapEngine::HerlihySwapEngine(core::Environment* env,
                                      graph::Ac2tGraph graph,
                                      std::vector<Participant*> participants,
                                      HtlcConfig config)
-    : env_(env),
-      graph_(std::move(graph)),
-      participants_(std::move(participants)),
+    : SwapEngineBase(
+          env, std::move(graph), std::move(participants),
+          WatchConfig{config.confirm_depth, config.resubmit_interval},
+          /*protocol_name=*/""),
       config_(config) {
-  report_.protocol = graph_.participant_count() == 2 ? "Nolan-HTLC"
-                                                     : "Herlihy-HTLC";
+  mutable_report()->protocol = this->graph().participant_count() == 2
+                                   ? "Nolan-HTLC"
+                                   : "Herlihy-HTLC";
 }
 
-Status HerlihySwapEngine::Start() {
-  AC3_RETURN_IF_ERROR(graph_.Validate());
-  if (participants_.size() != graph_.participant_count()) {
-    return Status::InvalidArgument("participant list does not match graph");
-  }
-  auto leader = graph_.FindSingleLeader();
+Status HerlihySwapEngine::OnStart() {
+  auto leader = graph().FindSingleLeader();
   if (!leader.has_value()) {
     return Status::FailedPrecondition(
-        "graph is not single-leader feasible (" + graph_.Describe() +
+        "graph is not single-leader feasible (" + graph().Describe() +
         "); Nolan/Herlihy cannot execute it — see Section 5.3");
   }
   leader_ = *leader;
-  std::vector<uint32_t> dist = DistancesFrom(graph_, leader_);
-  for (const graph::Ac2tEdge& e : graph_.edges()) {
+  std::vector<uint32_t> dist = DistancesFrom(graph(), leader_);
+  for (const graph::Ac2tEdge& e : graph().edges()) {
     if (dist[e.from] == UINT32_MAX) {
       return Status::FailedPrecondition(
           "a sender is unreachable from the leader; sequential publishing "
@@ -68,36 +66,35 @@ Status HerlihySwapEngine::Start() {
     }
   }
 
-  start_time_ = env_->sim()->Now();
-  report_.start_time = start_time_;
-
   // The leader's secret and hashlock.
-  secret_ = env_->sim()->rng()->NextBytes(32);
+  secret_ = env()->sim()->rng()->NextBytes(32);
   hashlock_ = crypto::Hash256::Of(secret_);
 
   // Publish steps and timelocks: step(e) = dist(L -> sender). Contracts
   // published earlier carry LATER timelocks (t1 > t2), leaving later
   // redeemers room — exactly Nolan's two-party schedule at |V| = 2.
   uint32_t max_step = 0;
-  for (const graph::Ac2tEdge& e : graph_.edges()) {
+  for (const graph::Ac2tEdge& e : graph().edges()) {
     max_step = std::max(max_step, dist[e.from]);
   }
   const uint32_t publish_rounds = max_step + 1;
-  for (const graph::Ac2tEdge& e : graph_.edges()) {
+  for (const graph::Ac2tEdge& e : graph().edges()) {
     EdgeRt rt;
     rt.edge = e;
     rt.publish_step = dist[e.from];
     const uint32_t redeem_slack = max_step - rt.publish_step;
-    rt.timelock = start_time_ +
+    rt.timelock = start_time() +
                   config_.delta * (publish_rounds + redeem_slack + 2);
     max_timelock_ = std::max(max_timelock_, rt.timelock);
     edges_.push_back(std::move(rt));
   }
-  knows_secret_.assign(graph_.participant_count(), false);
+  knows_secret_.assign(graph().participant_count(), false);
   knows_secret_[leader_] = true;
 
-  started_ = true;
-  env_->sim()->After(config_.poll_interval, [this]() { Poll(); });
+  // Past this point nobody waits for a never-published contract; the wake
+  // guarantees the terminal check runs even if every chain has gone quiet.
+  give_up_time_ = max_timelock_ + 2 * config_.delta;
+  RequestWakeAt(give_up_time_ + 1);
   return Status::OK();
 }
 
@@ -111,16 +108,16 @@ bool HerlihySwapEngine::MayPublish(uint32_t u) const {
 }
 
 void HerlihySwapEngine::TryPublish(EdgeRt* rt) {
-  Participant* sender = participants_[rt->edge.from];
+  Participant* sender = participant(rt->edge.from);
   if (sender->behavior().decline_publish) return;
   if (!sender->IsUp()) return;
   if (!MayPublish(rt->edge.from)) return;
-  const TimePoint now = env_->sim()->Now();
+  const TimePoint now = env()->sim()->Now();
 
   if (!rt->deploy_built) {
-    const chain::Blockchain* chain = env_->blockchain(rt->edge.chain_id);
+    const chain::Blockchain* chain = env()->blockchain(rt->edge.chain_id);
     Bytes payload = contracts::HtlcContract::MakeInitPayload(
-        participants_[rt->edge.to]->pk(), hashlock_, rt->timelock);
+        participant(rt->edge.to)->pk(), hashlock_, rt->timelock);
     auto tx = sender->WalletFor(rt->edge.chain_id)
                   ->BuildDeploy(chain->StateAtHead(), contracts::kHtlcKind,
                                 payload, rt->edge.amount,
@@ -137,30 +134,15 @@ void HerlihySwapEngine::TryPublish(EdgeRt* rt) {
     rt->publish_submitted_at = now;
     rt->outcome = EdgeOutcome::kPublished;
   }
-  if (rt->last_submit < 0 || now - rt->last_submit >= config_.resubmit_interval) {
-    env_->SubmitTransaction(sender->node(), rt->edge.chain_id, rt->deploy_tx);
-    rt->last_submit = now;
-  }
-}
-
-void HerlihySwapEngine::TrackPublishConfirmation(EdgeRt* rt) {
-  const chain::Blockchain* chain = env_->blockchain(rt->edge.chain_id);
-  auto location = chain->FindTx(rt->contract_id);
-  if (!location.has_value()) return;
-  auto confirmations = chain->ConfirmationsOf(location->entry->hash);
-  if (!confirmations.has_value() || *confirmations < config_.confirm_depth) {
-    return;
-  }
-  rt->publish_confirmed = true;
-  rt->published_at = env_->sim()->Now();
+  GossipDeploy(rt, sender);
 }
 
 void HerlihySwapEngine::TrySettle(EdgeRt* rt) {
-  const TimePoint now = env_->sim()->Now();
-  const chain::Blockchain* chain = env_->blockchain(rt->edge.chain_id);
+  const TimePoint now = env()->sim()->Now();
+  const chain::Blockchain* chain = env()->blockchain(rt->edge.chain_id);
 
   // Redeem by the recipient while the timelock is live.
-  Participant* recipient = participants_[rt->edge.to];
+  Participant* recipient = participant(rt->edge.to);
   const bool recipient_knows =
       rt->edge.to == leader_ ? AllPublished() : knows_secret_[rt->edge.to];
   if (!rt->redeem_submitted && recipient_knows && recipient->IsUp() &&
@@ -172,13 +154,13 @@ void HerlihySwapEngine::TrySettle(EdgeRt* rt) {
       rt->redeem_submitted = true;
       if (!reveal_marked_ && rt->edge.to == leader_) {
         reveal_marked_ = true;
-        report_.MarkPhase("leader_reveals_secret", now);
+        mutable_report()->MarkPhase("leader_reveals_secret", now);
       }
     }
   }
 
   // Refund by the sender after expiry, while the contract is still locked.
-  Participant* sender = participants_[rt->edge.from];
+  Participant* sender = participant(rt->edge.from);
   const TimePoint head_time = chain->head()->block.header.time;
   if (!rt->refund_submitted && sender->IsUp() && head_time >= rt->timelock) {
     auto contract = chain->ContractAtHead(rt->contract_id);
@@ -196,26 +178,9 @@ void HerlihySwapEngine::TrySettle(EdgeRt* rt) {
   }
 }
 
-void HerlihySwapEngine::TrackSettlement(EdgeRt* rt) {
-  const chain::Blockchain* chain = env_->blockchain(rt->edge.chain_id);
-  for (const char* function :
-       {contracts::kRedeemFunction, contracts::kRefundFunction}) {
-    auto call = chain->FindCall(rt->contract_id, function,
-                                /*require_success=*/true);
-    if (!call.has_value()) continue;
-    auto confirmations = chain->ConfirmationsOf(call->entry->hash);
-    if (!confirmations.has_value() || *confirmations < config_.confirm_depth) {
-      continue;
-    }
-    rt->settled = true;
-    rt->settled_at = env_->sim()->Now();
-    rt->outcome = function == std::string(contracts::kRedeemFunction)
-                      ? EdgeOutcome::kRedeemed
-                      : EdgeOutcome::kRefunded;
-    if (report_.decision_time < 0) {
-      report_.decision_time = rt->settled_at;
-    }
-    return;
+void HerlihySwapEngine::OnEdgeSettled(EdgeState* edge) {
+  if (mutable_report()->decision_time < 0) {
+    mutable_report()->decision_time = edge->settled_at;
   }
 }
 
@@ -224,89 +189,51 @@ void HerlihySwapEngine::ObserveSecrets() {
   // (the redeem call's payload carries the preimage).
   for (const EdgeRt& rt : edges_) {
     if (!rt.deploy_built || knows_secret_[rt.edge.from]) continue;
-    const chain::Blockchain* chain = env_->blockchain(rt.edge.chain_id);
+    const chain::Blockchain* chain = env()->blockchain(rt.edge.chain_id);
     auto call = chain->FindCall(rt.contract_id, contracts::kRedeemFunction,
                                 /*require_success=*/true);
     if (!call.has_value()) continue;
     const chain::Transaction& tx = call->entry->block.txs[call->index];
     if (crypto::Hash256::Of(tx.payload) == hashlock_) {
       // Only an up participant observes the chain.
-      if (participants_[rt.edge.from]->IsUp()) {
+      if (participant(rt.edge.from)->IsUp()) {
         knows_secret_[rt.edge.from] = true;
       }
     }
   }
 }
 
-bool HerlihySwapEngine::AllPublished() const {
-  return std::all_of(edges_.begin(), edges_.end(),
-                     [](const EdgeRt& rt) { return rt.publish_confirmed; });
-}
-
-void HerlihySwapEngine::CheckDone() {
-  const TimePoint now = env_->sim()->Now();
+bool HerlihySwapEngine::IsComplete() const {
+  const TimePoint now = env()->sim()->Now();
   for (const EdgeRt& rt : edges_) {
     if (rt.settled) continue;
-    if (!rt.deploy_built && now > max_timelock_ + 2 * config_.delta) {
+    if (!rt.deploy_built && now > give_up_time_) {
       continue;  // Never published and nobody is waiting any more.
     }
-    return;  // Something can still move.
+    return false;  // Something can still move.
   }
-  done_ = true;
+  return true;
 }
 
-void HerlihySwapEngine::Poll() {
-  if (done_) return;
+void HerlihySwapEngine::Step() {
   ObserveSecrets();
   for (EdgeRt& rt : edges_) {
     if (rt.settled) continue;
     if (!rt.deploy_built || !rt.publish_confirmed) {
       TryPublish(&rt);
       if (rt.deploy_built) TrackPublishConfirmation(&rt);
-      continue;
+      // Fall through when the confirmation landed this very wake: the next
+      // protocol action should not wait for another block arrival.
+      if (!rt.publish_confirmed) continue;
     }
     TrySettle(&rt);
     TrackSettlement(&rt);
   }
-  CheckDone();
-  if (!done_) {
-    env_->sim()->After(config_.poll_interval, [this]() { Poll(); });
-  }
 }
 
-void HerlihySwapEngine::FinalizeReport() {
-  report_.finished = done_;
-  report_.edges.clear();
-  TimePoint last_settle = -1;
-  chain::Amount fees = 0;
-  for (const EdgeRt& rt : edges_) {
-    EdgeReport edge;
-    edge.edge = rt.edge;
-    edge.contract_id = rt.contract_id;
-    edge.outcome = rt.outcome;
-    edge.publish_submitted_at = rt.publish_submitted_at;
-    edge.published_at = rt.published_at;
-    edge.settled_at = rt.settled_at;
-    report_.edges.push_back(edge);
-    last_settle = std::max(last_settle, rt.settled_at);
-    const chain::ChainParams& params =
-        env_->blockchain(rt.edge.chain_id)->params();
-    if (rt.publish_confirmed) fees += params.deploy_fee;
-    if (rt.settled) fees += params.call_fee;
-  }
-  report_.total_fees = fees;
-  report_.end_time = last_settle >= 0 ? last_settle : env_->sim()->Now();
-  report_.committed = report_.AllRedeemed();
-  report_.aborted = !report_.committed && report_.AllRefunded();
-}
-
-Result<SwapReport> HerlihySwapEngine::Run(TimePoint deadline) {
-  if (!started_) {
-    AC3_RETURN_IF_ERROR(Start());
-  }
-  (void)env_->sim()->RunUntilCondition([this]() { return done_; }, deadline);
-  FinalizeReport();
-  return report_;
+void HerlihySwapEngine::FillVerdict(SwapReport* report) const {
+  report->committed = report->AllRedeemed();
+  report->aborted = !report->committed && report->AllRefunded();
 }
 
 HerlihySwapEngine MakeNolanTwoPartySwap(core::Environment* env,

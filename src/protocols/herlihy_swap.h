@@ -14,10 +14,12 @@
 //   * Timelocks decrease along the publish order (t2 < t1 in the paper's
 //     two-party walkthrough); a sender refunds after its timelock expires.
 //
-// The engine is event-driven over the simulated chains: it polls canonical
-// chain state, so network delays, forks, and participant crashes shape what
-// actually happens — including the paper's motivating atomicity violation
-// (a crashed recipient misses its timelock and the sender refunds).
+// The engine is a thin state machine over the reactive SwapEngineBase
+// substrate: it advances when a watched chain's canonical head moves, a
+// participant's connectivity changes, or a retry/timelock timer fires — so
+// network delays, forks, and participant crashes shape what actually
+// happens, including the paper's motivating atomicity violation (a crashed
+// recipient misses its timelock and the sender refunds).
 //
 // Graphs that are not single-leader feasible (Figure 7) are rejected at
 // Start() — the functional gap AC3WN closes (Section 5.3).
@@ -29,6 +31,7 @@
 
 #include "src/core/environment.h"
 #include "src/graph/ac2t_graph.h"
+#include "src/protocols/engine_base.h"
 #include "src/protocols/participant.h"
 #include "src/protocols/swap_report.h"
 
@@ -40,78 +43,52 @@ struct HtlcConfig {
   Duration delta = Seconds(3);
   /// Confirmations before a contract counts as publicly recognized.
   uint32_t confirm_depth = 1;
-  Duration poll_interval = Milliseconds(25);
   /// Re-gossip an unconfirmed transaction after this long.
   Duration resubmit_interval = Seconds(2);
 };
 
-class HerlihySwapEngine {
+class HerlihySwapEngine : public SwapEngineBase {
  public:
   /// `participants[i]` plays graph vertex i.
   HerlihySwapEngine(core::Environment* env, graph::Ac2tGraph graph,
                     std::vector<Participant*> participants, HtlcConfig config);
 
-  /// Validates feasibility (single leader, reachability) and schedules the
-  /// protocol; returns immediately.
-  Status Start();
-
-  bool Done() const { return done_; }
-  const SwapReport& report() const { return report_; }
-
-  /// Start() + run the simulation until done or `deadline`; finalizes and
-  /// returns the report.
-  Result<SwapReport> Run(TimePoint deadline);
-
   uint32_t leader() const { return leader_; }
   const Bytes& secret() const { return secret_; }
 
+ protected:
+  Status OnStart() override;
+  void Step() override;
+  bool IsComplete() const override;
+  size_t EdgeCount() const override { return edges_.size(); }
+  EdgeState* Edge(size_t i) override { return &edges_[i]; }
+  void FillVerdict(SwapReport* report) const override;
+  void OnEdgeSettled(EdgeState* edge) override;
+
  private:
-  struct EdgeRt {
-    graph::Ac2tEdge edge;
+  struct EdgeRt : EdgeState {
     uint32_t publish_step = 0;
     TimePoint timelock = 0;
-    crypto::Hash256 contract_id;
-    chain::Transaction deploy_tx;
-    bool deploy_built = false;
-    TimePoint last_submit = -1;
-    bool publish_confirmed = false;
     bool redeem_submitted = false;
     bool refund_submitted = false;
-    bool settled = false;
-    EdgeOutcome outcome = EdgeOutcome::kUnpublished;
-    TimePoint publish_submitted_at = -1;
-    TimePoint published_at = -1;
-    TimePoint settled_at = -1;
   };
 
-  void Poll();
   /// True when vertex u may publish its outgoing contracts.
   bool MayPublish(uint32_t u) const;
   void TryPublish(EdgeRt* rt);
-  void TrackPublishConfirmation(EdgeRt* rt);
   void TrySettle(EdgeRt* rt);
-  void TrackSettlement(EdgeRt* rt);
   void ObserveSecrets();
-  bool AllPublished() const;
-  void CheckDone();
-  void FinalizeReport();
 
-  core::Environment* env_;
-  graph::Ac2tGraph graph_;
-  std::vector<Participant*> participants_;
   HtlcConfig config_;
-
   uint32_t leader_ = 0;
   Bytes secret_;
   crypto::Hash256 hashlock_;
   std::vector<EdgeRt> edges_;
   std::vector<bool> knows_secret_;
-  TimePoint start_time_ = 0;
   TimePoint max_timelock_ = 0;
-  bool started_ = false;
-  bool done_ = false;
+  /// When even never-published edges stop being waited for (IsComplete).
+  TimePoint give_up_time_ = 0;
   bool reveal_marked_ = false;
-  SwapReport report_;
 };
 
 /// Nolan's protocol is the two-party instance of the engine (the paper

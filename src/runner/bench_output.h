@@ -3,19 +3,29 @@
 // one envelope, so the perf trajectory across commits is diffable.
 //
 // Flags understood by every bench binary:
-//   --smoke        tiny grid, seconds not minutes (CI bit-rot guard)
-//   --out DIR      directory for BENCH_*.json (default: current directory)
-//   --threads N    sweep worker threads (default: hardware concurrency)
-//   --help         usage
+//   --smoke            tiny grid, seconds not minutes (CI bit-rot guard)
+//   --out DIR          directory for BENCH_*.json (default: current dir)
+//   --threads N        sweep worker threads (default: hardware concurrency)
+//   --protocols LIST   comma-separated sweep-axis override (herlihy,ac3wn)
+//   --topologies LIST  comma-separated topology families (ring,star,...)
+//   --failures LIST    comma-separated failure modes (none,crash_...)
+//   --help             usage
+//
+// The axis flags parse through the same name tables the JSON output uses
+// (runner::Parse*), so the CLI, the printers, and the files cannot drift.
+// Benches that run a sweep grid apply them via ApplyAxisOverrides; benches
+// without a grid simply ignore them.
 
 #ifndef AC3_RUNNER_BENCH_OUTPUT_H_
 #define AC3_RUNNER_BENCH_OUTPUT_H_
 
 #include <chrono>
 #include <string>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/runner/json.h"
+#include "src/runner/sweep_runner.h"
 
 namespace ac3::runner {
 
@@ -23,6 +33,10 @@ struct BenchContext {
   bool smoke = false;
   std::string out_dir = ".";
   int threads = 0;  ///< 0 = hardware concurrency.
+  /// Sweep-axis overrides; empty = keep the bench's default axis.
+  std::vector<Protocol> protocols;
+  std::vector<Topology> topologies;
+  std::vector<FailureMode> failures;
   /// Set when --help was requested or an unknown flag was seen; main()
   /// should exit (status 0 for help, 1 otherwise) without running.
   bool exit_early = false;
@@ -32,6 +46,10 @@ struct BenchContext {
   std::chrono::steady_clock::time_point start_time =
       std::chrono::steady_clock::now();
 };
+
+/// Overwrites the grid's protocol/topology/failure axes with any non-empty
+/// override the CLI carried.
+void ApplyAxisOverrides(const BenchContext& context, SweepGridConfig* grid);
 
 /// Parses the shared bench CLI. Unknown flags print usage to stderr and
 /// set exit_early/exit_code.

@@ -37,39 +37,118 @@ void ParallelFor(int n, int threads, const std::function<void(int)>& fn) {
   for (auto& t : pool) t.join();
 }
 
-const char* ProtocolName(Protocol protocol) {
-  switch (protocol) {
-    case Protocol::kHerlihy:
-      return "herlihy";
-    case Protocol::kAc3tw:
-      return "ac3tw";
-    case Protocol::kAc3wn:
-      return "ac3wn";
+namespace {
+
+/// One shared name table per enum: the printers and the Parse* round-trips
+/// read the same rows, so they cannot drift apart (and the bench CLI
+/// resolves the same spellings the JSON files carry).
+template <typename E>
+struct NameRow {
+  E value;
+  const char* name;
+};
+
+constexpr NameRow<Protocol> kProtocolNames[] = {
+    {Protocol::kHerlihy, "herlihy"},
+    {Protocol::kAc3tw, "ac3tw"},
+    {Protocol::kAc3wn, "ac3wn"},
+};
+
+constexpr NameRow<FailureMode> kFailureModeNames[] = {
+    {FailureMode::kNone, "none"},
+    {FailureMode::kCrashParticipant, "crash_participant"},
+    {FailureMode::kPartitionParticipant, "partition_participant"},
+};
+
+constexpr NameRow<Topology> kTopologyNames[] = {
+    {Topology::kRing, "ring"},
+    {Topology::kPath, "path"},
+    {Topology::kStar, "star"},
+    {Topology::kComplete, "complete"},
+    {Topology::kRandomFeasible, "random_feasible"},
+    {Topology::kFig7aCyclic, "fig7a_cyclic"},
+    {Topology::kFig7bDisconnected, "fig7b_disconnected"},
+};
+
+template <typename E, size_t N>
+const char* NameOf(const NameRow<E> (&table)[N], E value) {
+  for (const NameRow<E>& row : table) {
+    if (row.value == value) return row.name;
   }
   return "?";
 }
 
-const char* FailureModeName(FailureMode mode) {
-  switch (mode) {
-    case FailureMode::kNone:
-      return "none";
-    case FailureMode::kCrashParticipant:
-      return "crash_participant";
-    case FailureMode::kPartitionParticipant:
-      return "partition_participant";
+template <typename E, size_t N>
+Result<E> ParseOf(const NameRow<E> (&table)[N], const std::string& name,
+                  const char* what) {
+  for (const NameRow<E>& row : table) {
+    if (name == row.name) return row.value;
   }
-  return "?";
+  std::string known;
+  for (const NameRow<E>& row : table) {
+    if (!known.empty()) known += ", ";
+    known += row.name;
+  }
+  return Status::InvalidArgument("unknown " + std::string(what) + " '" +
+                                 name + "' (known: " + known + ")");
+}
+
+}  // namespace
+
+const char* ProtocolName(Protocol protocol) {
+  return NameOf(kProtocolNames, protocol);
+}
+
+Result<Protocol> ParseProtocol(const std::string& name) {
+  return ParseOf(kProtocolNames, name, "protocol");
+}
+
+const char* FailureModeName(FailureMode mode) {
+  return NameOf(kFailureModeNames, mode);
+}
+
+Result<FailureMode> ParseFailureMode(const std::string& name) {
+  return ParseOf(kFailureModeNames, name, "failure mode");
+}
+
+const char* TopologyName(Topology topology) {
+  return NameOf(kTopologyNames, topology);
+}
+
+Result<Topology> ParseTopology(const std::string& name) {
+  return ParseOf(kTopologyNames, name, "topology");
+}
+
+bool TopologySingleLeaderFeasible(Topology topology, int size) {
+  switch (topology) {
+    case Topology::kRing:
+    case Topology::kPath:
+    case Topology::kStar:
+    case Topology::kRandomFeasible:
+      return true;
+    case Topology::kComplete:
+      return size <= 2;  // n = 2 is the plain two-party swap.
+    case Topology::kFig7aCyclic:
+      return size <= 2;  // Two parties make one bidirectional pair.
+    case Topology::kFig7bDisconnected:
+      return size <= 3;  // A single pair (plus an isolated vertex) is fine.
+  }
+  return false;
 }
 
 std::vector<SweepPoint> GridPoints(const SweepGridConfig& config) {
   std::vector<SweepPoint> points;
-  points.reserve(config.protocols.size() * config.diameters.size() *
-                 config.failures.size() * config.seeds.size());
+  points.reserve(config.protocols.size() * config.topologies.size() *
+                 config.sizes.size() * config.failures.size() *
+                 config.seeds.size());
   for (Protocol protocol : config.protocols) {
-    for (int diameter : config.diameters) {
-      for (FailureMode failure : config.failures) {
-        for (uint64_t seed : config.seeds) {
-          points.push_back(SweepPoint{protocol, diameter, failure, seed});
+    for (Topology topology : config.topologies) {
+      for (int size : config.sizes) {
+        for (FailureMode failure : config.failures) {
+          for (uint64_t seed : config.seeds) {
+            points.push_back(
+                SweepPoint{protocol, topology, size, failure, seed});
+          }
         }
       }
     }
@@ -77,18 +156,47 @@ std::vector<SweepPoint> GridPoints(const SweepGridConfig& config) {
   return points;
 }
 
-graph::Ac2tGraph RingOverWorld(core::ScenarioWorld* world, int n,
-                               chain::Amount amount) {
+graph::Ac2tGraph TopologyOverWorld(core::ScenarioWorld* world,
+                                   Topology topology, int size,
+                                   chain::Amount amount, uint64_t seed,
+                                   double chord_prob) {
   std::vector<crypto::PublicKey> pks;
   std::vector<chain::ChainId> chains;
-  pks.reserve(static_cast<size_t>(n));
-  chains.reserve(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) {
+  pks.reserve(static_cast<size_t>(size));
+  chains.reserve(static_cast<size_t>(size));
+  for (int i = 0; i < size; ++i) {
     pks.push_back(world->participant(i)->pk());
     chains.push_back(world->asset_chain(
         i % static_cast<int>(world->asset_chains().size())));
   }
-  return graph::MakeRing(pks, chains, amount, world->env()->sim()->Now());
+  const TimePoint now = world->env()->sim()->Now();
+  switch (topology) {
+    case Topology::kRing:
+      return graph::MakeRing(pks, chains, amount, now);
+    case Topology::kPath:
+      return graph::MakePath(pks, chains, amount, now);
+    case Topology::kStar:
+      return graph::MakeStar(pks, chains, amount, now);
+    case Topology::kComplete:
+      return graph::MakeCompleteDigraph(pks, chains, amount, now);
+    case Topology::kRandomFeasible: {
+      // A private stream keyed on the cell seed: the graph shape is a pure
+      // function of (seed, size), and the world's RNG is untouched.
+      Rng rng(seed ^ 0x70706f6cull);
+      return graph::MakeRandomFeasibleGraph(pks, chains, amount, chord_prob,
+                                            &rng, now);
+    }
+    case Topology::kFig7aCyclic:
+      return graph::MakeFigure7aCyclic(pks, chains, amount, now);
+    case Topology::kFig7bDisconnected:
+      return graph::MakeFigure7bDisconnected(pks, chains, amount, now);
+  }
+  return graph::MakeRing(pks, chains, amount, now);
+}
+
+graph::Ac2tGraph RingOverWorld(core::ScenarioWorld* world, int n,
+                               chain::Amount amount) {
+  return TopologyOverWorld(world, Topology::kRing, n, amount, /*seed=*/0);
 }
 
 RunOutcome ReduceReport(const SweepPoint& point,
@@ -124,8 +232,8 @@ namespace {
 core::ScenarioOptions WorldOptionsFor(const SweepGridConfig& config,
                                       const SweepPoint& point) {
   core::ScenarioOptions options;
-  options.participants = point.diameter;
-  options.asset_chains = std::min(point.diameter, config.max_asset_chains);
+  options.participants = point.size;
+  options.asset_chains = std::min(point.size, config.max_asset_chains);
   options.funding = config.funding;
   options.seed = point.seed;
   options.witness_chain = point.protocol == Protocol::kAc3wn;
@@ -134,7 +242,7 @@ core::ScenarioOptions WorldOptionsFor(const SweepGridConfig& config,
 
 void InjectFailure(const SweepGridConfig& config, const SweepPoint& point,
                    core::ScenarioWorld* world) {
-  if (point.failure == FailureMode::kNone || point.diameter < 2) return;
+  if (point.failure == FailureMode::kNone || point.size < 2) return;
   const sim::NodeId victim = world->participant(1)->node();
   const auto onset = static_cast<TimePoint>(
       config.failure_onset_deltas * static_cast<double>(config.delta));
@@ -158,6 +266,9 @@ RunOutcome ErrorOutcome(const SweepPoint& point, const Status& status) {
   outcome.point = point;
   outcome.ok = false;
   outcome.error = status.ToString();
+  // Start() refuses single-leader-infeasible graphs with FailedPrecondition
+  // — the Section 5.3 boundary, reported distinctly from world errors.
+  outcome.infeasible = status.code() == StatusCode::kFailedPrecondition;
   return outcome;
 }
 
@@ -183,52 +294,53 @@ RunOutcome RunSwapPoint(const SweepGridConfig& config,
   core::ScenarioWorld world(WorldOptionsFor(config, point));
   InjectFailure(config, point, &world);
   world.StartMining();
-  graph::Ac2tGraph ring = RingOverWorld(&world, point.diameter,
-                                        config.edge_amount);
+  graph::Ac2tGraph graph =
+      TopologyOverWorld(&world, point.topology, point.size,
+                        config.edge_amount, point.seed,
+                        config.random_chord_prob);
   const TimePoint deadline = world.env()->sim()->Now() + config.deadline;
+
+  auto finish = [&](Result<protocols::SwapReport> report) {
+    if (!report.ok()) return ErrorOutcome(point, report.status());
+    RunOutcome outcome = ReduceReport(point, *report);
+    outcome.sim_events =
+        static_cast<int64_t>(world.env()->sim()->events_executed());
+    return outcome;
+  };
 
   switch (point.protocol) {
     case Protocol::kHerlihy: {
       protocols::HtlcConfig htlc;
       htlc.delta = config.delta;
       htlc.confirm_depth = config.confirm_depth;
-      htlc.poll_interval = config.poll_interval;
       htlc.resubmit_interval = config.resubmit_interval;
-      protocols::HerlihySwapEngine engine(world.env(), ring,
+      protocols::HerlihySwapEngine engine(world.env(), graph,
                                           world.all_participants(), htlc);
-      auto report = engine.Run(deadline);
-      if (!report.ok()) return ErrorOutcome(point, report.status());
-      return ReduceReport(point, *report);
+      return finish(engine.Run(deadline));
     }
     case Protocol::kAc3tw: {
       protocols::Ac3twConfig cfg;
       cfg.delta = config.delta;
       cfg.confirm_depth = config.confirm_depth;
-      cfg.poll_interval = config.poll_interval;
       cfg.resubmit_interval = config.resubmit_interval;
       cfg.publish_patience = config.publish_patience;
       protocols::TrustedWitness trent("Trent", 0x7e27 + point.seed,
                                       world.env(), config.confirm_depth);
-      protocols::Ac3twSwapEngine engine(world.env(), ring,
+      protocols::Ac3twSwapEngine engine(world.env(), graph,
                                         world.all_participants(), &trent, cfg);
-      auto report = engine.Run(deadline);
-      if (!report.ok()) return ErrorOutcome(point, report.status());
-      return ReduceReport(point, *report);
+      return finish(engine.Run(deadline));
     }
     case Protocol::kAc3wn: {
       protocols::Ac3wnConfig cfg;
       cfg.delta = config.delta;
       cfg.confirm_depth = config.confirm_depth;
       cfg.witness_depth_d = config.witness_depth_d;
-      cfg.poll_interval = config.poll_interval;
       cfg.resubmit_interval = config.resubmit_interval;
       cfg.publish_patience = config.publish_patience;
-      protocols::Ac3wnSwapEngine engine(world.env(), ring,
+      protocols::Ac3wnSwapEngine engine(world.env(), graph,
                                         world.all_participants(),
                                         world.witness_chain(), cfg);
-      auto report = engine.Run(deadline);
-      if (!report.ok()) return ErrorOutcome(point, report.status());
-      return ReduceReport(point, *report);
+      return finish(engine.Run(deadline));
     }
   }
   return ErrorOutcome(point, Status::Internal("unknown protocol"));
@@ -263,7 +375,11 @@ SweepAggregate Aggregate(const std::vector<RunOutcome>& outcomes,
   for (const RunOutcome& outcome : outcomes) {
     ++agg.runs;
     if (!outcome.ok) {
-      ++agg.errors;
+      if (outcome.infeasible) {
+        ++agg.infeasible;
+      } else {
+        ++agg.errors;
+      }
       continue;
     }
     if (outcome.finished) ++agg.finished;
@@ -292,14 +408,17 @@ SweepAggregate Aggregate(const std::vector<RunOutcome>& outcomes,
 Json OutcomeToJson(const RunOutcome& outcome) {
   Json j = Json::Object();
   j.Set("protocol", ProtocolName(outcome.point.protocol));
-  j.Set("diameter", outcome.point.diameter);
+  j.Set("topology", TopologyName(outcome.point.topology));
+  j.Set("size", outcome.point.size);
   j.Set("failure", FailureModeName(outcome.point.failure));
   j.Set("seed", outcome.point.seed);
   j.Set("ok", outcome.ok);
   if (!outcome.ok) {
     j.Set("error", outcome.error);
+    j.Set("infeasible", outcome.infeasible);
     return j;
   }
+  j.Set("sim_events", outcome.sim_events);
   j.Set("finished", outcome.finished);
   j.Set("committed", outcome.committed);
   j.Set("aborted", outcome.aborted);
@@ -320,6 +439,7 @@ Json AggregateToJson(const SweepAggregate& aggregate) {
   Json j = Json::Object();
   j.Set("runs", aggregate.runs);
   j.Set("errors", aggregate.errors);
+  j.Set("infeasible", aggregate.infeasible);
   j.Set("finished", aggregate.finished);
   j.Set("committed", aggregate.committed);
   j.Set("aborted", aggregate.aborted);
@@ -406,7 +526,8 @@ Json GridWallJson(const GridWallStats& stats,
   for (const RunOutcome& outcome : outcomes) {
     Json cell = Json::Object();
     cell.Set("protocol", ProtocolName(outcome.point.protocol));
-    cell.Set("diameter", outcome.point.diameter);
+    cell.Set("topology", TopologyName(outcome.point.topology));
+    cell.Set("size", outcome.point.size);
     cell.Set("failure", FailureModeName(outcome.point.failure));
     cell.Set("seed", outcome.point.seed);
     cell.Set("wall_ms", outcome.wall_ms);

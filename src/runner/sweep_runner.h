@@ -46,6 +46,9 @@ std::vector<T> ParallelMap(int n, int threads,
 
 enum class Protocol { kHerlihy, kAc3tw, kAc3wn };
 const char* ProtocolName(Protocol protocol);
+/// Round-trip of ProtocolName (same table); InvalidArgument on unknown
+/// names.
+Result<Protocol> ParseProtocol(const std::string& name);
 
 enum class FailureMode {
   kNone,
@@ -56,12 +59,33 @@ enum class FailureMode {
   kPartitionParticipant,
 };
 const char* FailureModeName(FailureMode mode);
+Result<FailureMode> ParseFailureMode(const std::string& name);
 
-/// One cell of the grid: which engine, on how large a directed ring, under
-/// which failure, with which world seed.
+/// The swap-graph families of the evaluation (Sections 5.3 / 6): the
+/// single-leader-feasible shapes the HTLC baselines can run, plus the
+/// shapes only AC3WN can commit (complete digraphs and the Figure 7
+/// family reject every single leader).
+enum class Topology {
+  kRing,            ///< 0 -> 1 -> ... -> n-1 -> 0 (diameter = size).
+  kPath,            ///< 0 -> 1 -> ... -> n-1.
+  kStar,            ///< hub 0 <-> each leaf.
+  kComplete,        ///< every ordered pair; infeasible for size >= 3.
+  kRandomFeasible,  ///< ring + seeded forward chords; always feasible.
+  kFig7aCyclic,     ///< Figure 7(a): bidirectional ring, infeasible.
+  kFig7bDisconnected,  ///< Figure 7(b): disjoint 2-swaps, infeasible.
+};
+const char* TopologyName(Topology topology);
+Result<Topology> ParseTopology(const std::string& name);
+/// True when the Herlihy/Nolan baselines can execute the family at `size`
+/// participants (the Section 5.3 feasibility boundary).
+bool TopologySingleLeaderFeasible(Topology topology, int size);
+
+/// One cell of the grid: which engine, on which graph family over how many
+/// participants, under which failure, with which world seed.
 struct SweepPoint {
   Protocol protocol = Protocol::kAc3wn;
-  int diameter = 2;
+  Topology topology = Topology::kRing;
+  int size = 2;  ///< Participants in the swap graph.
   FailureMode failure = FailureMode::kNone;
   uint64_t seed = 1;
 };
@@ -69,20 +93,23 @@ struct SweepPoint {
 /// The cross-product axes plus the shared world/engine parameters.
 struct SweepGridConfig {
   std::vector<Protocol> protocols = {Protocol::kHerlihy, Protocol::kAc3wn};
-  std::vector<int> diameters = {2};
+  std::vector<Topology> topologies = {Topology::kRing};
+  std::vector<int> sizes = {2};
   std::vector<FailureMode> failures = {FailureMode::kNone};
   std::vector<uint64_t> seeds = {1};
 
-  /// Asset chains in each world: min(diameter, max_asset_chains).
+  /// Asset chains in each world: min(size, max_asset_chains).
   int max_asset_chains = 4;
   chain::Amount funding = 5000;
   chain::Amount edge_amount = 100;
+
+  /// Extra-chord probability for Topology::kRandomFeasible.
+  double random_chord_prob = 0.3;
 
   /// Engine knobs shared by all protocols (the bench "fast" profile).
   Duration delta = Seconds(2);
   uint32_t confirm_depth = 1;
   uint32_t witness_depth_d = 2;
-  Duration poll_interval = Milliseconds(20);
   Duration resubmit_interval = Milliseconds(800);
   Duration publish_patience = Seconds(20);
   Duration deadline = Minutes(60);
@@ -93,12 +120,20 @@ struct SweepGridConfig {
 };
 
 /// The grid flattened in deterministic order:
-/// protocols × diameters × failures × seeds (seed innermost).
+/// protocols × topologies × sizes × failures × seeds (seed innermost).
 std::vector<SweepPoint> GridPoints(const SweepGridConfig& config);
 
-/// A directed ring over the world's first `n` participants (diameter = n),
-/// cycling through the available asset chains — the topology every ring
-/// sweep and timeline bench shares.
+/// Builds the `topology` family over the world's first `size` participants,
+/// cycling through the available asset chains. `seed` only matters for
+/// Topology::kRandomFeasible (a private Rng stream, so the world's own
+/// randomness is untouched).
+graph::Ac2tGraph TopologyOverWorld(core::ScenarioWorld* world,
+                                   Topology topology, int size,
+                                   chain::Amount amount, uint64_t seed,
+                                   double chord_prob = 0.3);
+
+/// A directed ring over the world's first `n` participants (diameter = n) —
+/// the shape every ring sweep and timeline bench shares.
 graph::Ac2tGraph RingOverWorld(core::ScenarioWorld* world, int n,
                                chain::Amount amount = 100);
 
@@ -110,6 +145,9 @@ struct RunOutcome {
   /// Engine constructed and ran to its verdict (or deadline).
   bool ok = false;
   std::string error;  ///< Set when !ok.
+  /// The engine refused the graph at Start() (single-leader infeasible) —
+  /// the paper's Section 5.3 functional gap, distinct from a world error.
+  bool infeasible = false;
 
   bool finished = false;
   bool committed = false;
@@ -123,6 +161,11 @@ struct RunOutcome {
   int edges_refunded = 0;
   int edges_stranded = 0;
   int edges_unpublished = 0;
+
+  /// Simulation events executed by this cell's world — deterministic, and
+  /// the direct measure of the reactive-substrate win (the fixed-poll
+  /// engines executed O(duration / poll_interval) events per run).
+  int64_t sim_events = 0;
 
   /// Wall-clock cost of this cell's world (machine-dependent; excluded
   /// from OutcomeToJson so the determinism contract stays intact — see
@@ -152,6 +195,9 @@ LatencyStats ComputeLatencyStats(std::vector<double> samples_ms);
 struct SweepAggregate {
   int runs = 0;
   int errors = 0;
+  /// Graphs the protocol refused at Start() (subset of neither errors nor
+  /// finished: the engine never ran).
+  int infeasible = 0;
   int finished = 0;
   int committed = 0;
   int aborted = 0;

@@ -14,18 +14,46 @@ NodeId Network::AddNode(const std::string& label) {
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
-void Network::Crash(NodeId id) { nodes_.at(id).up = false; }
+void Network::Crash(NodeId id) {
+  nodes_.at(id).up = false;
+  NotifyConnectivity(id);
+}
 
-void Network::Recover(NodeId id) { nodes_.at(id).up = true; }
+void Network::Recover(NodeId id) {
+  nodes_.at(id).up = true;
+  NotifyConnectivity(id);
+}
 
 bool Network::IsUp(NodeId id) const { return nodes_.at(id).up; }
 
 void Network::SetPartition(NodeId id, uint32_t group) {
   nodes_.at(id).partition = group;
+  NotifyConnectivity(id);
 }
 
 void Network::HealPartitions() {
   for (NodeState& node : nodes_) node.partition = 0;
+  for (NodeId id = 0; id < nodes_.size(); ++id) NotifyConnectivity(id);
+}
+
+Network::SubscriptionId Network::SubscribeConnectivity(
+    ConnectivityListener listener) {
+  const SubscriptionId id = next_subscription_id_++;
+  connectivity_listeners_.emplace_back(id, std::move(listener));
+  return id;
+}
+
+void Network::UnsubscribeConnectivity(SubscriptionId id) {
+  std::erase_if(connectivity_listeners_,
+                [id](const auto& entry) { return entry.first == id; });
+}
+
+void Network::NotifyConnectivity(NodeId id) {
+  // Iterate by index: a listener may subscribe another listener (growing
+  // the vector) but unsubscription mid-notification is not supported.
+  for (size_t i = 0; i < connectivity_listeners_.size(); ++i) {
+    connectivity_listeners_[i].second(id);
+  }
 }
 
 uint32_t Network::partition(NodeId id) const { return nodes_.at(id).partition; }

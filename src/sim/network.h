@@ -10,8 +10,9 @@
 //                            are dropped at delivery time.
 //
 // Delivery is "fire a callback at the receiver" — since everything lives in
-// one process, a message *is* its handler closure. Protocol engines poll /
-// retry on top of this, as real blockchain clients do.
+// one process, a message *is* its handler closure. Protocol engines react
+// to deliveries, chain events, and the connectivity subscriptions below,
+// retrying on timers as real blockchain clients do.
 
 #ifndef AC3_SIM_NETWORK_H_
 #define AC3_SIM_NETWORK_H_
@@ -83,6 +84,19 @@ class Network {
   uint64_t delivered_count() const { return delivered_count_; }
   uint64_t dropped_count() const { return dropped_count_; }
 
+  // -------------------------------------------- connectivity subscriptions
+
+  /// Fires whenever a node's connectivity changes: crash, recovery, or a
+  /// partition move. Reactive protocol engines subscribe so a recovered
+  /// participant acts on the state it missed instead of being found by the
+  /// next fixed-interval poll. Callbacks run synchronously inside the
+  /// mutating call; they must not re-enter the network's mutators.
+  using ConnectivityListener = std::function<void(NodeId)>;
+  using SubscriptionId = uint64_t;
+  SubscriptionId SubscribeConnectivity(ConnectivityListener listener);
+  /// Unknown ids are ignored (idempotent).
+  void UnsubscribeConnectivity(SubscriptionId id);
+
  private:
   struct NodeState {
     std::string label;
@@ -90,10 +104,15 @@ class Network {
     uint32_t partition = 0;
   };
 
+  void NotifyConnectivity(NodeId id);
+
   Simulation* sim_;
   LatencyModel latency_;
   Rng rng_;
   std::vector<NodeState> nodes_;
+  std::vector<std::pair<SubscriptionId, ConnectivityListener>>
+      connectivity_listeners_;
+  SubscriptionId next_subscription_id_ = 1;
   uint64_t delivered_count_ = 0;
   uint64_t dropped_count_ = 0;
 };

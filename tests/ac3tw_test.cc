@@ -22,7 +22,6 @@ Ac3twConfig FastConfig() {
   Ac3twConfig config;
   config.delta = Seconds(2);
   config.confirm_depth = 1;
-  config.poll_interval = Milliseconds(20);
   config.resubmit_interval = Milliseconds(800);
   config.publish_patience = Seconds(12);
   return config;

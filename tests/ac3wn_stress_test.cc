@@ -20,7 +20,6 @@ Ac3wnConfig StressConfig(uint32_t d) {
   Ac3wnConfig config;
   config.confirm_depth = 2;  // Asset chains fork too: wait deeper.
   config.witness_depth_d = d;
-  config.poll_interval = Milliseconds(20);
   config.resubmit_interval = Seconds(1);
   config.publish_patience = Seconds(30);
   return config;

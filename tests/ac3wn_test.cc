@@ -23,7 +23,6 @@ Ac3wnConfig FastConfig() {
   config.delta = Seconds(2);
   config.confirm_depth = 1;
   config.witness_depth_d = 2;
-  config.poll_interval = Milliseconds(20);
   config.resubmit_interval = Milliseconds(800);
   config.publish_patience = Seconds(12);
   return config;

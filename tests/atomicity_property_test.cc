@@ -114,7 +114,6 @@ TEST_P(AtomicityPropertyTest, AllOrNothingHolds) {
     Ac3wnConfig config;
     config.confirm_depth = 1;
     config.witness_depth_d = 2;
-    config.poll_interval = Milliseconds(20);
     config.resubmit_interval = Milliseconds(800);
     config.publish_patience = Seconds(12);
     config.request_abort = request_abort;
@@ -126,7 +125,6 @@ TEST_P(AtomicityPropertyTest, AllOrNothingHolds) {
   } else {
     Ac3twConfig config;
     config.confirm_depth = 1;
-    config.poll_interval = Milliseconds(20);
     config.resubmit_interval = Milliseconds(800);
     config.publish_patience = Seconds(12);
     config.request_abort = request_abort;
@@ -191,7 +189,6 @@ TEST_P(CrashOnsetSweepTest, Ac3wnAtomicUnderAnyCrashOnset) {
   Ac3wnConfig config;
   config.confirm_depth = 1;
   config.witness_depth_d = 2;
-  config.poll_interval = Milliseconds(20);
   config.resubmit_interval = Milliseconds(800);
   config.publish_patience = Seconds(12);
   Ac3wnSwapEngine engine(world.env(), graph, world.all_participants(),

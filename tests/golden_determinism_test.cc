@@ -36,8 +36,14 @@ constexpr char kChainBuildHeadHash[] =
 constexpr char kMiningSimHeadHash[] =
     "0ef05f39fb0a3c791adbe6c87a6baefdf83047b889c90cad26c0f404683790f7";
 constexpr size_t kMiningSimBlocksStored = 213;
+// Re-pinned for the reactive protocol substrate (PR 3): engines now step on
+// block-arrival / connectivity / timer wakes instead of a fixed 20 ms poll,
+// so every protocol action lands on a different (coarser) event schedule
+// and outcomes carry topology/size/sim_events fields. The chain-layer
+// goldens above are untouched — the chain, mining, and ledger hot paths are
+// bit-for-bit identical; only the engines' action timing moved.
 constexpr char kSweepFingerprint[] =
-    "a0ada1ea779eb696570720b13c3e056e81e8afe09c1740ff1ad1da7a9e3f8343";
+    "22e7025e2f7207747862268faadcf48f438278e53a21ee89dec7d59de93c2edc";
 
 // ---- scenario 1: manual chain build ---------------------------------------
 
@@ -128,7 +134,8 @@ std::string SweepFingerprint(int threads) {
   runner::SweepGridConfig config;
   config.protocols = {runner::Protocol::kHerlihy, runner::Protocol::kAc3tw,
                       runner::Protocol::kAc3wn};
-  config.diameters = {2};
+  config.topologies = {runner::Topology::kRing};
+  config.sizes = {2};
   config.failures = {runner::FailureMode::kNone};
   config.seeds = {11};
   config.deadline = Minutes(20);

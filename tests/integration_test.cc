@@ -230,7 +230,6 @@ TEST(MultiWitnessTest, ConcurrentSwapsUseDifferentWitnessNetworks) {
   protocols::Ac3wnConfig config;
   config.confirm_depth = 1;
   config.witness_depth_d = 2;
-  config.poll_interval = Milliseconds(20);
   config.resubmit_interval = Milliseconds(800);
   config.publish_patience = Seconds(12);
 
@@ -276,7 +275,6 @@ TEST(MultiWitnessTest, FailedSwapDoesNotDisturbConcurrentSwap) {
   protocols::Ac3wnConfig config;
   config.confirm_depth = 1;
   config.witness_depth_d = 2;
-  config.poll_interval = Milliseconds(20);
   config.resubmit_interval = Milliseconds(800);
   config.publish_patience = Seconds(10);
 
@@ -320,7 +318,6 @@ TEST(ConservationTest, WorldValueConservedUpToMiningRewards) {
   protocols::Ac3wnConfig config;
   config.confirm_depth = 1;
   config.witness_depth_d = 2;
-  config.poll_interval = Milliseconds(20);
   config.resubmit_interval = Milliseconds(800);
   protocols::Ac3wnSwapEngine engine(world.env(), graph,
                                     world.all_participants(),
@@ -366,7 +363,6 @@ TEST(RealPresetsTest, BitcoinEthereumSwapWitnessedByLitecoin) {
   protocols::Ac3wnConfig config;
   config.confirm_depth = 1;
   config.witness_depth_d = 3;
-  config.poll_interval = Milliseconds(50);
   config.resubmit_interval = Seconds(2);
   config.publish_patience = Seconds(60);
   protocols::Ac3wnSwapEngine engine(&env, graph, {&alice, &bob}, ltc, config);

@@ -186,17 +186,74 @@ TEST(ParallelMapTest, HandlesEmptyAndSingleton) {
 TEST(SweepGridTest, PointsEnumerateInDeterministicOrder) {
   SweepGridConfig config;
   config.protocols = {Protocol::kHerlihy, Protocol::kAc3wn};
-  config.diameters = {2, 3};
+  config.topologies = {Topology::kRing, Topology::kStar};
+  config.sizes = {2, 3};
   config.failures = {FailureMode::kNone, FailureMode::kCrashParticipant};
   config.seeds = {1, 2, 3};
   std::vector<SweepPoint> points = GridPoints(config);
-  ASSERT_EQ(points.size(), 2u * 2u * 2u * 3u);
+  ASSERT_EQ(points.size(), 2u * 2u * 2u * 2u * 3u);
   EXPECT_EQ(points[0].protocol, Protocol::kHerlihy);
+  EXPECT_EQ(points[0].topology, Topology::kRing);
   EXPECT_EQ(points[0].seed, 1u);
   EXPECT_EQ(points[1].seed, 2u);  // Seeds are the innermost axis.
   EXPECT_EQ(points.back().protocol, Protocol::kAc3wn);
-  EXPECT_EQ(points.back().diameter, 3);
+  EXPECT_EQ(points.back().topology, Topology::kStar);
+  EXPECT_EQ(points.back().size, 3);
   EXPECT_EQ(points.back().seed, 3u);
+}
+
+TEST(SweepGridTest, NameTablesRoundTripThroughParse) {
+  for (Protocol protocol :
+       {Protocol::kHerlihy, Protocol::kAc3tw, Protocol::kAc3wn}) {
+    auto parsed = ParseProtocol(ProtocolName(protocol));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, protocol);
+  }
+  for (FailureMode mode :
+       {FailureMode::kNone, FailureMode::kCrashParticipant,
+        FailureMode::kPartitionParticipant}) {
+    auto parsed = ParseFailureMode(FailureModeName(mode));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, mode);
+  }
+  for (Topology topology :
+       {Topology::kRing, Topology::kPath, Topology::kStar,
+        Topology::kComplete, Topology::kRandomFeasible,
+        Topology::kFig7aCyclic, Topology::kFig7bDisconnected}) {
+    auto parsed = ParseTopology(TopologyName(topology));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, topology);
+  }
+  EXPECT_FALSE(ParseProtocol("bitcoin").ok());
+  EXPECT_FALSE(ParseTopology("mesh").ok());
+  EXPECT_FALSE(ParseFailureMode("byzantine").ok());
+}
+
+TEST(BenchOutputTest, ParsesAxisListsThroughTheSharedTables) {
+  const char* argv[] = {"bench", "--protocols", "herlihy,ac3wn",
+                        "--topologies", "ring,complete", "--failures",
+                        "crash_participant"};
+  BenchContext context = ParseBenchArgs(7, const_cast<char**>(argv));
+  ASSERT_FALSE(context.exit_early);
+  ASSERT_EQ(context.protocols.size(), 2u);
+  EXPECT_EQ(context.protocols[1], Protocol::kAc3wn);
+  ASSERT_EQ(context.topologies.size(), 2u);
+  EXPECT_EQ(context.topologies[1], Topology::kComplete);
+  ASSERT_EQ(context.failures.size(), 1u);
+  EXPECT_EQ(context.failures[0], FailureMode::kCrashParticipant);
+
+  SweepGridConfig grid;
+  ApplyAxisOverrides(context, &grid);
+  EXPECT_EQ(grid.topologies, context.topologies);
+  EXPECT_EQ(grid.protocols, context.protocols);
+  EXPECT_EQ(grid.failures, context.failures);
+}
+
+TEST(BenchOutputTest, RejectsUnknownAxisNames) {
+  const char* argv[] = {"bench", "--topologies", "ring,donut"};
+  BenchContext context = ParseBenchArgs(3, const_cast<char**>(argv));
+  EXPECT_TRUE(context.exit_early);
+  EXPECT_EQ(context.exit_code, 1);
 }
 
 TEST(AggregateTest, LatencyPercentilesUseNearestRank) {
@@ -251,7 +308,8 @@ std::string OutcomesFingerprint(const std::vector<RunOutcome>& outcomes) {
 TEST(SweepRunnerTest, ThreadCountDoesNotChangeResults) {
   SweepGridConfig config;
   config.protocols = {Protocol::kHerlihy, Protocol::kAc3tw, Protocol::kAc3wn};
-  config.diameters = {2};
+  config.topologies = {Topology::kRing};
+  config.sizes = {2};
   config.failures = {FailureMode::kNone};
   config.seeds = {11};
   config.deadline = Minutes(20);
@@ -282,7 +340,8 @@ TEST(SweepRunnerTest, ThreadCountDoesNotChangeResults) {
 TEST(SweepRunnerTest, CrashFailureModeRunsToAVerdict) {
   SweepGridConfig config;
   config.protocols = {Protocol::kAc3wn};
-  config.diameters = {2};
+  config.topologies = {Topology::kRing};
+  config.sizes = {2};
   config.failures = {FailureMode::kCrashParticipant};
   config.seeds = {5};
   config.deadline = Minutes(20);
