@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Chain-growth perf floor for CI.
+
+Compares a fresh bench_engine_hotpaths envelope (usually a --smoke run on
+a CI runner) against the committed full-run envelope at the repo root:
+the slowest fresh chain-growth segment must reach at least FACTOR times
+the slowest committed segment's blocks/sec. The committed envelope is
+the floor's source of truth — landing a faster full run automatically
+tightens the floor — and FACTOR (default 0.5) absorbs the machine gap
+between CI runners and the container the committed run came from.
+
+Usage: check_bench_floor.py FRESH.json COMMITTED.json [FACTOR]
+Exit status: 0 when the floor holds, 1 on regression or malformed input.
+"""
+
+import json
+import sys
+
+
+def min_growth_rate(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    segments = doc["wall"]["chain_growth_segments"]
+    if not segments:
+        raise ValueError(f"{path}: no chain_growth_segments")
+    return min(seg["blocks_per_sec"] for seg in segments)
+
+
+def main(argv):
+    if len(argv) not in (3, 4):
+        print(__doc__, file=sys.stderr)
+        return 1
+    fresh_path, committed_path = argv[1], argv[2]
+    factor = float(argv[3]) if len(argv) == 4 else 0.5
+
+    fresh = min_growth_rate(fresh_path)
+    committed = min_growth_rate(committed_path)
+    floor = factor * committed
+    verdict = "OK" if fresh >= floor else "REGRESSION"
+    print(
+        f"chain growth: fresh min {fresh:.0f} blocks/s vs floor "
+        f"{floor:.0f} ({factor} x committed min {committed:.0f}) -> {verdict}"
+    )
+    return 0 if fresh >= floor else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -21,6 +21,34 @@ bool CheckProofOfWork(const BlockHeader& header) {
 uint64_t MineHeader(BlockHeader* header, Rng* rng) {
   // Encode once; the nonce search only re-hashes from the cached SHA-256
   // midstate of the fixed prefix, patching the trailing nonce in place.
+  // Two nonces are evaluated per iteration through the round-interleaved
+  // pair hasher; checking lane A before lane B preserves the scalar
+  // ascending-order semantics, so the winning nonce and the returned count
+  // match MineHeaderScalar exactly (the lane-B hash of a lane-A win is the
+  // only extra work, amortized over ~2^difficulty attempts).
+  uint8_t preimage[BlockHeader::kEncodedSize];
+  header->EncodeTo(preimage);
+  crypto::HeaderHasher hasher(preimage);
+  uint64_t nonce = rng->NextU64();
+  uint64_t evaluations = 0;
+  for (;;) {
+    crypto::Hash256 hash_a;
+    crypto::Hash256 hash_b;
+    hasher.HashPairWithNonces(nonce, nonce + 1, &hash_a, &hash_b);
+    if (HashMeetsDifficulty(hash_a, header->difficulty_bits)) {
+      header->nonce = nonce;
+      return evaluations + 1;
+    }
+    if (HashMeetsDifficulty(hash_b, header->difficulty_bits)) {
+      header->nonce = nonce + 1;
+      return evaluations + 2;
+    }
+    evaluations += 2;
+    nonce += 2;
+  }
+}
+
+uint64_t MineHeaderScalar(BlockHeader* header, Rng* rng) {
   uint8_t preimage[BlockHeader::kEncodedSize];
   header->EncodeTo(preimage);
   crypto::HeaderHasher hasher(preimage);

@@ -21,10 +21,23 @@ bool HashMeetsDifficulty(const crypto::Hash256& hash, uint32_t difficulty_bits);
 /// True when the header's own hash meets its declared difficulty.
 bool CheckProofOfWork(const BlockHeader& header);
 
-/// Searches nonces (starting from a random offset drawn from `rng`) until
-/// the header meets its difficulty; mutates `header->nonce`. Returns the
-/// number of hash evaluations performed (for benchmarks).
+/// Searches nonces (starting from a random offset drawn from `rng`, in
+/// ascending order) until the header meets its difficulty; mutates
+/// `header->nonce`. Returns the number of nonces visited up to and
+/// including the winner — a deterministic function of the seed, pinned by
+/// the committed BENCH witnesses.
+///
+/// The search runs two interleaved lanes per loop iteration
+/// (HeaderHasher::HashPairWithNonces over nonce, nonce+1), overlapping the
+/// two SHA-256 dependency chains in the pipeline. The visited-nonce
+/// sequence, the winning nonce, and the returned count are identical to
+/// MineHeaderScalar — only the wall-clock per nonce changes.
 uint64_t MineHeader(BlockHeader* header, Rng* rng);
+
+/// The one-nonce-at-a-time reference search. Kept as the equivalence
+/// oracle for MineHeader (tests assert identical winning nonces and eval
+/// counts across a seed/difficulty grid); not used on the hot path.
+uint64_t MineHeaderScalar(BlockHeader* header, Rng* rng);
 
 /// Expected work contributed by one block of the given difficulty
 /// (2^difficulty_bits hash evaluations). Used by the longest-chain rule.

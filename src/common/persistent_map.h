@@ -17,27 +17,52 @@
 // invalidated by any mutation of the *handle* they came from; snapshots
 // taken before the mutation remain valid and unchanged (that is the
 // point).
+//
+// Allocation: nodes carry an intrusive reference count and live in
+// NodePool slabs (src/common/arena.h) instead of shared_ptr control
+// blocks, so the path-copy hot loop costs a free-list pop per node rather
+// than a malloc of node + control block, and a release never touches a
+// separate control-block cache line. The count is atomic because divergent
+// snapshots *share structure across threads*: parallel fork validation
+// (Blockchain::SubmitBlocks) and the sweep's worker pool both copy and
+// mutate sibling snapshots concurrently, and every path copy re-references
+// the untouched subtrees of the shared original. Increments are relaxed
+// (publication of the nodes themselves happens-before any handoff);
+// decrements are acq_rel so the destroying thread observes all writes.
 
 #ifndef AC3_COMMON_PERSISTENT_MAP_H_
 #define AC3_COMMON_PERSISTENT_MAP_H_
 
+#include <atomic>
 #include <cstddef>
-#include <memory>
+#include <cstdint>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "src/common/arena.h"
+
+/// Core utilities shared by every module (the dependency root).
 namespace ac3 {
 
+/// Immutable-node, copy-on-write ordered map (Adams weight-balanced
+/// tree): O(1) snapshot copies, O(log n) mutation via path copying,
+/// std::map-identical key-order iteration. Nodes are pool-allocated with
+/// intrusive atomic refcounts, so snapshots may be copied, mutated, and
+/// released concurrently on different threads as long as each *handle* is
+/// used by one thread at a time.
 template <typename K, typename V>
 class PersistentMap {
  private:
   struct Node;  // Defined below; declared early for the iterator.
 
  public:
+  /// An empty map (no allocation until the first Put).
   PersistentMap() = default;
 
+  /// Number of keys, maintained per node (O(1)).
   size_t size() const { return Size(root_); }
+  /// True when no keys are present.
   bool empty() const { return root_ == nullptr; }
 
   /// Pointer to the value for `key`, or nullptr when absent. The pointer
@@ -56,6 +81,7 @@ class PersistentMap {
     return nullptr;
   }
 
+  /// True when `key` is present.
   bool Contains(const K& key) const { return Find(key) != nullptr; }
 
   /// Accessor for keys known to exist; throws like std::map::at so a
@@ -85,6 +111,8 @@ class PersistentMap {
     ForEachNode(root_.get(), fn);
   }
 
+  /// Structural equality: same keys mapping to equal values (element-wise,
+  /// in key order).
   bool operator==(const PersistentMap& other) const {
     if (size() != other.size()) return false;
     const_iterator a = begin();
@@ -99,17 +127,24 @@ class PersistentMap {
 
   // ---- in-order const iteration (range-for support) ------------------------
 
+  /// Forward in-order iterator over (key, value) references. Valid as
+  /// long as the handle it came from is neither mutated nor destroyed;
+  /// snapshots taken earlier are unaffected by later mutations.
   class const_iterator {
    public:
+    /// Dereference result: a pair of references into the tree.
     using value_type = std::pair<const K&, const V&>;
 
+    /// The past-the-end iterator.
     const_iterator() = default;
 
+    /// Current (key, value) pair.
     value_type operator*() const {
       const Node* node = stack_.back();
       return {node->key, node->value};
     }
 
+    /// Advances to the next key in order.
     const_iterator& operator++() {
       const Node* node = stack_.back();
       stack_.pop_back();
@@ -117,12 +152,15 @@ class PersistentMap {
       return *this;
     }
 
+    /// Iterators are equal when positioned on the same node (or both at
+    /// the end).
     bool operator==(const const_iterator& other) const {
       if (stack_.empty() || other.stack_.empty()) {
         return stack_.empty() == other.stack_.empty();
       }
       return stack_.back() == other.stack_.back();
     }
+    /// Negation of operator==.
     bool operator!=(const const_iterator& other) const {
       return !(*this == other);
     }
@@ -137,22 +175,92 @@ class PersistentMap {
     std::vector<const Node*> stack_;
   };
 
+  /// Iterator on the smallest key (== end() when empty).
   const_iterator begin() const {
     const_iterator it;
     it.PushLeftSpine(root_.get());
     return it;
   }
+  /// The past-the-end iterator.
   const_iterator end() const { return const_iterator(); }
 
  private:
-  using Ptr = std::shared_ptr<const Node>;
+  class NodeRef;
+  using Ptr = NodeRef;
 
   struct Node {
+    Node(const K& k, V v, NodeRef l, NodeRef r, size_t s)
+        : key(k),
+          value(std::move(v)),
+          left(std::move(l)),
+          right(std::move(r)),
+          size(s) {}
+
     K key;
     V value;
     Ptr left;
     Ptr right;
     size_t size;
+    /// Intrusive count; starts at 1 for the reference Make() returns.
+    /// Mutable so shared (const) nodes can still be re-referenced.
+    mutable std::atomic<uint32_t> refs{1};
+  };
+
+  /// Intrusive shared reference to an immutable, pool-resident Node — the
+  /// shared_ptr<const Node> subset the tree needs, minus the control
+  /// block, weak count, and per-node malloc.
+  class NodeRef {
+   public:
+    NodeRef() = default;
+    NodeRef(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+    NodeRef(const NodeRef& other) : node_(other.node_) {
+      if (node_ != nullptr) {
+        node_->refs.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    NodeRef(NodeRef&& other) noexcept : node_(other.node_) {
+      other.node_ = nullptr;
+    }
+    NodeRef& operator=(const NodeRef& other) {
+      NodeRef copy(other);
+      std::swap(node_, copy.node_);
+      return *this;
+    }
+    NodeRef& operator=(NodeRef&& other) noexcept {
+      std::swap(node_, other.node_);
+      return *this;
+    }
+    ~NodeRef() { Release(); }
+
+    const Node* get() const { return node_; }
+    const Node* operator->() const { return node_; }
+    const Node& operator*() const { return *node_; }
+    bool operator==(std::nullptr_t) const { return node_ == nullptr; }
+    bool operator!=(std::nullptr_t) const { return node_ != nullptr; }
+    explicit operator bool() const { return node_ != nullptr; }
+
+    /// Takes ownership of a node whose count is already 1.
+    static NodeRef Adopt(const Node* node) {
+      NodeRef ref;
+      ref.node_ = node;
+      return ref;
+    }
+
+   private:
+    void Release() {
+      if (node_ == nullptr) return;
+      if (node_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Destroying the node releases its children in turn; recursion
+        // depth is bounded by the (balanced) tree height.
+        Node* dying = const_cast<Node*>(node_);
+        dying->~Node();
+        NodePool<Node>::Deallocate(dying);
+      }
+      node_ = nullptr;
+    }
+
+    const Node* node_ = nullptr;
   };
 
   static size_t Size(const Ptr& node) { return node ? node->size : 0; }
@@ -162,8 +270,8 @@ class PersistentMap {
 
   static Ptr Make(Ptr left, const K& key, V value, Ptr right) {
     const size_t size = 1 + Size(left) + Size(right);
-    return std::make_shared<const Node>(
-        Node{key, std::move(value), std::move(left), std::move(right), size});
+    return NodeRef::Adopt(new (NodePool<Node>::Allocate()) Node(
+        key, std::move(value), std::move(left), std::move(right), size));
   }
 
   static Ptr RotateLeft(const Ptr& left, const K& key, const V& value,

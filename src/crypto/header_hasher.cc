@@ -6,6 +6,20 @@
 
 namespace ac3::crypto {
 
+namespace {
+
+/// Serializes an 8-word chaining value as the big-endian 32-byte digest.
+void StateToDigest(const uint32_t* state, uint8_t* out) {
+  for (int i = 0; i < 8; ++i) {
+    out[i * 4] = static_cast<uint8_t>(state[i] >> 24);
+    out[i * 4 + 1] = static_cast<uint8_t>(state[i] >> 16);
+    out[i * 4 + 2] = static_cast<uint8_t>(state[i] >> 8);
+    out[i * 4 + 3] = static_cast<uint8_t>(state[i]);
+  }
+}
+
+}  // namespace
+
 HeaderHasher::HeaderHasher(std::span<const uint8_t> preimage) {
   if (preimage.size() < 8) {
     // Defined failure in release builds too: a shorter preimage has no
@@ -17,23 +31,79 @@ HeaderHasher::HeaderHasher(std::span<const uint8_t> preimage) {
   // midstate never has to be recomputed.
   const size_t prefix =
       ((preimage.size() - 8) / Sha256::kBlockSize) * Sha256::kBlockSize;
+  midstate_ = Sha256::kInitialState;
+  for (size_t offset = 0; offset < prefix; offset += Sha256::kBlockSize) {
+    Sha256::Compress(midstate_.data(), preimage.data() + offset);
+  }
+
+  // Pre-pad the tail: message bytes, 0x80, zeros, and the 64-bit
+  // big-endian TOTAL message bit length (prefix included). None of this
+  // depends on the nonce, so it is done exactly once.
   tail_len_ = preimage.size() - prefix;
-  assert(tail_len_ <= kMaxTail);
-  midstate_.Update(preimage.data(), prefix);
-  std::memcpy(tail_, preimage.data() + prefix, tail_len_);
+  const size_t padded =
+      ((tail_len_ + 1 + 8 + Sha256::kBlockSize - 1) / Sha256::kBlockSize) *
+      Sha256::kBlockSize;
+  tail_blocks_ = padded / Sha256::kBlockSize;
+  assert(padded <= kMaxTail);
+  std::memset(tail_a_, 0, padded);
+  std::memcpy(tail_a_, preimage.data() + prefix, tail_len_);
+  tail_a_[tail_len_] = 0x80;
+  const uint64_t bit_count = static_cast<uint64_t>(preimage.size()) * 8;
+  for (int i = 0; i < 8; ++i) {
+    tail_a_[padded - 8 + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(bit_count >> (56 - 8 * i));
+  }
+  std::memcpy(tail_b_, tail_a_, padded);
+
+  // Pre-pad the second-hash block: a 32-byte digest pads to exactly one
+  // block with bit length 256 (0x100) in the trailing length field.
+  std::memset(second_a_, 0, Sha256::kBlockSize);
+  second_a_[32] = 0x80;
+  second_a_[62] = 0x01;
+  std::memcpy(second_b_, second_a_, Sha256::kBlockSize);
 }
 
-Hash256 HeaderHasher::HashWithNonce(uint64_t nonce) {
-  uint8_t* hole = tail_ + (tail_len_ - 8);
+void HeaderHasher::PatchNonce(uint8_t* tail, uint64_t nonce) const {
+  uint8_t* hole = tail + (tail_len_ - 8);
   for (int i = 0; i < 8; ++i) {
     hole[i] = static_cast<uint8_t>(nonce >> (8 * i));  // Little-endian.
   }
-  Sha256 first = midstate_;  // Copying restores the cached prefix state.
-  first.Update(tail_, tail_len_);
-  const auto inner = first.Finish();
-  Sha256 second;
-  second.Update(inner.data(), inner.size());
-  return Hash256(second.Finish());
+}
+
+Hash256 HeaderHasher::HashWithNonce(uint64_t nonce) {
+  PatchNonce(tail_a_, nonce);
+  std::array<uint32_t, 8> state = midstate_;
+  for (size_t b = 0; b < tail_blocks_; ++b) {
+    Sha256::Compress(state.data(), tail_a_ + b * Sha256::kBlockSize);
+  }
+  StateToDigest(state.data(), second_a_);
+  std::array<uint32_t, 8> outer = Sha256::kInitialState;
+  Sha256::Compress(outer.data(), second_a_);
+  std::array<uint8_t, Sha256::kDigestSize> digest;
+  StateToDigest(outer.data(), digest.data());
+  return Hash256(digest);
+}
+
+void HeaderHasher::HashPairWithNonces(uint64_t nonce_a, uint64_t nonce_b,
+                                      Hash256* out_a, Hash256* out_b) {
+  PatchNonce(tail_a_, nonce_a);
+  PatchNonce(tail_b_, nonce_b);
+  std::array<uint32_t, 8> state_a = midstate_;
+  std::array<uint32_t, 8> state_b = midstate_;
+  for (size_t b = 0; b < tail_blocks_; ++b) {
+    Sha256::Compress2(state_a.data(), tail_a_ + b * Sha256::kBlockSize,
+                      state_b.data(), tail_b_ + b * Sha256::kBlockSize);
+  }
+  StateToDigest(state_a.data(), second_a_);
+  StateToDigest(state_b.data(), second_b_);
+  std::array<uint32_t, 8> outer_a = Sha256::kInitialState;
+  std::array<uint32_t, 8> outer_b = Sha256::kInitialState;
+  Sha256::Compress2(outer_a.data(), second_a_, outer_b.data(), second_b_);
+  std::array<uint8_t, Sha256::kDigestSize> digest;
+  StateToDigest(outer_a.data(), digest.data());
+  *out_a = Hash256(digest);
+  StateToDigest(outer_b.data(), digest.data());
+  *out_b = Hash256(digest);
 }
 
 }  // namespace ac3::crypto

@@ -4,17 +4,29 @@
 // A PoW header preimage is a fixed-length encoding whose final 8 bytes are
 // the little-endian nonce. The naive loop re-encodes the header into a
 // heap buffer and hashes it from scratch on every attempt. HeaderHasher
-// instead absorbs the largest 64-byte-aligned prefix that cannot overlap
-// the nonce ONCE, caching the SHA-256 compression midstate, and per
-// attempt only (a) patches the nonce into a stack-resident tail, (b) runs
-// the remaining compressions from the midstate, and (c) second-hashes the
-// 32-byte digest. For the 128-byte block header that cuts the per-nonce
-// cost from 4 compression calls plus a heap allocation to 3 compression
-// calls and zero allocations.
+// instead does all invariant work ONCE at construction:
+//
+//   * absorbs the largest 64-byte-aligned prefix that cannot overlap the
+//     nonce, caching the SHA-256 compression midstate;
+//   * pre-pads the remaining tail (FIPS 180-4 padding is a pure function
+//     of the total length, which never changes across nonce attempts);
+//   * pre-pads the fixed-shape second-hash block (32-byte digest + pad).
+//
+// A nonce attempt is then: patch 8 tail bytes, run the tail compressions
+// from the cached midstate, and one more compression for the outer hash —
+// 3 compression calls and zero allocations for the 128-byte block header
+// (the naive path is 4 compressions plus a heap re-encode).
+//
+// HashPairWithNonces additionally evaluates TWO nonces per call through
+// Sha256::Compress2, which interleaves the rounds of two independent
+// compressions so their serial dependency chains overlap in the pipeline —
+// the 2-way nonce search chain::MineHeader runs. The per-nonce digests are
+// bit-identical to HashWithNonce (pinned by tests/hotpath_test.cc).
 
 #ifndef AC3_CRYPTO_HEADER_HASHER_H_
 #define AC3_CRYPTO_HEADER_HASHER_H_
 
+#include <array>
 #include <cstdint>
 #include <span>
 
@@ -25,22 +37,41 @@ namespace ac3::crypto {
 
 class HeaderHasher {
  public:
-  /// Longest supported preimage tail kept on the stack; the preimage
-  /// itself may be any length >= 8 (the nonce field).
+  /// Longest supported padded tail, kept on the stack. The unpadded tail
+  /// is at most 63 + 8 bytes, which pads to at most two blocks.
   static constexpr size_t kMaxTail = 2 * Sha256::kBlockSize;
 
   /// `preimage` is the full encoded header, including placeholder bytes
-  /// for the trailing little-endian u64 nonce.
+  /// for the trailing little-endian u64 nonce. Must be at least 8 bytes.
   explicit HeaderHasher(std::span<const uint8_t> preimage);
 
   /// Double SHA-256 of the preimage with its trailing 8 bytes replaced by
   /// `nonce` (little-endian). Allocation-free.
   Hash256 HashWithNonce(uint64_t nonce);
 
+  /// HashWithNonce for two nonces in one round-interleaved pass
+  /// (Sha256::Compress2): `*out_a` receives the digest for `nonce_a`,
+  /// `*out_b` for `nonce_b`. Identical per-nonce results to the scalar
+  /// path, roughly 1.5 compressions' latency per nonce instead of 3.
+  void HashPairWithNonces(uint64_t nonce_a, uint64_t nonce_b, Hash256* out_a,
+                          Hash256* out_b);
+
  private:
-  Sha256 midstate_;          ///< Context after the fixed 64-byte-aligned prefix.
-  uint8_t tail_[kMaxTail];   ///< Remaining bytes; nonce hole at the end.
-  size_t tail_len_ = 0;
+  /// Writes `nonce` little-endian into `tail`'s nonce hole.
+  void PatchNonce(uint8_t* tail, uint64_t nonce) const;
+
+  /// Chaining value after the fixed 64-byte-aligned prefix.
+  std::array<uint32_t, 8> midstate_;
+  size_t tail_len_ = 0;     ///< Unpadded tail bytes (nonce hole at the end).
+  size_t tail_blocks_ = 0;  ///< Padded tail length in 64-byte blocks.
+  /// Two pre-padded tail images (one per lane); only the 8 nonce bytes
+  /// change between attempts.
+  uint8_t tail_a_[kMaxTail];
+  uint8_t tail_b_[kMaxTail];
+  /// Pre-padded second-hash blocks; the leading 32 bytes are overwritten
+  /// with the inner digest per attempt.
+  uint8_t second_a_[Sha256::kBlockSize];
+  uint8_t second_b_[Sha256::kBlockSize];
 };
 
 }  // namespace ac3::crypto

@@ -42,17 +42,12 @@ inline uint32_t SmallSigma1(uint32_t x) {
 }  // namespace
 
 Sha256::Sha256() {
-  state_[0] = 0x6a09e667;
-  state_[1] = 0xbb67ae85;
-  state_[2] = 0x3c6ef372;
-  state_[3] = 0xa54ff53a;
-  state_[4] = 0x510e527f;
-  state_[5] = 0x9b05688c;
-  state_[6] = 0x1f83d9ab;
-  state_[7] = 0x5be0cd19;
+  // Single source of truth for H(0): the same constant the raw
+  // compression path (HeaderHasher) starts from.
+  for (int i = 0; i < 8; ++i) state_[i] = kInitialState[static_cast<size_t>(i)];
 }
 
-void Sha256::ProcessBlock(const uint8_t* block) {
+void Sha256::Compress(uint32_t* state, const uint8_t* block) {
   uint32_t w[64];
   for (int t = 0; t < 16; ++t) {
     w[t] = static_cast<uint32_t>(block[t * 4]) << 24 |
@@ -64,8 +59,8 @@ void Sha256::ProcessBlock(const uint8_t* block) {
     w[t] = SmallSigma1(w[t - 2]) + w[t - 7] + SmallSigma0(w[t - 15]) + w[t - 16];
   }
 
-  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
 
   for (int t = 0; t < 64; ++t) {
     uint32_t t1 = h + BigSigma1(e) + Ch(e, f, g) + kK[t] + w[t];
@@ -80,15 +75,88 @@ void Sha256::ProcessBlock(const uint8_t* block) {
     a = t1 + t2;
   }
 
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+  state[5] += f;
+  state[6] += g;
+  state[7] += h;
 }
+
+void Sha256::Compress2(uint32_t* state_a, const uint8_t* block_a,
+                       uint32_t* state_b, const uint8_t* block_b) {
+  // Identical math to Compress(), with lane A and lane B statements
+  // interleaved so the two (mutually independent) round dependency chains
+  // overlap in the pipeline. Keep the two lanes textually in lockstep when
+  // editing: the per-lane results must equal Compress() exactly.
+  uint32_t wa[64];
+  uint32_t wb[64];
+  for (int t = 0; t < 16; ++t) {
+    wa[t] = static_cast<uint32_t>(block_a[t * 4]) << 24 |
+            static_cast<uint32_t>(block_a[t * 4 + 1]) << 16 |
+            static_cast<uint32_t>(block_a[t * 4 + 2]) << 8 |
+            static_cast<uint32_t>(block_a[t * 4 + 3]);
+    wb[t] = static_cast<uint32_t>(block_b[t * 4]) << 24 |
+            static_cast<uint32_t>(block_b[t * 4 + 1]) << 16 |
+            static_cast<uint32_t>(block_b[t * 4 + 2]) << 8 |
+            static_cast<uint32_t>(block_b[t * 4 + 3]);
+  }
+  for (int t = 16; t < 64; ++t) {
+    wa[t] =
+        SmallSigma1(wa[t - 2]) + wa[t - 7] + SmallSigma0(wa[t - 15]) + wa[t - 16];
+    wb[t] =
+        SmallSigma1(wb[t - 2]) + wb[t - 7] + SmallSigma0(wb[t - 15]) + wb[t - 16];
+  }
+
+  uint32_t aa = state_a[0], ba = state_a[1], ca = state_a[2], da = state_a[3];
+  uint32_t ea = state_a[4], fa = state_a[5], ga = state_a[6], ha = state_a[7];
+  uint32_t ab = state_b[0], bb = state_b[1], cb = state_b[2], db = state_b[3];
+  uint32_t eb = state_b[4], fb = state_b[5], gb = state_b[6], hb = state_b[7];
+
+  for (int t = 0; t < 64; ++t) {
+    const uint32_t t1a = ha + BigSigma1(ea) + Ch(ea, fa, ga) + kK[t] + wa[t];
+    const uint32_t t1b = hb + BigSigma1(eb) + Ch(eb, fb, gb) + kK[t] + wb[t];
+    const uint32_t t2a = BigSigma0(aa) + Maj(aa, ba, ca);
+    const uint32_t t2b = BigSigma0(ab) + Maj(ab, bb, cb);
+    ha = ga;
+    hb = gb;
+    ga = fa;
+    gb = fb;
+    fa = ea;
+    fb = eb;
+    ea = da + t1a;
+    eb = db + t1b;
+    da = ca;
+    db = cb;
+    ca = ba;
+    cb = bb;
+    ba = aa;
+    bb = ab;
+    aa = t1a + t2a;
+    ab = t1b + t2b;
+  }
+
+  state_a[0] += aa;
+  state_a[1] += ba;
+  state_a[2] += ca;
+  state_a[3] += da;
+  state_a[4] += ea;
+  state_a[5] += fa;
+  state_a[6] += ga;
+  state_a[7] += ha;
+  state_b[0] += ab;
+  state_b[1] += bb;
+  state_b[2] += cb;
+  state_b[3] += db;
+  state_b[4] += eb;
+  state_b[5] += fb;
+  state_b[6] += gb;
+  state_b[7] += hb;
+}
+
+void Sha256::ProcessBlock(const uint8_t* block) { Compress(state_, block); }
 
 void Sha256::Update(const uint8_t* data, size_t len) {
   bit_count_ += static_cast<uint64_t>(len) * 8;

@@ -43,6 +43,31 @@ class Sha256 {
   static std::array<uint8_t, kDigestSize> Digest(
       std::span<const uint8_t> data);
 
+  // ---- raw compression-function access (proof-of-work hot path) ----------
+  //
+  // The nonce-search loop in crypto::HeaderHasher drives the compression
+  // function directly — it does its own padding once, up front, and then
+  // re-compresses only the nonce-bearing blocks per attempt. These hooks
+  // exist for that path; everything else should use Update()/Finish().
+
+  /// The initial chaining value H(0) (FIPS 180-4, section 5.3.3).
+  static constexpr std::array<uint32_t, 8> kInitialState = {
+      0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+      0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
+  /// One compression-function application: folds the 64-byte `block` into
+  /// the 8-word chaining value `state` in place.
+  static void Compress(uint32_t* state, const uint8_t* block);
+
+  /// Two independent compressions with their rounds interleaved in one
+  /// loop. SHA-256's 64 rounds form a serial dependency chain, so a single
+  /// compression leaves superscalar execution units idle; interleaving two
+  /// unrelated lanes gives the scheduler a second independent chain to
+  /// fill them with. This is what makes the 2-way PoW nonce search faster
+  /// than two sequential Compress() calls on the same core.
+  static void Compress2(uint32_t* state_a, const uint8_t* block_a,
+                        uint32_t* state_b, const uint8_t* block_b);
+
  private:
   void ProcessBlock(const uint8_t* block);
 

@@ -39,6 +39,8 @@
 #include "src/protocols/participant.h"
 #include "src/protocols/swap_report.h"
 
+/// The swap protocol engines (Herlihy HTLC, AC3TW, AC3WN) and their
+/// shared reactive substrate.
 namespace ac3::protocols {
 
 /// Chain-observation knobs every engine shares.
@@ -50,10 +52,19 @@ struct WatchConfig {
   Duration resubmit_interval = Seconds(2);
 };
 
+/// The reactive skeleton shared by every atomic-commitment engine:
+/// confirmation tracking at depth k, deploy re-gossip, patience/timelock
+/// timers, crash-aware actors, and SwapReport assembly, driving the
+/// engine-specific Step() state machine on coalesced chain/connectivity/
+/// timer wakes (see the file comment). Engines subclass, implement the
+/// hooks, and never poll.
 class SwapEngineBase {
  public:
+  /// Engines hold subscriptions keyed to `this`: not copyable.
   SwapEngineBase(const SwapEngineBase&) = delete;
+  /// Engines hold subscriptions keyed to `this`: not assignable.
   SwapEngineBase& operator=(const SwapEngineBase&) = delete;
+  /// Cancels every chain/connectivity subscription the engine holds.
   virtual ~SwapEngineBase();
 
   /// Validates the graph, runs the engine-specific `OnStart()`, then wires
@@ -61,7 +72,9 @@ class SwapEngineBase {
   /// schedules the first step; returns immediately.
   Status Start();
 
+  /// True once the engine reached its verdict and finalized the report.
   bool Done() const { return done_; }
+  /// The (finalized when Done) swap report.
   const SwapReport& report() const { return report_; }
 
   /// Start() + run the simulation until done or `deadline`; finalizes and
@@ -72,26 +85,29 @@ class SwapEngineBase {
   /// Per-edge runtime state common to every protocol; engines extend it
   /// with protocol-specific fields and expose their vector via `Edge()`.
   struct EdgeState {
-    graph::Ac2tEdge edge;
-    crypto::Hash256 contract_id;
+    graph::Ac2tEdge edge;          ///< The AC2T edge this state tracks.
+    crypto::Hash256 contract_id;   ///< Deployed contract id on the edge chain.
     /// Built once, re-gossiped on retries (rebuilding would re-reserve the
     /// sender's wallet funds).
     chain::Transaction deploy_tx;
-    bool deploy_built = false;
-    TimePoint last_submit = -1;
-    bool publish_confirmed = false;
+    bool deploy_built = false;      ///< deploy_tx holds a signed transaction.
+    TimePoint last_submit = -1;     ///< Last deploy gossip (retry pacing).
+    bool publish_confirmed = false; ///< Deploy canonical at confirm_depth.
     /// Settlement call, same build-once discipline.
     chain::Transaction settle_tx;
-    bool settle_built = false;
-    bool settle_submitted = false;
-    TimePoint last_settle_submit = -1;
-    bool settled = false;
-    EdgeOutcome outcome = EdgeOutcome::kUnpublished;
-    TimePoint publish_submitted_at = -1;
-    TimePoint published_at = -1;
-    TimePoint settled_at = -1;
+    bool settle_built = false;        ///< settle_tx holds a signed call.
+    bool settle_submitted = false;    ///< Settlement gossiped at least once.
+    TimePoint last_settle_submit = -1;///< Last settlement gossip.
+    bool settled = false;             ///< A settle call is confirmed on-chain.
+    EdgeOutcome outcome = EdgeOutcome::kUnpublished;  ///< Final edge verdict.
+    TimePoint publish_submitted_at = -1;  ///< First deploy gossip instant.
+    TimePoint published_at = -1;          ///< Deploy confirmation instant.
+    TimePoint settled_at = -1;            ///< Settlement confirmation instant.
   };
 
+  /// Wires the engine over `env`'s world: the swap `graph`, the
+  /// participant actors (graph vertex order), the shared observation
+  /// knobs, and the protocol name stamped into the report.
   SwapEngineBase(core::Environment* env, graph::Ac2tGraph graph,
                  std::vector<Participant*> participants, WatchConfig watch,
                  std::string protocol_name);
@@ -110,7 +126,9 @@ class SwapEngineBase {
   virtual bool IsComplete() const = 0;
   /// The engine's per-edge runtimes, exposed through their common prefix.
   virtual size_t EdgeCount() const = 0;
+  /// Mutable access to the i-th edge runtime (graph edge order).
   virtual EdgeState* Edge(size_t i) = 0;
+  /// Const access to the i-th edge runtime.
   const EdgeState* Edge(size_t i) const {
     return const_cast<SwapEngineBase*>(this)->Edge(i);
   }
@@ -165,16 +183,18 @@ class SwapEngineBase {
 
   // ---- shared state accessors -------------------------------------------
 
-  core::Environment* env() const { return env_; }
-  const graph::Ac2tGraph& graph() const { return graph_; }
+  core::Environment* env() const { return env_; }       ///< The world.
+  const graph::Ac2tGraph& graph() const { return graph_; }  ///< Swap graph.
+  /// All participant actors, in graph vertex order.
   const std::vector<Participant*>& participants() const {
     return participants_;
   }
+  /// The actor at graph vertex `v`.
   Participant* participant(uint32_t v) const { return participants_[v]; }
-  const WatchConfig& watch() const { return watch_; }
-  TimePoint start_time() const { return start_time_; }
-  bool started() const { return started_; }
-  SwapReport* mutable_report() { return &report_; }
+  const WatchConfig& watch() const { return watch_; }  ///< Observation knobs.
+  TimePoint start_time() const { return start_time_; } ///< Set by Start().
+  bool started() const { return started_; }            ///< Start() ran OK.
+  SwapReport* mutable_report() { return &report_; }    ///< Report being built.
 
  private:
   void RunStep();

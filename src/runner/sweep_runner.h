@@ -26,6 +26,8 @@
 #include "src/protocols/swap_report.h"
 #include "src/runner/json.h"
 
+/// The parallel sweep substrate: grid axes, per-world outcomes,
+/// aggregation, and the worker-pool runner.
 namespace ac3::runner {
 
 /// Executes fn(0..n-1) on a pool of `threads` workers (claiming indices
@@ -44,21 +46,30 @@ std::vector<T> ParallelMap(int n, int threads,
 
 // ---- the sweep grid -------------------------------------------------------
 
-enum class Protocol { kHerlihy, kAc3tw, kAc3wn };
+/// The swap protocols under evaluation.
+enum class Protocol {
+  kHerlihy,  ///< Nolan/Herlihy HTLC baseline (single-leader spanning order).
+  kAc3tw,    ///< AC3 with a centralized trusted witness (Trent).
+  kAc3wn,    ///< AC3 with a permissionless witness network.
+};
+/// Stable lowercase name (the JSON/CLI spelling), e.g. "ac3wn".
 const char* ProtocolName(Protocol protocol);
 /// Round-trip of ProtocolName (same table); InvalidArgument on unknown
 /// names.
 Result<Protocol> ParseProtocol(const std::string& name);
 
+/// Failure schedules a sweep cell may inject into its world.
 enum class FailureMode {
-  kNone,
+  kNone,  ///< Fault-free run.
   /// Participant 1 crashes shortly after the swap starts and recovers
   /// later — the paper's motivating "Bob crashes" scenario.
   kCrashParticipant,
   /// Participant 1 is partitioned from every chain for the same window.
   kPartitionParticipant,
 };
+/// Stable lowercase name (the JSON/CLI spelling), e.g. "crash_participant".
 const char* FailureModeName(FailureMode mode);
+/// Round-trip of FailureModeName; InvalidArgument on unknown names.
 Result<FailureMode> ParseFailureMode(const std::string& name);
 
 /// The swap-graph families of the evaluation (Sections 5.3 / 6): the
@@ -74,7 +85,9 @@ enum class Topology {
   kFig7aCyclic,     ///< Figure 7(a): bidirectional ring, infeasible.
   kFig7bDisconnected,  ///< Figure 7(b): disjoint 2-swaps, infeasible.
 };
+/// Stable lowercase name (the JSON/CLI spelling), e.g. "fig7a_cyclic".
 const char* TopologyName(Topology topology);
+/// Round-trip of TopologyName; InvalidArgument on unknown names.
 Result<Topology> ParseTopology(const std::string& name);
 /// True when the Herlihy/Nolan baselines can execute the family at `size`
 /// participants (the Section 5.3 feasibility boundary).
@@ -83,36 +96,37 @@ bool TopologySingleLeaderFeasible(Topology topology, int size);
 /// One cell of the grid: which engine, on which graph family over how many
 /// participants, under which failure, with which world seed.
 struct SweepPoint {
-  Protocol protocol = Protocol::kAc3wn;
-  Topology topology = Topology::kRing;
+  Protocol protocol = Protocol::kAc3wn;   ///< Engine under test.
+  Topology topology = Topology::kRing;    ///< Swap-graph family.
   int size = 2;  ///< Participants in the swap graph.
-  FailureMode failure = FailureMode::kNone;
-  uint64_t seed = 1;
+  FailureMode failure = FailureMode::kNone;  ///< Injected failure schedule.
+  uint64_t seed = 1;  ///< World seed (all randomness derives from it).
 };
 
 /// The cross-product axes plus the shared world/engine parameters.
 struct SweepGridConfig {
   std::vector<Protocol> protocols = {Protocol::kHerlihy, Protocol::kAc3wn};
-  std::vector<Topology> topologies = {Topology::kRing};
-  std::vector<int> sizes = {2};
-  std::vector<FailureMode> failures = {FailureMode::kNone};
-  std::vector<uint64_t> seeds = {1};
+      ///< Protocol axis.
+  std::vector<Topology> topologies = {Topology::kRing};  ///< Topology axis.
+  std::vector<int> sizes = {2};                          ///< Graph sizes.
+  std::vector<FailureMode> failures = {FailureMode::kNone};  ///< Failure axis.
+  std::vector<uint64_t> seeds = {1};                     ///< Seed axis.
 
   /// Asset chains in each world: min(size, max_asset_chains).
   int max_asset_chains = 4;
-  chain::Amount funding = 5000;
-  chain::Amount edge_amount = 100;
+  chain::Amount funding = 5000;      ///< Initial funding per participant.
+  chain::Amount edge_amount = 100;   ///< Value swapped along each edge.
 
   /// Extra-chord probability for Topology::kRandomFeasible.
   double random_chord_prob = 0.3;
 
   /// Engine knobs shared by all protocols (the bench "fast" profile).
   Duration delta = Seconds(2);
-  uint32_t confirm_depth = 1;
-  uint32_t witness_depth_d = 2;
-  Duration resubmit_interval = Milliseconds(800);
-  Duration publish_patience = Seconds(20);
-  Duration deadline = Minutes(60);
+  uint32_t confirm_depth = 1;     ///< Confirmations for "publicly recognized".
+  uint32_t witness_depth_d = 2;   ///< AC3WN evidence depth d.
+  Duration resubmit_interval = Milliseconds(800);  ///< Re-gossip heartbeat.
+  Duration publish_patience = Seconds(20);  ///< Publish-phase patience window.
+  Duration deadline = Minutes(60);          ///< Hard per-world deadline.
 
   /// Crash/partition onset and length for the failure modes, in Δs.
   double failure_onset_deltas = 1.0;
@@ -141,7 +155,7 @@ graph::Ac2tGraph RingOverWorld(core::ScenarioWorld* world, int n,
 
 /// A SwapReport reduced to the numbers sweeps aggregate.
 struct RunOutcome {
-  SweepPoint point;
+  SweepPoint point;  ///< The grid cell this outcome belongs to.
   /// Engine constructed and ran to its verdict (or deadline).
   bool ok = false;
   std::string error;  ///< Set when !ok.
@@ -149,18 +163,18 @@ struct RunOutcome {
   /// the paper's Section 5.3 functional gap, distinct from a world error.
   bool infeasible = false;
 
-  bool finished = false;
-  bool committed = false;
-  bool aborted = false;
-  bool atomicity_violated = false;
+  bool finished = false;   ///< Engine reached a verdict before the deadline.
+  bool committed = false;  ///< Verdict was commit (all edges redeemed).
+  bool aborted = false;    ///< Verdict was abort (all edges refunded).
+  bool atomicity_violated = false;  ///< Mixed redeem/refund: the §3 violation.
 
   double latency_ms = -1;   ///< end_time - start_time when finished.
   double decision_ms = -1;  ///< decision_time - start_time when decided.
-  int64_t total_fees = 0;
-  int edges_redeemed = 0;
-  int edges_refunded = 0;
-  int edges_stranded = 0;
-  int edges_unpublished = 0;
+  int64_t total_fees = 0;      ///< Fees paid across every edge (and SCw).
+  int edges_redeemed = 0;      ///< Edges whose asset moved to the recipient.
+  int edges_refunded = 0;      ///< Edges returned to the sender.
+  int edges_stranded = 0;      ///< Edges locked past the deadline.
+  int edges_unpublished = 0;   ///< Edges whose deploy never confirmed.
 
   /// Simulation events executed by this cell's world — deterministic, and
   /// the direct measure of the reactive-substrate win (the fixed-poll
@@ -185,33 +199,35 @@ RunOutcome RunSwapPoint(const SweepGridConfig& config, const SweepPoint& point);
 
 /// Order statistics over a latency sample (nearest-rank percentiles).
 struct LatencyStats {
-  int samples = 0;
-  double mean_ms = 0;
-  double p50_ms = 0;
-  double p99_ms = 0;
+  int samples = 0;     ///< Sample count the statistics are over.
+  double mean_ms = 0;  ///< Arithmetic mean.
+  double p50_ms = 0;   ///< Median (nearest rank).
+  double p99_ms = 0;   ///< 99th percentile (nearest rank).
 };
+/// Reduces a latency sample to its order statistics.
 LatencyStats ComputeLatencyStats(std::vector<double> samples_ms);
 
+/// A bag of RunOutcomes reduced to the paper's evaluation numbers.
 struct SweepAggregate {
-  int runs = 0;
-  int errors = 0;
+  int runs = 0;    ///< Total grid cells aggregated.
+  int errors = 0;  ///< Worlds that failed to run (infrastructure errors).
   /// Graphs the protocol refused at Start() (subset of neither errors nor
   /// finished: the engine never ran).
   int infeasible = 0;
-  int finished = 0;
-  int committed = 0;
-  int aborted = 0;
-  int atomicity_violations = 0;
+  int finished = 0;             ///< Engines that reached a verdict.
+  int committed = 0;            ///< Commit verdicts.
+  int aborted = 0;              ///< Abort verdicts.
+  int atomicity_violations = 0; ///< Runs with mixed edge outcomes.
 
   /// Latency over committed runs only (the paper's Section 6.1 metric).
   LatencyStats commit_latency;
   /// The measured Δ used to normalize, and the normalized statistics.
   double delta_ms = 0;
-  double mean_latency_deltas = 0;
-  double p50_latency_deltas = 0;
-  double p99_latency_deltas = 0;
+  double mean_latency_deltas = 0;  ///< commit_latency.mean_ms / delta_ms.
+  double p50_latency_deltas = 0;   ///< commit_latency.p50_ms / delta_ms.
+  double p99_latency_deltas = 0;   ///< commit_latency.p99_ms / delta_ms.
 
-  double mean_fees = 0;
+  double mean_fees = 0;  ///< Mean total fees over finished runs.
   /// Committed swaps per simulated second of end-to-end latency: the
   /// steady-state rate one sequential coordinator would sustain.
   double throughput_swaps_per_sec = 0;
@@ -221,7 +237,9 @@ struct SweepAggregate {
 SweepAggregate Aggregate(const std::vector<RunOutcome>& outcomes,
                          double delta_ms);
 
+/// Deterministic JSON for one outcome (wall_ms deliberately excluded).
 Json OutcomeToJson(const RunOutcome& outcome);
+/// Deterministic JSON for an aggregate.
 Json AggregateToJson(const SweepAggregate& aggregate);
 
 /// Wall-clock stats of one RunGrid invocation.
@@ -249,11 +267,15 @@ double MeasureDeltaMs(const core::ScenarioOptions& options,
 
 // ---- the runner -----------------------------------------------------------
 
+/// The worker-pool executor for sweep grids (see the file comment): runs
+/// every grid point on `threads` workers with outcomes stored by grid
+/// index, so results are bit-for-bit identical whatever the thread count.
 class SweepRunner {
  public:
   /// `threads <= 0` selects std::thread::hardware_concurrency().
   explicit SweepRunner(int threads = 0);
 
+  /// The resolved worker count (>= 1).
   int threads() const { return threads_; }
 
   /// Runs every grid point; outcomes are in GridPoints() order regardless

@@ -4,6 +4,7 @@
 // visible-head tracker, and the indexed mempool. Each test checks the fast
 // path against the straightforward reference computation.
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -88,6 +89,78 @@ TEST(MineHeaderTest, ProducesValidPowFromMidstate) {
   const uint64_t evals = chain::MineHeader(&header, &rng);
   EXPECT_GE(evals, 1u);
   EXPECT_TRUE(chain::CheckProofOfWork(header));
+}
+
+TEST(HeaderHasherTest, PairLanesMatchScalarDigests) {
+  Rng rng(424242);
+  for (int trial = 0; trial < 8; ++trial) {
+    chain::BlockHeader header = RandomHeader(&rng);
+    uint8_t preimage[chain::BlockHeader::kEncodedSize];
+    header.EncodeTo(preimage);
+    crypto::HeaderHasher hasher(preimage);
+    for (int n = 0; n < 8; ++n) {
+      const uint64_t nonce_a = rng.NextU64();
+      const uint64_t nonce_b = rng.NextU64();
+      crypto::Hash256 pair_a;
+      crypto::Hash256 pair_b;
+      hasher.HashPairWithNonces(nonce_a, nonce_b, &pair_a, &pair_b);
+      EXPECT_EQ(pair_a, hasher.HashWithNonce(nonce_a));
+      EXPECT_EQ(pair_b, hasher.HashWithNonce(nonce_b));
+      // Scalar calls in between must not perturb later pair calls.
+      hasher.HashPairWithNonces(nonce_b, nonce_a, &pair_b, &pair_a);
+      EXPECT_EQ(pair_a, hasher.HashWithNonce(nonce_a));
+      EXPECT_EQ(pair_b, hasher.HashWithNonce(nonce_b));
+    }
+  }
+}
+
+// The interleaved search must be observationally identical to the scalar
+// oracle: same ascending visit order from the same random start, so the
+// same winning nonce and the same visited-nonce count, at every lane
+// parity (the winner landing on lane A vs lane B of the pair).
+TEST(MineHeaderTest, InterleavedVisitsSameNoncesAsScalar) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    for (uint32_t bits : {0u, 1u, 4u, 8u, 11u}) {
+      Rng scalar_rng(seed * 1000 + bits);
+      Rng fast_rng(seed * 1000 + bits);
+      chain::BlockHeader scalar_header = RandomHeader(&scalar_rng);
+      chain::BlockHeader fast_header = RandomHeader(&fast_rng);
+      scalar_header.difficulty_bits = bits;
+      fast_header.difficulty_bits = bits;
+      const uint64_t scalar_evals =
+          chain::MineHeaderScalar(&scalar_header, &scalar_rng);
+      const uint64_t fast_evals = chain::MineHeader(&fast_header, &fast_rng);
+      EXPECT_EQ(fast_header.nonce, scalar_header.nonce)
+          << "seed " << seed << " bits " << bits;
+      EXPECT_EQ(fast_evals, scalar_evals)
+          << "seed " << seed << " bits " << bits;
+      EXPECT_TRUE(chain::CheckProofOfWork(fast_header));
+    }
+  }
+}
+
+// Golden re-pin of the deterministic PoW witness, mirroring the bench's
+// --smoke pow parameters (bench_engine_hotpaths RunPow: 4 headers at 12
+// bits from Rng seed 99; the committed full-run envelope pins the
+// analogous 836367-eval witness at 16 bits). The interleaved search
+// reproduces the scalar count by construction; running both here pins
+// the value against the two implementations drifting together.
+TEST(MineHeaderTest, GoldenEvalCountMatchesBenchWitness) {
+  constexpr uint64_t kGoldenEvals = 15254;  // 4 headers, 12 bits, seed 99.
+  for (const bool interleaved : {false, true}) {
+    Rng rng(99);
+    uint64_t evals = 0;
+    for (uint64_t i = 0; i < 4; ++i) {
+      chain::BlockHeader header;
+      header.chain_id = 1;
+      header.height = i + 1;
+      header.time = static_cast<TimePoint>(i * 100);
+      header.difficulty_bits = 12;
+      evals += interleaved ? chain::MineHeader(&header, &rng)
+                           : chain::MineHeaderScalar(&header, &rng);
+    }
+    EXPECT_EQ(evals, kGoldenEvals) << "interleaved=" << interleaved;
+  }
 }
 
 // ---- PersistentMap ---------------------------------------------------------
@@ -224,6 +297,137 @@ TEST(AncestryTest, TxOnBranchDistinguishesForks) {
   EXPECT_TRUE(tc.chain().TxOnBranch(*tip_a, genesis_tx_id));
   EXPECT_TRUE(tc.chain().TxOnBranch(*tip_b, genesis_tx_id));
   EXPECT_FALSE(tc.chain().TxOnBranch(*tip_a, crypto::Hash256()));
+}
+
+// ---- batch submission (parallel fork validation) ---------------------------
+
+// SubmitBlocks must be observationally identical to a serial SubmitBlock
+// loop over the same sequence — statuses, stored blocks, head movements —
+// whatever the thread count. The batch deliberately mixes the serial
+// loop's edge cases: fork siblings, a child ordered before its parent, a
+// duplicate, an unknown parent, and a validation failure.
+TEST(SubmitBlocksTest, BatchMatchesSerialSubmission) {
+  const chain::ChainParams params = chain::TestChainParams();
+  const crypto::KeyPair alice = crypto::KeyPair::FromSeed(1);
+  const crypto::KeyPair miner = crypto::KeyPair::FromSeed(2);
+  const auto allocations = testutil::Fund({alice.public_key()}, 500);
+
+  chain::Blockchain source(params, allocations);
+  Rng rng(31337);
+  TimePoint now = 0;
+  auto mine_on = [&](const crypto::Hash256& parent,
+                     const std::vector<chain::Transaction>& txs) {
+    now += 100;
+    auto block =
+        source.AssembleBlock(parent, txs, miner.public_key(), now, &rng);
+    EXPECT_TRUE(block.ok()) << block.status().ToString();
+    Status submitted = source.SubmitBlock(*block, now);
+    EXPECT_TRUE(submitted.ok()) << submitted.ToString();
+    return *block;
+  };
+
+  const crypto::Hash256 genesis = source.genesis()->hash;
+  const chain::Block base = mine_on(genesis, {});
+  chain::Wallet wallet(alice, source.id());
+  auto tx = wallet.BuildTransfer(source.Get(base.header.Hash())->state,
+                                 miner.public_key(), 50, 1, 1);
+  ASSERT_TRUE(tx.ok());
+  const chain::Block child1 = mine_on(base.header.Hash(), {*tx});
+  const chain::Block child2 = mine_on(child1.header.Hash(), {});
+  const chain::Block fork = mine_on(genesis, {});  // Sibling of `base`.
+
+  chain::Block orphan = base;
+  orphan.header.prev_hash = crypto::Hash256::OfString("nowhere");
+
+  // A valid unsubmitted block with tampered receipts: unique header hash,
+  // fails re-execution equality (receipt merkle root mismatch).
+  now += 100;
+  auto extra = source.AssembleBlock(child1.header.Hash(), {},
+                                    miner.public_key(), now, &rng);
+  ASSERT_TRUE(extra.ok());
+  chain::Block bad_receipts = *extra;
+  bad_receipts.receipts[0].note = "tampered";
+
+  const std::vector<chain::Block> batch = {
+      base,          // 0: accepted.
+      orphan,        // 1: unknown parent.
+      child2,        // 2: parent appears later in the batch -> orphan.
+      child1,        // 3: accepted (parent committed at index 0).
+      base,          // 4: duplicate -> AlreadyExists.
+      bad_receipts,  // 5: VerificationFailed.
+      fork,          // 6: accepted fork sibling.
+  };
+
+  chain::Blockchain serial_replica(params, allocations);
+  int serial_head_moves = 0;
+  serial_replica.SubscribeHead([&](const chain::BlockEntry&) {
+    ++serial_head_moves;
+  });
+  std::vector<Status> serial_statuses;
+  size_t serial_accepted = 0;
+  for (const chain::Block& block : batch) {
+    serial_statuses.push_back(serial_replica.SubmitBlock(block, 999));
+    if (serial_statuses.back().ok()) ++serial_accepted;
+  }
+
+  chain::Blockchain batch_replica(params, allocations);
+  int batch_head_moves = 0;
+  batch_replica.SubscribeHead([&](const chain::BlockEntry&) {
+    ++batch_head_moves;
+  });
+  const auto result = batch_replica.SubmitBlocks(batch, 999, /*threads=*/4);
+
+  ASSERT_EQ(result.statuses.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(result.statuses[i].code(), serial_statuses[i].code())
+        << "block " << i << ": batch '" << result.statuses[i]
+        << "' vs serial '" << serial_statuses[i] << "'";
+  }
+  EXPECT_EQ(result.accepted, serial_accepted);
+  EXPECT_EQ(batch_replica.head()->hash, serial_replica.head()->hash);
+  EXPECT_EQ(batch_replica.block_count(), serial_replica.block_count());
+  EXPECT_EQ(batch_head_moves, serial_head_moves);
+
+  // A second pass over the same batch still matches serial: everything is
+  // a duplicate except child2, whose parent landed in pass one.
+  const auto again = batch_replica.SubmitBlocks(batch, 1999, /*threads=*/4);
+  std::vector<Status> serial_again;
+  size_t serial_again_accepted = 0;
+  for (const chain::Block& block : batch) {
+    serial_again.push_back(serial_replica.SubmitBlock(block, 1999));
+    if (serial_again.back().ok()) ++serial_again_accepted;
+  }
+  EXPECT_EQ(again.accepted, serial_again_accepted);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(again.statuses[i].code(), serial_again[i].code()) << i;
+  }
+  EXPECT_EQ(batch_replica.head()->hash, serial_replica.head()->hash);
+}
+
+// The pure catch-up shape: one linear chain submitted in order. Every
+// round resolves exactly one block (each block waits on its predecessor),
+// so this exercises the prefix-scan frontier logic end to end.
+TEST(SubmitBlocksTest, LinearChainCatchUp) {
+  const chain::ChainParams params = chain::TestChainParams();
+  const crypto::KeyPair alice = crypto::KeyPair::FromSeed(1);
+  const auto allocations = testutil::Fund({alice.public_key()}, 500);
+  testutil::TestChain source(params, allocations);
+  std::vector<chain::Block> batch;
+  ASSERT_TRUE(source.MineEmpty(40).ok());
+  for (const chain::BlockEntry* walk = source.chain().head();
+       walk->parent != nullptr; walk = walk->parent) {
+    batch.push_back(walk->block);
+  }
+  std::reverse(batch.begin(), batch.end());  // Genesis-outward order.
+
+  chain::Blockchain replica(params, allocations);
+  const auto result = replica.SubmitBlocks(batch, 7, /*threads=*/4);
+  EXPECT_EQ(result.accepted, batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_TRUE(result.statuses[i].ok()) << i << ": " << result.statuses[i];
+  }
+  EXPECT_EQ(replica.head()->hash, source.chain().head()->hash);
+  EXPECT_EQ(replica.height(), source.chain().height());
 }
 
 // ---- incremental visible head ----------------------------------------------
