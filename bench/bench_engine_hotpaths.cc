@@ -15,14 +15,15 @@
 
 #include <chrono>
 #include <cstdio>
-#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/chain/blockchain.h"
 #include "src/chain/pow.h"
 #include "src/chain/wallet.h"
+#include "src/common/worker_pool.h"
 #include "src/core/environment.h"
+#include "src/crypto/sha256.h"
 #include "src/runner/bench_output.h"
 
 namespace ac3 {
@@ -398,10 +399,7 @@ int main(int argc, char** argv) {
   const int drain_users = context.smoke ? 500 : 3000;
   const int fork_count = context.smoke ? 4 : 8;
   const int fork_depth = context.smoke ? 12 : 60;
-  const int fork_threads =
-      context.threads > 0
-          ? context.threads
-          : static_cast<int>(std::thread::hardware_concurrency());
+  const int fork_threads = common::WorkerPool::ResolveThreads(context.threads);
   const uint32_t pow_bits = context.smoke ? 12 : 16;
   const uint64_t pow_headers = context.smoke ? 4 : 16;
 
@@ -461,10 +459,42 @@ int main(int argc, char** argv) {
 
   PowRun pow = RunPow(pow_bits, pow_headers);
   std::printf("pow: %llu headers at %u bits, %llu evals in %.1f ms — "
-              "%.2fM evals/s\n",
+              "%.2fM evals/s (dispatch: %s)\n",
               static_cast<unsigned long long>(pow.headers), pow_bits,
               static_cast<unsigned long long>(pow.evaluations), pow.wall_ms,
-              pow.evals_per_sec / 1e6);
+              pow.evals_per_sec / 1e6,
+              crypto::Sha256::DispatchName(crypto::Sha256::ActiveDispatch()));
+
+  // PoW dispatch ladder: the identical workload on every available
+  // SHA-256 dispatch level. Self-checking — the eval count is part of the
+  // determinism contract and must not depend on the hardware path.
+  const crypto::Sha256::Dispatch entry_level = crypto::Sha256::ActiveDispatch();
+  runner::Json pow_dispatch_wall = runner::Json::Array();
+  bool dispatch_invariant = true;
+  for (crypto::Sha256::Dispatch level :
+       {crypto::Sha256::Dispatch::kScalar, crypto::Sha256::Dispatch::kShaNi,
+        crypto::Sha256::Dispatch::kAvx2}) {
+    if (!crypto::Sha256::DispatchAvailable(level)) continue;
+    crypto::Sha256::SetDispatch(level);
+    const PowRun ladder = RunPow(pow_bits, pow_headers);
+    if (ladder.evaluations != pow.evaluations) dispatch_invariant = false;
+    std::printf("pow[%s]: %llu evals in %.1f ms — %.2fM evals/s%s\n",
+                crypto::Sha256::DispatchName(level),
+                static_cast<unsigned long long>(ladder.evaluations),
+                ladder.wall_ms, ladder.evals_per_sec / 1e6,
+                ladder.evaluations == pow.evaluations ? "" : " (DIVERGED)");
+    runner::Json cell = runner::Json::Object();
+    cell.Set("dispatch", crypto::Sha256::DispatchName(level));
+    cell.Set("wall_ms", ladder.wall_ms);
+    cell.Set("evals_per_sec", ladder.evals_per_sec);
+    pow_dispatch_wall.Push(std::move(cell));
+  }
+  crypto::Sha256::SetDispatch(entry_level);
+  if (!dispatch_invariant) {
+    std::fprintf(stderr,
+                 "pow dispatch: eval counts diverged across SHA-256 paths\n");
+    return 1;
+  }
 
   // Deterministic witnesses: pure functions of the seeds. The golden
   // determinism test pins the same engine outputs; here they make every
@@ -502,6 +532,10 @@ int main(int argc, char** argv) {
   pow_json.Set("difficulty_bits", pow_bits);
   pow_json.Set("headers", pow.headers);
   pow_json.Set("evaluations", pow.evaluations);
+  // Deterministic by construction (self-checked above): every available
+  // dispatch level visited the same nonces. Machine-dependent rates live
+  // under wall.pow_dispatch.
+  pow_json.Set("dispatch_invariant", dispatch_invariant);
   results.Set("pow", std::move(pow_json));
 
   // Wall-clock rates: machine-dependent, deliberately outside "results".
@@ -525,7 +559,10 @@ int main(int argc, char** argv) {
   runner::Json pow_wall = runner::Json::Object();
   pow_wall.Set("wall_ms", pow.wall_ms);
   pow_wall.Set("evals_per_sec", pow.evals_per_sec);
+  pow_wall.Set("active_dispatch",
+               crypto::Sha256::DispatchName(entry_level));
   wall.Set("pow", std::move(pow_wall));
+  wall.Set("pow_dispatch", std::move(pow_dispatch_wall));
 
   auto written = runner::WriteBenchJson(context, "engine_hotpaths",
                                         std::move(results), std::move(wall));

@@ -1,47 +1,84 @@
 #!/usr/bin/env python3
-"""Chain-growth perf floor for CI.
+"""Engine hot-path perf floors for CI.
 
 Compares a fresh bench_engine_hotpaths envelope (usually a --smoke run on
 a CI runner) against the committed full-run envelope at the repo root:
-the slowest fresh chain-growth segment must reach at least FACTOR times
-the slowest committed segment's blocks/sec. The committed envelope is
-the floor's source of truth — landing a faster full run automatically
-tightens the floor — and FACTOR (default 0.5) absorbs the machine gap
-between CI runners and the container the committed run came from.
 
-Usage: check_bench_floor.py FRESH.json COMMITTED.json [FACTOR]
-Exit status: 0 when the floor holds, 1 on regression or malformed input.
+  * chain growth — the slowest fresh segment must reach at least
+    GROWTH_FACTOR times the slowest committed segment's blocks/sec.
+  * PoW — the fresh evals/sec must reach at least POW_FACTOR times the
+    committed rate.
+
+The committed envelope is the floors' source of truth — landing a faster
+full run automatically tightens them. GROWTH_FACTOR (default 0.5)
+absorbs the machine gap between CI runners and the container the
+committed run came from. POW_FACTOR defaults lower (0.1) because the
+committed rate rides the widest SHA-256 dispatch level the bench
+container has (SHA-NI / AVX2) while a CI runner may only have the scalar
+path — the floor still catches a hot-loop regression, which costs far
+more than one dispatch rung.
+
+Usage: check_bench_floor.py FRESH.json COMMITTED.json [GROWTH_FACTOR] [POW_FACTOR]
+Exit status: 0 when every floor holds, 1 on regression or malformed input.
 """
 
 import json
 import sys
 
 
-def min_growth_rate(path):
+def load(path):
     with open(path) as fh:
-        doc = json.load(fh)
+        return json.load(fh)
+
+
+def min_growth_rate(doc, path):
     segments = doc["wall"]["chain_growth_segments"]
     if not segments:
         raise ValueError(f"{path}: no chain_growth_segments")
     return min(seg["blocks_per_sec"] for seg in segments)
 
 
+def pow_rate(doc, path):
+    rate = doc["wall"]["pow"]["evals_per_sec"]
+    if rate <= 0:
+        raise ValueError(f"{path}: non-positive pow evals_per_sec")
+    return rate
+
+
+def check(name, fresh, committed, factor):
+    floor = factor * committed
+    ok = fresh >= floor
+    verdict = "OK" if ok else "REGRESSION"
+    print(
+        f"{name}: fresh {fresh:.0f} vs floor {floor:.0f} "
+        f"({factor} x committed {committed:.0f}) -> {verdict}"
+    )
+    return ok
+
+
 def main(argv):
-    if len(argv) not in (3, 4):
+    if len(argv) not in (3, 4, 5):
         print(__doc__, file=sys.stderr)
         return 1
     fresh_path, committed_path = argv[1], argv[2]
-    factor = float(argv[3]) if len(argv) == 4 else 0.5
+    growth_factor = float(argv[3]) if len(argv) >= 4 else 0.5
+    pow_factor = float(argv[4]) if len(argv) == 5 else 0.1
 
-    fresh = min_growth_rate(fresh_path)
-    committed = min_growth_rate(committed_path)
-    floor = factor * committed
-    verdict = "OK" if fresh >= floor else "REGRESSION"
-    print(
-        f"chain growth: fresh min {fresh:.0f} blocks/s vs floor "
-        f"{floor:.0f} ({factor} x committed min {committed:.0f}) -> {verdict}"
+    fresh = load(fresh_path)
+    committed = load(committed_path)
+    growth_ok = check(
+        "chain growth (blocks/s)",
+        min_growth_rate(fresh, fresh_path),
+        min_growth_rate(committed, committed_path),
+        growth_factor,
     )
-    return 0 if fresh >= floor else 1
+    pow_ok = check(
+        "pow (evals/s)",
+        pow_rate(fresh, fresh_path),
+        pow_rate(committed, committed_path),
+        pow_factor,
+    )
+    return 0 if growth_ok and pow_ok else 1
 
 
 if __name__ == "__main__":

@@ -1,16 +1,14 @@
 #include "src/chain/blockchain.h"
 
 #include <algorithm>
-#include <atomic>
-#include <barrier>
 #include <cassert>
-#include <memory>
 #include <set>
-#include <thread>
 #include <unordered_set>
+#include <utility>
 
 #include "src/chain/pow.h"
 #include "src/common/logging.h"
+#include "src/common/worker_pool.h"
 
 namespace ac3::chain {
 
@@ -246,76 +244,8 @@ void Blockchain::CommitValidated(const Block& block,
   }
 }
 
-namespace {
-
-/// A reusable worker pool for the per-round validation fan-out: spawned at
-/// most once per SubmitBlocks call (on the first round that actually has
-/// parallel work) instead of creating and joining threads every dependency
-/// round. Workers claim indices from a shared counter; RunRound() returns
-/// when task(0..count-1) has fully executed — the calling thread drains
-/// alongside the workers. The chain layer cannot see runner::ParallelFor
-/// (the dependency points the other way), hence the local twin.
-class ValidationPool {
- public:
-  /// `task` must be safe to call concurrently for distinct indices;
-  /// per-round inputs are rebound by the caller before each RunRound.
-  /// Stored by value (one copy per pool, off the hot path) so a
-  /// temporary lambda at the call site cannot dangle.
-  ValidationPool(int workers, std::function<void(size_t)> task)
-      : task_(std::move(task)), barrier_(workers + 1) {
-    threads_.reserve(static_cast<size_t>(workers));
-    for (int t = 0; t < workers; ++t) {
-      threads_.emplace_back([this] { Loop(); });
-    }
-  }
-
-  ValidationPool(const ValidationPool&) = delete;
-  ValidationPool& operator=(const ValidationPool&) = delete;
-
-  ~ValidationPool() {
-    stop_ = true;
-    count_ = 0;
-    barrier_.arrive_and_wait();  // Release workers into their exit check.
-    for (std::thread& thread : threads_) thread.join();
-  }
-
-  void RunRound(size_t count) {
-    count_ = count;
-    cursor_.store(0, std::memory_order_relaxed);
-    barrier_.arrive_and_wait();  // Open the round.
-    Drain();
-    barrier_.arrive_and_wait();  // Wait for every worker to finish it.
-  }
-
- private:
-  void Loop() {
-    for (;;) {
-      barrier_.arrive_and_wait();
-      if (stop_) return;
-      Drain();
-      barrier_.arrive_and_wait();
-    }
-  }
-
-  void Drain() {
-    for (size_t i; (i = cursor_.fetch_add(1)) < count_;) task_(i);
-  }
-
-  const std::function<void(size_t)> task_;
-  std::barrier<> barrier_;
-  std::vector<std::thread> threads_;
-  std::atomic<size_t> cursor_{0};
-  size_t count_ = 0;
-  bool stop_ = false;  ///< Written only between rounds (barrier-ordered).
-};
-
-}  // namespace
-
 Blockchain::BatchSubmitResult Blockchain::SubmitBlocks(
     const std::vector<Block>& blocks, TimePoint arrival_time, int threads) {
-  if (threads <= 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-  }
   const size_t n = blocks.size();
   BatchSubmitResult result;
   result.statuses.assign(n, Status::OK());
@@ -359,11 +289,12 @@ Blockchain::BatchSubmitResult Blockchain::SubmitBlocks(
                               &validated[r].receipts,
                               &validated[r].post_state);
   };
-  // Spawned lazily on the first round with >= 2 validations; later narrow
-  // rounds cost two barrier hops, not a thread create/join cycle.
-  std::unique_ptr<ValidationPool> pool;
-  int pool_width = 0;  ///< Workers in `pool` (0 = not spawned).
-  const int workers = std::max(threads - 1, 0);
+  // The shared worker-pool primitive: lazily spawned on the first round
+  // with >= 2 validations, reused (two barrier hops) across later rounds,
+  // and sized to the widest round seen so far. Its ResolveThreads policy
+  // also owns the `threads <= 0` fallback, hardware_concurrency()==0
+  // included.
+  common::WorkerPool pool(threads);
 
   // Each round takes the longest prefix of unsettled blocks that can be
   // resolved without waiting (parent stored, duplicate, or orphan),
@@ -412,23 +343,7 @@ Blockchain::BatchSubmitResult Blockchain::SubmitBlocks(
 
     // Parallel phase: validation is read-only against committed state.
     validated.assign(to_validate.size(), ValidationSlot{});
-    // Size the pool to the widest round seen so far (an 8-wide fork
-    // flood on a 32-core host gets 7 workers, not 31 idle barrier
-    // participants), growing — by rebuild, monotonically, at most
-    // `workers` times — if a later round turns out wider.
-    const int want = static_cast<int>(std::min<size_t>(
-        static_cast<size_t>(workers),
-        to_validate.empty() ? 0 : to_validate.size() - 1));
-    if (want > pool_width) {
-      pool.reset();  // Join the narrower generation first.
-      pool = std::make_unique<ValidationPool>(want, validate_one);
-      pool_width = want;
-    }
-    if (pool != nullptr) {
-      pool->RunRound(to_validate.size());
-    } else {
-      for (size_t r = 0; r < to_validate.size(); ++r) validate_one(r);
-    }
+    pool.ParallelFor(to_validate.size(), validate_one);
 
     // Serial phase: commit in input order (to_validate is ascending).
     for (size_t r = 0; r < to_validate.size(); ++r) {

@@ -104,8 +104,9 @@ class Blockchain {
   /// golden determinism fingerprints byte-identical whatever `threads`
   /// is. Order batches level-major (parents before children, independent
   /// siblings adjacent) for maximum per-round width; a purely linear
-  /// chain degrades gracefully to serial cost. `threads <= 0` selects
-  /// std::thread::hardware_concurrency().
+  /// chain degrades gracefully to serial cost. The fan-out runs on the
+  /// shared common::WorkerPool primitive, whose ResolveThreads policy
+  /// maps `threads <= 0` to hardware_concurrency() clamped to >= 1.
   ///
   /// Validation reads only committed state (the persistent snapshots'
   /// atomic refcounts make cross-thread sharing of ledger structure safe);

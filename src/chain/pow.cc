@@ -21,16 +21,36 @@ bool CheckProofOfWork(const BlockHeader& header) {
 uint64_t MineHeader(BlockHeader* header, Rng* rng) {
   // Encode once; the nonce search only re-hashes from the cached SHA-256
   // midstate of the fixed prefix, patching the trailing nonce in place.
-  // Two nonces are evaluated per iteration through the round-interleaved
-  // pair hasher; checking lane A before lane B preserves the scalar
-  // ascending-order semantics, so the winning nonce and the returned count
-  // match MineHeaderScalar exactly (the lane-B hash of a lane-A win is the
-  // only extra work, amortized over ~2^difficulty attempts).
+  // The loop width follows the active SHA-256 dispatch level (2 lanes on
+  // the scalar/SHA-NI rungs, 8 on AVX2); lanes are checked in ascending
+  // nonce order, so whatever the width, the winning nonce and the
+  // returned count — nonces visited up to and including the winner —
+  // match MineHeaderScalar exactly (the later-lane hashes of a win are
+  // the only extra work, amortized over ~2^difficulty attempts).
   uint8_t preimage[BlockHeader::kEncodedSize];
   header->EncodeTo(preimage);
   crypto::HeaderHasher hasher(preimage);
   uint64_t nonce = rng->NextU64();
   uint64_t evaluations = 0;
+  const size_t lanes = crypto::Sha256::PreferredMiningLanes();
+  if (lanes > 2) {
+    uint64_t nonces[crypto::Sha256::kMaxLanes];
+    crypto::Hash256 hashes[crypto::Sha256::kMaxLanes];
+    for (;;) {
+      for (size_t lane = 0; lane < lanes; ++lane) {
+        nonces[lane] = nonce + lane;
+      }
+      hasher.HashBatchWithNonces(nonces, lanes, hashes);
+      for (size_t lane = 0; lane < lanes; ++lane) {
+        if (HashMeetsDifficulty(hashes[lane], header->difficulty_bits)) {
+          header->nonce = nonces[lane];
+          return evaluations + lane + 1;
+        }
+      }
+      evaluations += lanes;
+      nonce += lanes;
+    }
+  }
   for (;;) {
     crypto::Hash256 hash_a;
     crypto::Hash256 hash_b;

@@ -27,11 +27,14 @@ bool CheckProofOfWork(const BlockHeader& header);
 /// including the winner — a deterministic function of the seed, pinned by
 /// the committed BENCH witnesses.
 ///
-/// The search runs two interleaved lanes per loop iteration
-/// (HeaderHasher::HashPairWithNonces over nonce, nonce+1), overlapping the
-/// two SHA-256 dependency chains in the pipeline. The visited-nonce
-/// sequence, the winning nonce, and the returned count are identical to
-/// MineHeaderScalar — only the wall-clock per nonce changes.
+/// The search runs several interleaved lanes per loop iteration — two
+/// (HeaderHasher::HashPairWithNonces over nonce, nonce+1) on the
+/// scalar/SHA-NI SHA-256 dispatch levels, eight
+/// (HeaderHasher::HashBatchWithNonces) on the AVX2 message-parallel
+/// level — overlapping the independent SHA-256 dependency chains. Lanes
+/// are checked in ascending nonce order, so the winning nonce and the
+/// returned count are identical to MineHeaderScalar on every dispatch
+/// level — only the wall-clock per nonce changes.
 uint64_t MineHeader(BlockHeader* header, Rng* rng);
 
 /// The one-nonce-at-a-time reference search. Kept as the equivalence

@@ -18,9 +18,10 @@
 //     batches: a cache that grows past two slabs spills one slab's worth,
 //     an empty cache refills at most one slab's worth, and a dying
 //     thread's cache is spliced over whole — so no single thread hoards
-//     the free memory, and worker pools that come and go
-//     (runner::ParallelFor spawns fresh threads per grid) keep reusing
-//     the same nodes instead of stranding them;
+//     the free memory, and worker threads that come and go (a
+//     common::WorkerPool gang rebuilt to a wider round, a one-shot
+//     runner::ParallelFor pool) keep reusing the same nodes instead of
+//     stranding them;
 //   * slabs are never returned to the OS: the pool is process-lifetime by
 //     design, matching the repo's batch benchmark/test processes.
 //

@@ -1,0 +1,114 @@
+#include "src/common/worker_pool.h"
+
+#include <barrier>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ac3::common {
+
+/// The spawned half of the pool: `width` threads parked on a barrier
+/// shared with the caller. A round is two barrier phases — arrive to open
+/// (round state published by the caller is now visible), drain, arrive to
+/// close (worker writes are now visible to the caller). Destruction
+/// releases the workers into their exit check via the same barrier.
+class WorkerPool::Gang {
+ public:
+  Gang(WorkerPool* pool, int width) : pool_(pool), barrier_(width + 1) {
+    threads_.reserve(static_cast<size_t>(width));
+    for (int t = 0; t < width; ++t) {
+      threads_.emplace_back([this] { Loop(); });
+    }
+  }
+
+  Gang(const Gang&) = delete;
+  Gang& operator=(const Gang&) = delete;
+
+  ~Gang() {
+    stop_ = true;
+    pool_->count_ = 0;  // An empty "round" so Drain() is a no-op.
+    barrier_.arrive_and_wait();
+    for (std::thread& thread : threads_) thread.join();
+  }
+
+  /// Runs the round already staged in the pool's round state; returns
+  /// when every index has fully executed (the caller drains alongside).
+  void RunRound() {
+    barrier_.arrive_and_wait();  // Open the round.
+    pool_->Drain();
+    barrier_.arrive_and_wait();  // Wait for every worker to finish it.
+  }
+
+ private:
+  void Loop() {
+    for (;;) {
+      barrier_.arrive_and_wait();
+      if (stop_) return;
+      pool_->Drain();
+      barrier_.arrive_and_wait();
+    }
+  }
+
+  WorkerPool* const pool_;
+  std::barrier<> barrier_;
+  std::vector<std::thread> threads_;
+  bool stop_ = false;  ///< Written only between rounds (barrier-ordered).
+};
+
+int WorkerPool::ResolveThreads(int threads) {
+  if (threads > 0) return threads;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? static_cast<int>(hardware) : 1;
+}
+
+WorkerPool::WorkerPool(int threads) : threads_(ResolveThreads(threads)) {}
+
+WorkerPool::~WorkerPool() = default;
+
+void WorkerPool::Drain() {
+  for (size_t i; !failed_.load(std::memory_order_relaxed) &&
+                 (i = cursor_.fetch_add(1, std::memory_order_relaxed)) <
+                     count_;) {
+    try {
+      (*task_)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu_);
+      if (error_ == nullptr) error_ = std::current_exception();
+      failed_.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+void WorkerPool::EnsureWidth(int want) {
+  if (want <= gang_width_) return;
+  gang_.reset();  // Join the narrower generation first.
+  gang_ = std::make_unique<Gang>(this, want);
+  gang_width_ = want;
+}
+
+void WorkerPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  // Never park idle barrier participants: a round of n indices needs at
+  // most n - 1 workers beside the caller.
+  const int want = static_cast<int>(
+      std::min(static_cast<size_t>(threads_ - 1), n - 1));
+  if (want <= 0) {
+    // Inline serial round — exceptions propagate directly, which is the
+    // same caller-visible contract as the parallel rethrow below.
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  EnsureWidth(want);
+  task_ = &fn;
+  count_ = n;
+  cursor_.store(0, std::memory_order_relaxed);
+  failed_.store(false, std::memory_order_relaxed);
+  error_ = nullptr;
+  gang_->RunRound();
+  task_ = nullptr;
+  if (error_ != nullptr) {
+    std::rethrow_exception(std::exchange(error_, nullptr));
+  }
+}
+
+}  // namespace ac3::common

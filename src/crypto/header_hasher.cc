@@ -45,22 +45,27 @@ HeaderHasher::HeaderHasher(std::span<const uint8_t> preimage) {
       Sha256::kBlockSize;
   tail_blocks_ = padded / Sha256::kBlockSize;
   assert(padded <= kMaxTail);
-  std::memset(tail_a_, 0, padded);
-  std::memcpy(tail_a_, preimage.data() + prefix, tail_len_);
-  tail_a_[tail_len_] = 0x80;
+  std::memset(tails_[0], 0, padded);
+  std::memcpy(tails_[0], preimage.data() + prefix, tail_len_);
+  tails_[0][tail_len_] = 0x80;
   const uint64_t bit_count = static_cast<uint64_t>(preimage.size()) * 8;
   for (int i = 0; i < 8; ++i) {
-    tail_a_[padded - 8 + static_cast<size_t>(i)] =
+    tails_[0][padded - 8 + static_cast<size_t>(i)] =
         static_cast<uint8_t>(bit_count >> (56 - 8 * i));
   }
-  std::memcpy(tail_b_, tail_a_, padded);
 
   // Pre-pad the second-hash block: a 32-byte digest pads to exactly one
   // block with bit length 256 (0x100) in the trailing length field.
-  std::memset(second_a_, 0, Sha256::kBlockSize);
-  second_a_[32] = 0x80;
-  second_a_[62] = 0x01;
-  std::memcpy(second_b_, second_a_, Sha256::kBlockSize);
+  std::memset(seconds_[0], 0, Sha256::kBlockSize);
+  seconds_[0][32] = 0x80;
+  seconds_[0][62] = 0x01;
+
+  // Every lane starts from the same images; only nonce holes and inner
+  // digests diverge per attempt.
+  for (size_t lane = 1; lane < Sha256::kMaxLanes; ++lane) {
+    std::memcpy(tails_[lane], tails_[0], padded);
+    std::memcpy(seconds_[lane], seconds_[0], Sha256::kBlockSize);
+  }
 }
 
 void HeaderHasher::PatchNonce(uint8_t* tail, uint64_t nonce) const {
@@ -71,14 +76,14 @@ void HeaderHasher::PatchNonce(uint8_t* tail, uint64_t nonce) const {
 }
 
 Hash256 HeaderHasher::HashWithNonce(uint64_t nonce) {
-  PatchNonce(tail_a_, nonce);
+  PatchNonce(tails_[0], nonce);
   std::array<uint32_t, 8> state = midstate_;
   for (size_t b = 0; b < tail_blocks_; ++b) {
-    Sha256::Compress(state.data(), tail_a_ + b * Sha256::kBlockSize);
+    Sha256::Compress(state.data(), tails_[0] + b * Sha256::kBlockSize);
   }
-  StateToDigest(state.data(), second_a_);
+  StateToDigest(state.data(), seconds_[0]);
   std::array<uint32_t, 8> outer = Sha256::kInitialState;
-  Sha256::Compress(outer.data(), second_a_);
+  Sha256::Compress(outer.data(), seconds_[0]);
   std::array<uint8_t, Sha256::kDigestSize> digest;
   StateToDigest(outer.data(), digest.data());
   return Hash256(digest);
@@ -86,24 +91,54 @@ Hash256 HeaderHasher::HashWithNonce(uint64_t nonce) {
 
 void HeaderHasher::HashPairWithNonces(uint64_t nonce_a, uint64_t nonce_b,
                                       Hash256* out_a, Hash256* out_b) {
-  PatchNonce(tail_a_, nonce_a);
-  PatchNonce(tail_b_, nonce_b);
+  PatchNonce(tails_[0], nonce_a);
+  PatchNonce(tails_[1], nonce_b);
   std::array<uint32_t, 8> state_a = midstate_;
   std::array<uint32_t, 8> state_b = midstate_;
   for (size_t b = 0; b < tail_blocks_; ++b) {
-    Sha256::Compress2(state_a.data(), tail_a_ + b * Sha256::kBlockSize,
-                      state_b.data(), tail_b_ + b * Sha256::kBlockSize);
+    Sha256::Compress2(state_a.data(), tails_[0] + b * Sha256::kBlockSize,
+                      state_b.data(), tails_[1] + b * Sha256::kBlockSize);
   }
-  StateToDigest(state_a.data(), second_a_);
-  StateToDigest(state_b.data(), second_b_);
+  StateToDigest(state_a.data(), seconds_[0]);
+  StateToDigest(state_b.data(), seconds_[1]);
   std::array<uint32_t, 8> outer_a = Sha256::kInitialState;
   std::array<uint32_t, 8> outer_b = Sha256::kInitialState;
-  Sha256::Compress2(outer_a.data(), second_a_, outer_b.data(), second_b_);
+  Sha256::Compress2(outer_a.data(), seconds_[0], outer_b.data(), seconds_[1]);
   std::array<uint8_t, Sha256::kDigestSize> digest;
   StateToDigest(outer_a.data(), digest.data());
   *out_a = Hash256(digest);
   StateToDigest(outer_b.data(), digest.data());
   *out_b = Hash256(digest);
+}
+
+void HeaderHasher::HashBatchWithNonces(const uint64_t* nonces, size_t n,
+                                       Hash256* out) {
+  assert(n <= Sha256::kMaxLanes);
+  std::array<uint32_t, 8> states[Sha256::kMaxLanes];
+  uint32_t* state_ptrs[Sha256::kMaxLanes] = {};
+  const uint8_t* block_ptrs[Sha256::kMaxLanes] = {};
+  for (size_t lane = 0; lane < n; ++lane) {
+    PatchNonce(tails_[lane], nonces[lane]);
+    states[lane] = midstate_;
+    state_ptrs[lane] = states[lane].data();
+  }
+  for (size_t b = 0; b < tail_blocks_; ++b) {
+    for (size_t lane = 0; lane < n; ++lane) {
+      block_ptrs[lane] = tails_[lane] + b * Sha256::kBlockSize;
+    }
+    Sha256::CompressBatch(state_ptrs, block_ptrs, n);
+  }
+  for (size_t lane = 0; lane < n; ++lane) {
+    StateToDigest(states[lane].data(), seconds_[lane]);
+    states[lane] = Sha256::kInitialState;
+    block_ptrs[lane] = seconds_[lane];
+  }
+  Sha256::CompressBatch(state_ptrs, block_ptrs, n);
+  std::array<uint8_t, Sha256::kDigestSize> digest;
+  for (size_t lane = 0; lane < n; ++lane) {
+    StateToDigest(states[lane].data(), digest.data());
+    out[lane] = Hash256(digest);
+  }
 }
 
 }  // namespace ac3::crypto

@@ -20,8 +20,13 @@
 // HashPairWithNonces additionally evaluates TWO nonces per call through
 // Sha256::Compress2, which interleaves the rounds of two independent
 // compressions so their serial dependency chains overlap in the pipeline —
-// the 2-way nonce search chain::MineHeader runs. The per-nonce digests are
-// bit-identical to HashWithNonce (pinned by tests/hotpath_test.cc).
+// the 2-way nonce search chain::MineHeader runs on the scalar and SHA-NI
+// dispatch levels. HashBatchWithNonces generalizes to up to
+// Sha256::kMaxLanes nonces per call through Sha256::CompressBatch, which
+// the AVX2 8-way level turns into one message-parallel compression — the
+// 8-way nonce search. Per-nonce digests are bit-identical to
+// HashWithNonce on every dispatch level (pinned by tests/hotpath_test.cc
+// and tests/crypto_test.cc).
 
 #ifndef AC3_CRYPTO_HEADER_HASHER_H_
 #define AC3_CRYPTO_HEADER_HASHER_H_
@@ -56,6 +61,14 @@ class HeaderHasher {
   void HashPairWithNonces(uint64_t nonce_a, uint64_t nonce_b, Hash256* out_a,
                           Hash256* out_b);
 
+  /// HashWithNonce for `n <= Sha256::kMaxLanes` nonces in one
+  /// message-parallel pass (Sha256::CompressBatch): out[i] receives the
+  /// digest for nonces[i]. On the AVX2 dispatch level a full batch of 8
+  /// runs as one 8-way compression per block; narrower batches (and
+  /// non-AVX2 levels) fall back to pair/scalar compressions with the
+  /// identical per-nonce results.
+  void HashBatchWithNonces(const uint64_t* nonces, size_t n, Hash256* out);
+
  private:
   /// Writes `nonce` little-endian into `tail`'s nonce hole.
   void PatchNonce(uint8_t* tail, uint64_t nonce) const;
@@ -64,14 +77,13 @@ class HeaderHasher {
   std::array<uint32_t, 8> midstate_;
   size_t tail_len_ = 0;     ///< Unpadded tail bytes (nonce hole at the end).
   size_t tail_blocks_ = 0;  ///< Padded tail length in 64-byte blocks.
-  /// Two pre-padded tail images (one per lane); only the 8 nonce bytes
-  /// change between attempts.
-  uint8_t tail_a_[kMaxTail];
-  uint8_t tail_b_[kMaxTail];
-  /// Pre-padded second-hash blocks; the leading 32 bytes are overwritten
-  /// with the inner digest per attempt.
-  uint8_t second_a_[Sha256::kBlockSize];
-  uint8_t second_b_[Sha256::kBlockSize];
+  /// Per-lane pre-padded tail images; only the 8 nonce bytes change
+  /// between attempts (lane 0 serves the scalar path, lanes 0..1 the
+  /// pair path, lanes 0..n-1 a batch).
+  uint8_t tails_[Sha256::kMaxLanes][kMaxTail];
+  /// Per-lane pre-padded second-hash blocks; the leading 32 bytes are
+  /// overwritten with the inner digest per attempt.
+  uint8_t seconds_[Sha256::kMaxLanes][Sha256::kBlockSize];
 };
 
 }  // namespace ac3::crypto

@@ -1,6 +1,11 @@
 #include "src/crypto/sha256.h"
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+
+#include "src/crypto/sha256_simd.h"
 
 namespace ac3::crypto {
 
@@ -39,15 +44,9 @@ inline uint32_t SmallSigma1(uint32_t x) {
   return Rotr(x, 17) ^ Rotr(x, 19) ^ (x >> 10);
 }
 
-}  // namespace
-
-Sha256::Sha256() {
-  // Single source of truth for H(0): the same constant the raw
-  // compression path (HeaderHasher) starts from.
-  for (int i = 0; i < 8; ++i) state_[i] = kInitialState[static_cast<size_t>(i)];
-}
-
-void Sha256::Compress(uint32_t* state, const uint8_t* block) {
+/// The portable reference compression — the bottom rung of the dispatch
+/// ladder and the oracle every hardware kernel is tested against.
+void CompressScalar(uint32_t* state, const uint8_t* block) {
   uint32_t w[64];
   for (int t = 0; t < 16; ++t) {
     w[t] = static_cast<uint32_t>(block[t * 4]) << 24 |
@@ -85,8 +84,9 @@ void Sha256::Compress(uint32_t* state, const uint8_t* block) {
   state[7] += h;
 }
 
-void Sha256::Compress2(uint32_t* state_a, const uint8_t* block_a,
-                       uint32_t* state_b, const uint8_t* block_b) {
+/// The portable two-lane round-interleaved compression (scalar rung).
+void Compress2Scalar(uint32_t* state_a, const uint8_t* block_a,
+                     uint32_t* state_b, const uint8_t* block_b) {
   // Identical math to Compress(), with lane A and lane B statements
   // interleaved so the two (mutually independent) round dependency chains
   // overlap in the pipeline. Keep the two lanes textually in lockstep when
@@ -154,6 +154,163 @@ void Sha256::Compress2(uint32_t* state_a, const uint8_t* block_a,
   state_b[5] += fb;
   state_b[6] += gb;
   state_b[7] += hb;
+}
+
+// ---- runtime dispatch -----------------------------------------------------
+
+/// The kernel set of one dispatch level. `compress8` is null on levels
+/// without a message-parallel kernel (CompressBatch then runs pairs).
+struct DispatchTable {
+  Sha256::Dispatch level;
+  void (*compress)(uint32_t*, const uint8_t*);
+  void (*compress2)(uint32_t*, const uint8_t*, uint32_t*, const uint8_t*);
+  void (*compress8)(uint32_t* const*, const uint8_t* const*);
+  size_t mining_lanes;
+};
+
+constexpr DispatchTable kScalarTable{Sha256::Dispatch::kScalar,
+                                     &CompressScalar, &Compress2Scalar,
+                                     nullptr, 2};
+
+#if defined(__x86_64__) || defined(__i386__)
+constexpr DispatchTable kShaNiTable{Sha256::Dispatch::kShaNi,
+                                    &simd::CompressShaNi,
+                                    &simd::Compress2ShaNi, nullptr, 2};
+// The AVX2 level only has a batch kernel; single/pair compressions stay
+// scalar, which keeps each level's behavior attributable to one kernel.
+constexpr DispatchTable kAvx2Table{Sha256::Dispatch::kAvx2, &CompressScalar,
+                                   &Compress2Scalar, &simd::Compress8Avx2, 8};
+#endif
+
+const DispatchTable* TableFor(Sha256::Dispatch level) {
+  switch (level) {
+    case Sha256::Dispatch::kScalar:
+      return &kScalarTable;
+#if defined(__x86_64__) || defined(__i386__)
+    case Sha256::Dispatch::kShaNi:
+      return simd::CpuHasShaNi() ? &kShaNiTable : nullptr;
+    case Sha256::Dispatch::kAvx2:
+      return simd::CpuHasAvx2() ? &kAvx2Table : nullptr;
+#else
+    case Sha256::Dispatch::kShaNi:
+    case Sha256::Dispatch::kAvx2:
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+/// Parses an AC3_SHA256_DISPATCH value; null for unknown/absent names.
+const DispatchTable* PinnedTable() {
+  const char* pin = std::getenv("AC3_SHA256_DISPATCH");
+  if (pin == nullptr) return nullptr;
+  for (Sha256::Dispatch level :
+       {Sha256::Dispatch::kScalar, Sha256::Dispatch::kShaNi,
+        Sha256::Dispatch::kAvx2}) {
+    if (std::strcmp(pin, Sha256::DispatchName(level)) == 0) {
+      return TableFor(level);  // Null when pinned level is unavailable.
+    }
+  }
+  return nullptr;
+}
+
+/// One-time probe: the env pin when valid, else the widest rung of the
+/// ladder (SHA-NI beats AVX2 8-way for double-SHA-256 on every CPU that
+/// has both, and also wins on single-message hashing). A set-but-unusable
+/// pin (typo, or a level this CPU lacks) is loudly ignored — a silent
+/// fallback would let a forced-scalar sanitizer shard quietly cover the
+/// hardware path instead.
+const DispatchTable* ProbeInitialTable() {
+  if (const char* pin = std::getenv("AC3_SHA256_DISPATCH")) {
+    if (const DispatchTable* pinned = PinnedTable()) return pinned;
+    std::fprintf(stderr,
+                 "AC3_SHA256_DISPATCH='%s' is not an available level "
+                 "(want scalar, shani, or avx2); using the default "
+                 "dispatch ladder\n",
+                 pin);
+  }
+  for (Sha256::Dispatch level :
+       {Sha256::Dispatch::kShaNi, Sha256::Dispatch::kAvx2}) {
+    if (const DispatchTable* table = TableFor(level)) return table;
+  }
+  return &kScalarTable;
+}
+
+/// Remembers whether an env pin restricted availability (made once,
+/// alongside the first active-table read).
+bool EnvPinActive() {
+  static const bool pinned = PinnedTable() != nullptr;
+  return pinned;
+}
+
+std::atomic<const DispatchTable*> g_active_table{nullptr};
+
+const DispatchTable* ActiveTable() {
+  const DispatchTable* table = g_active_table.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    // Benign race: every loser computes the same deterministic answer.
+    table = ProbeInitialTable();
+    g_active_table.store(table, std::memory_order_release);
+  }
+  return table;
+}
+
+}  // namespace
+
+bool Sha256::DispatchAvailable(Dispatch dispatch) {
+  ActiveTable();  // Force the one-time probe so EnvPinActive is settled.
+  if (EnvPinActive()) return TableFor(dispatch) == PinnedTable();
+  return TableFor(dispatch) != nullptr;
+}
+
+Sha256::Dispatch Sha256::ActiveDispatch() { return ActiveTable()->level; }
+
+const char* Sha256::DispatchName(Dispatch dispatch) {
+  switch (dispatch) {
+    case Dispatch::kScalar:
+      return "scalar";
+    case Dispatch::kShaNi:
+      return "shani";
+    case Dispatch::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+bool Sha256::SetDispatch(Dispatch dispatch) {
+  if (!DispatchAvailable(dispatch)) return false;
+  g_active_table.store(TableFor(dispatch), std::memory_order_release);
+  return true;
+}
+
+size_t Sha256::PreferredMiningLanes() { return ActiveTable()->mining_lanes; }
+
+Sha256::Sha256() {
+  // Single source of truth for H(0): the same constant the raw
+  // compression path (HeaderHasher) starts from.
+  for (int i = 0; i < 8; ++i) state_[i] = kInitialState[static_cast<size_t>(i)];
+}
+
+void Sha256::Compress(uint32_t* state, const uint8_t* block) {
+  ActiveTable()->compress(state, block);
+}
+
+void Sha256::Compress2(uint32_t* state_a, const uint8_t* block_a,
+                       uint32_t* state_b, const uint8_t* block_b) {
+  ActiveTable()->compress2(state_a, block_a, state_b, block_b);
+}
+
+void Sha256::CompressBatch(uint32_t* const* states,
+                           const uint8_t* const* blocks, size_t n) {
+  const DispatchTable* table = ActiveTable();
+  size_t i = 0;
+  if (table->compress8 != nullptr) {
+    for (; i + 8 <= n; i += 8) table->compress8(states + i, blocks + i);
+  }
+  for (; i + 2 <= n; i += 2) {
+    table->compress2(states[i], blocks[i], states[i + 1], blocks[i + 1]);
+  }
+  if (i < n) table->compress(states[i], blocks[i]);
 }
 
 void Sha256::ProcessBlock(const uint8_t* block) { Compress(state_, block); }

@@ -49,6 +49,12 @@ class Sha256 {
   // function directly — it does its own padding once, up front, and then
   // re-compresses only the nonce-bearing blocks per attempt. These hooks
   // exist for that path; everything else should use Update()/Finish().
+  //
+  // All of them are runtime-dispatched: a one-time cpuid probe installs
+  // the widest available hardware kernel (the "dispatch ladder":
+  // SHA-NI > AVX2 8-way > portable scalar), and every level computes
+  // bit-identical digests — the scalar code is the permanent oracle the
+  // dispatch-equivalence tests hold the hardware paths against.
 
   /// The initial chaining value H(0) (FIPS 180-4, section 5.3.3).
   static constexpr std::array<uint32_t, 8> kInitialState = {
@@ -63,10 +69,54 @@ class Sha256 {
   /// loop. SHA-256's 64 rounds form a serial dependency chain, so a single
   /// compression leaves superscalar execution units idle; interleaving two
   /// unrelated lanes gives the scheduler a second independent chain to
-  /// fill them with. This is what makes the 2-way PoW nonce search faster
-  /// than two sequential Compress() calls on the same core.
+  /// fill them with (on the SHA-NI level the two lanes interleave
+  /// hardware round instructions instead). This is what makes the wide
+  /// PoW nonce search faster than sequential Compress() calls.
   static void Compress2(uint32_t* state_a, const uint8_t* block_a,
                         uint32_t* state_b, const uint8_t* block_b);
+
+  /// Widest batch CompressBatch accelerates in one step.
+  static constexpr size_t kMaxLanes = 8;
+
+  /// `n` independent compressions: folds blocks[i] into states[i] for
+  /// i in [0, n). Runs 8-at-a-time on the AVX2 level, then pairs through
+  /// Compress2, then a scalar remainder — so any `n` is valid on any
+  /// level and the per-lane results always equal Compress().
+  static void CompressBatch(uint32_t* const* states,
+                            const uint8_t* const* blocks, size_t n);
+
+  // ---- runtime dispatch ---------------------------------------------------
+
+  /// The hardware levels of the compression-function dispatch ladder.
+  enum class Dispatch {
+    kScalar,  ///< Portable C++ — always available; the equivalence oracle.
+    kShaNi,   ///< x86 SHA-NI two-block kernels (preferred when present).
+    kAvx2,    ///< AVX2 8-way message-parallel kernel.
+  };
+
+  /// True when `dispatch` can run here. Scalar is always available; the
+  /// hardware levels require cpuid support AND survive the
+  /// AC3_SHA256_DISPATCH pin (a pinned process reports only the pinned
+  /// level as available, so forced-fallback CI shards stay airtight).
+  static bool DispatchAvailable(Dispatch dispatch);
+
+  /// The active level. Defaults to the widest available rung of the
+  /// ladder (SHA-NI > AVX2 > scalar); the AC3_SHA256_DISPATCH environment
+  /// variable ("scalar", "shani", "avx2") pins it for the whole process
+  /// (ignored when it names an unavailable level).
+  static Dispatch ActiveDispatch();
+
+  /// Stable lowercase name of a level: "scalar", "shani", "avx2".
+  static const char* DispatchName(Dispatch dispatch);
+
+  /// Forces the active level (for tests and the dispatch bench); returns
+  /// false — leaving the active level unchanged — when `dispatch` is
+  /// unavailable. Not thread-safe against concurrent hashing.
+  static bool SetDispatch(Dispatch dispatch);
+
+  /// Independent nonce lanes the active level wants per mining loop
+  /// iteration: 8 on the AVX2 level, otherwise 2 (one Compress2 pair).
+  static size_t PreferredMiningLanes();
 
  private:
   void ProcessBlock(const uint8_t* block);

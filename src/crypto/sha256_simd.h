@@ -1,0 +1,51 @@
+// Internal: hardware SHA-256 compression kernels behind Sha256's runtime
+// dispatch (see sha256.h). Nothing here is part of the public API — the
+// only consumer is sha256.cc, which probes the CPU once and installs the
+// widest available kernel set. Two x86 families are implemented:
+//
+//   * SHA-NI (sha extensions + SSE4.1): hardware round/schedule
+//     instructions. The two-block variant runs two independent
+//     compressions with their 4-round groups interleaved so the
+//     sha256rnds2 dependency chains of the two lanes overlap.
+//   * AVX2 8-way: message-parallel — eight independent compressions, one
+//     32-bit lane each, a direct vectorization of the scalar rounds.
+//
+// Every kernel computes bit-identical results to Sha256's scalar
+// compression (the dispatch-equivalence tests in tests/crypto_test.cc and
+// the mining goldens in tests/hotpath_test.cc hold each one against the
+// scalar oracle).
+
+#ifndef AC3_CRYPTO_SHA256_SIMD_H_
+#define AC3_CRYPTO_SHA256_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ac3::crypto::simd {
+
+/// True when the CPU supports the SHA extensions (plus the SSE4.1 the
+/// kernels' shuffles need). False on non-x86 builds.
+bool CpuHasShaNi();
+
+/// True when the CPU and OS support AVX2 (OSXSAVE with YMM state
+/// enabled). False on non-x86 builds.
+bool CpuHasAvx2();
+
+#if defined(__x86_64__) || defined(__i386__)
+
+/// One SHA-NI compression: folds the 64-byte `block` into `state`.
+void CompressShaNi(uint32_t* state, const uint8_t* block);
+
+/// Two independent SHA-NI compressions with interleaved round groups.
+void Compress2ShaNi(uint32_t* state_a, const uint8_t* block_a,
+                    uint32_t* state_b, const uint8_t* block_b);
+
+/// Eight independent AVX2 compressions: folds blocks[i] into states[i]
+/// for i in [0, 8), one 32-bit SIMD lane per compression.
+void Compress8Avx2(uint32_t* const* states, const uint8_t* const* blocks);
+
+#endif  // x86
+
+}  // namespace ac3::crypto::simd
+
+#endif  // AC3_CRYPTO_SHA256_SIMD_H_

@@ -1,12 +1,11 @@
 #include "src/runner/sweep_runner.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <memory>
-#include <thread>
 
+#include "src/common/worker_pool.h"
 #include "src/contracts/contract.h"
 #include "src/graph/ac2t_graph.h"
 #include "src/protocols/ac3tw_swap.h"
@@ -18,23 +17,11 @@ namespace ac3::runner {
 
 void ParallelFor(int n, int threads, const std::function<void(int)>& fn) {
   if (n <= 0) return;
-  const int workers = std::min(std::max(threads, 1), n);
-  if (workers == 1) {
-    for (int i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  std::atomic<int> next{0};
-  auto worker = [&]() {
-    while (true) {
-      const int i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      fn(i);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<size_t>(workers));
-  for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
+  // One-shot round on the shared pool primitive (callers that issue many
+  // rounds should hold a common::WorkerPool — SweepRunner does).
+  common::WorkerPool pool(threads);
+  pool.ParallelFor(static_cast<size_t>(n),
+                   [&fn](size_t i) { fn(static_cast<int>(i)); });
 }
 
 namespace {
@@ -482,14 +469,20 @@ double MeasureDeltaMs(const core::ScenarioOptions& options,
   return static_cast<double>(world.env()->sim()->Now() - start);
 }
 
-SweepRunner::SweepRunner(int threads) : threads_(threads) {
-  if (threads_ <= 0) {
-    threads_ = static_cast<int>(std::thread::hardware_concurrency());
-    if (threads_ <= 0) threads_ = 1;
-  }
+SweepRunner::SweepRunner(int threads)
+    : pool_(std::make_unique<common::WorkerPool>(threads)) {
   // Warm the contract factory on this thread so worker threads only ever
   // read the registration map.
   contracts::RegisterBuiltinContracts();
+}
+
+SweepRunner::~SweepRunner() = default;
+
+int SweepRunner::threads() const { return pool_->threads(); }
+
+void SweepRunner::PoolFor(int n,
+                          const std::function<void(size_t)>& fn) const {
+  pool_->ParallelFor(static_cast<size_t>(std::max(n, 0)), fn);
 }
 
 std::vector<RunOutcome> SweepRunner::RunGrid(
@@ -501,8 +494,8 @@ std::vector<RunOutcome> SweepRunner::RunGridTimed(const SweepGridConfig& config,
                                                   GridWallStats* stats) const {
   const std::vector<SweepPoint> points = GridPoints(config);
   const auto start = std::chrono::steady_clock::now();
-  std::vector<RunOutcome> outcomes = ParallelMap<RunOutcome>(
-      static_cast<int>(points.size()), threads_, [&](int i) {
+  std::vector<RunOutcome> outcomes = Map<RunOutcome>(
+      static_cast<int>(points.size()), [&](int i) {
         return TimedSwapPoint(config, points[static_cast<size_t>(i)]);
       });
   if (stats != nullptr) {

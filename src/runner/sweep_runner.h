@@ -17,10 +17,13 @@
 #ifndef AC3_RUNNER_SWEEP_RUNNER_H_
 #define AC3_RUNNER_SWEEP_RUNNER_H_
 
+#include <algorithm>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/common/worker_pool.h"
 #include "src/core/scenario.h"
 #include "src/graph/ac2t_graph.h"
 #include "src/protocols/swap_report.h"
@@ -30,9 +33,12 @@
 /// aggregation, and the worker-pool runner.
 namespace ac3::runner {
 
-/// Executes fn(0..n-1) on a pool of `threads` workers (claiming indices
-/// from a shared counter) and joins. `threads <= 1` runs inline. `fn` must
-/// be safe to call concurrently for distinct indices.
+/// Executes fn(0..n-1) on a one-shot common::WorkerPool round (workers
+/// claim indices from a shared counter; `threads <= 0` resolves through
+/// WorkerPool::ResolveThreads; `threads == 1` or `n == 1` runs inline).
+/// `fn` must be safe to call concurrently for distinct indices. If an
+/// invocation throws, the first exception is rethrown here on the caller
+/// instead of terminating a worker thread.
 void ParallelFor(int n, int threads, const std::function<void(int)>& fn);
 
 /// Deterministic parallel map: out[i] = fn(i), independent of `threads`.
@@ -270,13 +276,23 @@ double MeasureDeltaMs(const core::ScenarioOptions& options,
 /// The worker-pool executor for sweep grids (see the file comment): runs
 /// every grid point on `threads` workers with outcomes stored by grid
 /// index, so results are bit-for-bit identical whatever the thread count.
+///
+/// One runner owns one persistent common::WorkerPool, so a single
+/// SweepRunner instance must not execute RunGrid/RunGridTimed/Map from
+/// two threads at once (const-ness notwithstanding — the pool runs one
+/// round at a time). Callers that want concurrent grids should use one
+/// runner per driving thread.
 class SweepRunner {
  public:
-  /// `threads <= 0` selects std::thread::hardware_concurrency().
+  /// `threads <= 0` resolves through common::WorkerPool::ResolveThreads
+  /// (hardware_concurrency clamped to >= 1). The pool is persistent: one
+  /// runner reuses its spawned workers across RunGrid / Map calls.
   explicit SweepRunner(int threads = 0);
+  /// Joins the pool's workers (out-of-line for the unique_ptr member).
+  ~SweepRunner();
 
   /// The resolved worker count (>= 1).
-  int threads() const { return threads_; }
+  int threads() const;
 
   /// Runs every grid point; outcomes are in GridPoints() order regardless
   /// of the thread count.
@@ -289,14 +305,23 @@ class SweepRunner {
 
   /// Generic escape hatch for sweeps that are not single-swap grids (e.g.
   /// chain-saturation throughput runs): a deterministic parallel map over
-  /// `n` independent simulations.
+  /// `n` independent simulations, on the runner's persistent pool.
   template <typename T>
   std::vector<T> Map(int n, const std::function<T(int)>& fn) const {
-    return ParallelMap<T>(n, threads_, fn);
+    std::vector<T> out(static_cast<size_t>(std::max(n, 0)));
+    PoolFor(n, [&](size_t i) { out[i] = fn(static_cast<int>(i)); });
+    return out;
   }
 
  private:
-  int threads_;
+  /// Runs one ParallelFor round on the persistent pool (out-of-line so
+  /// the template above stays header-only without touching pool state).
+  void PoolFor(int n, const std::function<void(size_t)>& fn) const;
+
+  /// The shared fan-out primitive; unique_ptr so const methods can run
+  /// rounds. Mutable round state lives here, which is why one runner
+  /// must not execute grids from two threads at once (see class doc).
+  std::unique_ptr<common::WorkerPool> pool_;
 };
 
 }  // namespace ac3::runner

@@ -1,6 +1,10 @@
-// Unit tests for src/common: Status/Result, byte codec, RNG, sim time.
+// Unit tests for src/common: Status/Result, byte codec, RNG, sim time,
+// and the shared WorkerPool fan-out primitive.
 
+#include <atomic>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -9,6 +13,7 @@
 #include "src/common/random.h"
 #include "src/common/sim_time.h"
 #include "src/common/status.h"
+#include "src/common/worker_pool.h"
 
 namespace ac3 {
 namespace {
@@ -219,6 +224,74 @@ TEST(SimTimeTest, UnitConversions) {
   EXPECT_EQ(Minutes(3), 180000);
   EXPECT_EQ(Hours(1), 3600000);
   EXPECT_DOUBLE_EQ(ToSeconds(Seconds(5)), 5.0);
+}
+
+// ---- WorkerPool ------------------------------------------------------------
+
+TEST(WorkerPoolTest, ResolveThreadsPolicy) {
+  EXPECT_EQ(common::WorkerPool::ResolveThreads(1), 1);
+  EXPECT_EQ(common::WorkerPool::ResolveThreads(7), 7);
+  // hardware_concurrency() may legally report 0; the resolved count must
+  // still be a usable pool width.
+  EXPECT_GE(common::WorkerPool::ResolveThreads(0), 1);
+  EXPECT_GE(common::WorkerPool::ResolveThreads(-3), 1);
+  EXPECT_GE(common::WorkerPool(0).threads(), 1);
+}
+
+TEST(WorkerPoolTest, CoversEveryIndexExactlyOnceAcrossRounds) {
+  for (int threads : {1, 2, 5}) {
+    common::WorkerPool pool(threads);
+    EXPECT_EQ(pool.threads(), threads);
+    // Several rounds on one pool, including widths that grow (exercising
+    // the gang rebuild) and degenerate widths 0 and 1.
+    for (size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{64}}) {
+      std::vector<std::atomic<int>> hits(n);
+      pool.ParallelFor(n, [&](size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      });
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+      }
+    }
+  }
+}
+
+TEST(WorkerPoolTest, RethrowsTaskExceptionOnCaller) {
+  // A throwing task must not escape a worker thread (std::terminate);
+  // the first exception surfaces on the calling thread instead — for the
+  // inline 1-thread round and the parallel round alike.
+  for (int threads : {1, 4}) {
+    common::WorkerPool pool(threads);
+    EXPECT_THROW(pool.ParallelFor(32,
+                                  [](size_t i) {
+                                    if (i == 17) {
+                                      throw std::runtime_error("boom");
+                                    }
+                                  }),
+                 std::runtime_error);
+    // The pool survives a failed round and runs clean ones afterwards.
+    std::atomic<int> sum{0};
+    pool.ParallelFor(10, [&](size_t i) {
+      sum.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 45);
+  }
+}
+
+TEST(WorkerPoolTest, StopsClaimingAfterFailure) {
+  // Indices claimed after the failure flag is raised must not run: with
+  // one worker lane (2 threads) a failure at the first index keeps the
+  // executed count well below n.
+  common::WorkerPool pool(2);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(pool.ParallelFor(10000,
+                                [&](size_t) {
+                                  executed.fetch_add(
+                                      1, std::memory_order_relaxed);
+                                  throw std::runtime_error("first");
+                                }),
+               std::runtime_error);
+  EXPECT_LT(executed.load(), 10000);
 }
 
 TEST(LoggingTest, LevelFiltering) {

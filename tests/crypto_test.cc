@@ -2,6 +2,9 @@
 // generation, Schnorr signatures, multisignatures, Merkle proofs, and
 // commitment schemes.
 
+#include <array>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "src/common/random.h"
@@ -12,6 +15,7 @@
 #include "src/crypto/primes.h"
 #include "src/crypto/schnorr.h"
 #include "src/crypto/sha256.h"
+#include "tests/dispatch_test_util.h"
 
 namespace ac3::crypto {
 namespace {
@@ -71,6 +75,98 @@ TEST(Sha256Test, PaddingBoundaries) {
     Sha256 b;
     for (uint8_t byte : data) b.Update(&byte, 1);
     EXPECT_EQ(Hash256(a.Finish()), Hash256(b.Finish())) << "len=" << len;
+  }
+}
+
+// ------------------------------------------------- SHA-256 dispatch ladder
+
+using ::ac3::testutil::AvailableDispatches;
+using ::ac3::testutil::DispatchGuard;
+
+TEST(Sha256DispatchTest, ActiveLevelIsAvailableAndNamed) {
+  const Sha256::Dispatch active = Sha256::ActiveDispatch();
+  EXPECT_TRUE(Sha256::DispatchAvailable(active));
+  EXPECT_STRNE(Sha256::DispatchName(active), "?");
+  EXPECT_STREQ(Sha256::DispatchName(Sha256::Dispatch::kScalar), "scalar");
+  EXPECT_STREQ(Sha256::DispatchName(Sha256::Dispatch::kShaNi), "shani");
+  EXPECT_STREQ(Sha256::DispatchName(Sha256::Dispatch::kAvx2), "avx2");
+  // SetDispatch round-trips on the active level and mining lanes are a
+  // sane loop width on every level.
+  EXPECT_TRUE(Sha256::SetDispatch(active));
+  EXPECT_GE(Sha256::PreferredMiningLanes(), 2u);
+  EXPECT_LE(Sha256::PreferredMiningLanes(), Sha256::kMaxLanes);
+}
+
+// Every available hardware level must produce bit-identical digests to
+// the scalar oracle, across message lengths covering multi-block inputs
+// and every padding edge.
+TEST(Sha256DispatchTest, EveryAvailableLevelMatchesScalarDigests) {
+  DispatchGuard guard;
+  if (!Sha256::DispatchAvailable(Sha256::Dispatch::kScalar)) {
+    GTEST_SKIP() << "process pinned to a non-scalar level";
+  }
+  Rng rng(20260730);
+  for (size_t len : {0u, 1u, 31u, 55u, 56u, 63u, 64u, 65u, 127u, 128u, 200u,
+                     1000u}) {
+    Bytes data(len);
+    for (uint8_t& byte : data) byte = static_cast<uint8_t>(rng.NextU64());
+    ASSERT_TRUE(Sha256::SetDispatch(Sha256::Dispatch::kScalar));
+    const Hash256 oracle = Hash256::Of(data);
+    const Hash256 double_oracle = Hash256::DoubleOf(data);
+    for (Sha256::Dispatch level : AvailableDispatches()) {
+      ASSERT_TRUE(Sha256::SetDispatch(level));
+      EXPECT_EQ(Hash256::Of(data), oracle)
+          << "len " << len << " level " << Sha256::DispatchName(level);
+      EXPECT_EQ(Hash256::DoubleOf(data), double_oracle)
+          << "len " << len << " level " << Sha256::DispatchName(level);
+    }
+  }
+}
+
+// CompressBatch must agree with per-lane Compress for every batch width
+// 1..kMaxLanes on every available level (covers the AVX2 8-way kernel,
+// the SHA-NI pair kernel, and the mixed remainder paths).
+TEST(Sha256DispatchTest, CompressBatchMatchesPerLaneCompress) {
+  DispatchGuard guard;
+  if (!Sha256::DispatchAvailable(Sha256::Dispatch::kScalar)) {
+    GTEST_SKIP() << "process pinned to a non-scalar level";
+  }
+  Rng rng(77007);
+  for (size_t n = 1; n <= Sha256::kMaxLanes; ++n) {
+    uint8_t blocks[Sha256::kMaxLanes][Sha256::kBlockSize];
+    std::array<uint32_t, 8> seed_states[Sha256::kMaxLanes];
+    for (size_t lane = 0; lane < n; ++lane) {
+      for (uint8_t& byte : blocks[lane]) {
+        byte = static_cast<uint8_t>(rng.NextU64());
+      }
+      for (uint32_t& word : seed_states[lane]) {
+        word = static_cast<uint32_t>(rng.NextU64());
+      }
+    }
+    // Scalar per-lane oracle.
+    ASSERT_TRUE(Sha256::SetDispatch(Sha256::Dispatch::kScalar));
+    std::array<uint32_t, 8> expected[Sha256::kMaxLanes];
+    for (size_t lane = 0; lane < n; ++lane) {
+      expected[lane] = seed_states[lane];
+      Sha256::Compress(expected[lane].data(), blocks[lane]);
+    }
+    for (Sha256::Dispatch level : AvailableDispatches()) {
+      ASSERT_TRUE(Sha256::SetDispatch(level));
+      std::array<uint32_t, 8> actual[Sha256::kMaxLanes];
+      uint32_t* state_ptrs[Sha256::kMaxLanes] = {};
+      const uint8_t* block_ptrs[Sha256::kMaxLanes] = {};
+      for (size_t lane = 0; lane < n; ++lane) {
+        actual[lane] = seed_states[lane];
+        state_ptrs[lane] = actual[lane].data();
+        block_ptrs[lane] = blocks[lane];
+      }
+      Sha256::CompressBatch(state_ptrs, block_ptrs, n);
+      for (size_t lane = 0; lane < n; ++lane) {
+        EXPECT_EQ(actual[lane], expected[lane])
+            << "n " << n << " lane " << lane << " level "
+            << Sha256::DispatchName(level);
+      }
+    }
   }
 }
 

@@ -20,6 +20,7 @@
 #include "src/common/random.h"
 #include "src/core/environment.h"
 #include "src/crypto/header_hasher.h"
+#include "tests/dispatch_test_util.h"
 #include "tests/test_util.h"
 
 namespace ac3 {
@@ -114,27 +115,64 @@ TEST(HeaderHasherTest, PairLanesMatchScalarDigests) {
   }
 }
 
-// The interleaved search must be observationally identical to the scalar
-// oracle: same ascending visit order from the same random start, so the
-// same winning nonce and the same visited-nonce count, at every lane
-// parity (the winner landing on lane A vs lane B of the pair).
+using ::ac3::testutil::AvailableDispatches;
+using ::ac3::testutil::DispatchGuard;
+
+// The batch hasher must agree with the scalar hasher for every batch
+// width up to kMaxLanes, on every available dispatch level (this is the
+// digest seam the 8-way AVX2 nonce search rides).
+TEST(HeaderHasherTest, BatchLanesMatchScalarDigestsOnEveryDispatch) {
+  DispatchGuard guard;
+  Rng rng(887766);
+  for (crypto::Sha256::Dispatch level : AvailableDispatches()) {
+    ASSERT_TRUE(crypto::Sha256::SetDispatch(level));
+    chain::BlockHeader header = RandomHeader(&rng);
+    uint8_t preimage[chain::BlockHeader::kEncodedSize];
+    header.EncodeTo(preimage);
+    crypto::HeaderHasher hasher(preimage);
+    for (size_t n = 1; n <= crypto::Sha256::kMaxLanes; ++n) {
+      uint64_t nonces[crypto::Sha256::kMaxLanes];
+      crypto::Hash256 batch[crypto::Sha256::kMaxLanes];
+      for (size_t lane = 0; lane < n; ++lane) nonces[lane] = rng.NextU64();
+      hasher.HashBatchWithNonces(nonces, n, batch);
+      for (size_t lane = 0; lane < n; ++lane) {
+        EXPECT_EQ(batch[lane], hasher.HashWithNonce(nonces[lane]))
+            << "level " << crypto::Sha256::DispatchName(level) << " n " << n
+            << " lane " << lane;
+      }
+    }
+  }
+}
+
+// The wide search must be observationally identical to the scalar
+// oracle on EVERY dispatch level: same ascending visit order from the
+// same random start, so the same winning nonce and the same
+// visited-nonce count, at every lane offset the winner can land on
+// (bits 0..11 sweep winners across both pair lanes and all 8 AVX2
+// lanes).
 TEST(MineHeaderTest, InterleavedVisitsSameNoncesAsScalar) {
-  for (uint64_t seed = 1; seed <= 6; ++seed) {
-    for (uint32_t bits : {0u, 1u, 4u, 8u, 11u}) {
-      Rng scalar_rng(seed * 1000 + bits);
-      Rng fast_rng(seed * 1000 + bits);
-      chain::BlockHeader scalar_header = RandomHeader(&scalar_rng);
-      chain::BlockHeader fast_header = RandomHeader(&fast_rng);
-      scalar_header.difficulty_bits = bits;
-      fast_header.difficulty_bits = bits;
-      const uint64_t scalar_evals =
-          chain::MineHeaderScalar(&scalar_header, &scalar_rng);
-      const uint64_t fast_evals = chain::MineHeader(&fast_header, &fast_rng);
-      EXPECT_EQ(fast_header.nonce, scalar_header.nonce)
-          << "seed " << seed << " bits " << bits;
-      EXPECT_EQ(fast_evals, scalar_evals)
-          << "seed " << seed << " bits " << bits;
-      EXPECT_TRUE(chain::CheckProofOfWork(fast_header));
+  DispatchGuard guard;
+  for (crypto::Sha256::Dispatch level : AvailableDispatches()) {
+    ASSERT_TRUE(crypto::Sha256::SetDispatch(level));
+    for (uint64_t seed = 1; seed <= 6; ++seed) {
+      for (uint32_t bits : {0u, 1u, 4u, 8u, 11u}) {
+        Rng scalar_rng(seed * 1000 + bits);
+        Rng fast_rng(seed * 1000 + bits);
+        chain::BlockHeader scalar_header = RandomHeader(&scalar_rng);
+        chain::BlockHeader fast_header = RandomHeader(&fast_rng);
+        scalar_header.difficulty_bits = bits;
+        fast_header.difficulty_bits = bits;
+        const uint64_t scalar_evals =
+            chain::MineHeaderScalar(&scalar_header, &scalar_rng);
+        const uint64_t fast_evals = chain::MineHeader(&fast_header, &fast_rng);
+        EXPECT_EQ(fast_header.nonce, scalar_header.nonce)
+            << "level " << crypto::Sha256::DispatchName(level) << " seed "
+            << seed << " bits " << bits;
+        EXPECT_EQ(fast_evals, scalar_evals)
+            << "level " << crypto::Sha256::DispatchName(level) << " seed "
+            << seed << " bits " << bits;
+        EXPECT_TRUE(chain::CheckProofOfWork(fast_header));
+      }
     }
   }
 }
@@ -142,24 +180,31 @@ TEST(MineHeaderTest, InterleavedVisitsSameNoncesAsScalar) {
 // Golden re-pin of the deterministic PoW witness, mirroring the bench's
 // --smoke pow parameters (bench_engine_hotpaths RunPow: 4 headers at 12
 // bits from Rng seed 99; the committed full-run envelope pins the
-// analogous 836367-eval witness at 16 bits). The interleaved search
-// reproduces the scalar count by construction; running both here pins
-// the value against the two implementations drifting together.
+// analogous 836367-eval witness at 16 bits). The wide search reproduces
+// the scalar count by construction on every dispatch level; running the
+// oracle and the wide loop on each available level pins the value
+// against the implementations drifting together.
 TEST(MineHeaderTest, GoldenEvalCountMatchesBenchWitness) {
   constexpr uint64_t kGoldenEvals = 15254;  // 4 headers, 12 bits, seed 99.
-  for (const bool interleaved : {false, true}) {
-    Rng rng(99);
-    uint64_t evals = 0;
-    for (uint64_t i = 0; i < 4; ++i) {
-      chain::BlockHeader header;
-      header.chain_id = 1;
-      header.height = i + 1;
-      header.time = static_cast<TimePoint>(i * 100);
-      header.difficulty_bits = 12;
-      evals += interleaved ? chain::MineHeader(&header, &rng)
-                           : chain::MineHeaderScalar(&header, &rng);
+  DispatchGuard guard;
+  for (crypto::Sha256::Dispatch level : AvailableDispatches()) {
+    ASSERT_TRUE(crypto::Sha256::SetDispatch(level));
+    for (const bool interleaved : {false, true}) {
+      Rng rng(99);
+      uint64_t evals = 0;
+      for (uint64_t i = 0; i < 4; ++i) {
+        chain::BlockHeader header;
+        header.chain_id = 1;
+        header.height = i + 1;
+        header.time = static_cast<TimePoint>(i * 100);
+        header.difficulty_bits = 12;
+        evals += interleaved ? chain::MineHeader(&header, &rng)
+                             : chain::MineHeaderScalar(&header, &rng);
+      }
+      EXPECT_EQ(evals, kGoldenEvals)
+          << "level " << crypto::Sha256::DispatchName(level)
+          << " interleaved=" << interleaved;
     }
-    EXPECT_EQ(evals, kGoldenEvals) << "interleaved=" << interleaved;
   }
 }
 

@@ -3,6 +3,7 @@
 // and aggregation computes the statistics the benches publish.
 
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -179,6 +180,39 @@ TEST(ParallelMapTest, CoversEveryIndexExactlyOnce) {
 TEST(ParallelMapTest, HandlesEmptyAndSingleton) {
   EXPECT_TRUE(ParallelMap<int>(0, 4, [](int) { return 1; }).empty());
   EXPECT_EQ(ParallelMap<int>(1, 4, [](int i) { return i + 5; })[0], 5);
+}
+
+// Regression: a throwing grid cell used to escape its worker thread and
+// take the whole process down with std::terminate. The unified
+// common::WorkerPool captures the first exception and rethrows it on the
+// caller — from ParallelFor/ParallelMap and from a SweepRunner alike.
+TEST(ParallelMapTest, MidGridThrowRethrowsOnCaller) {
+  for (int threads : {1, 4}) {
+    EXPECT_THROW(ParallelMap<int>(64, threads,
+                                  [](int i) -> int {
+                                    if (i == 23) {
+                                      throw std::runtime_error("mid-grid");
+                                    }
+                                    return i;
+                                  }),
+                 std::runtime_error);
+  }
+}
+
+TEST(SweepRunnerTest, MapRethrowsWorldFailureAndSurvives) {
+  SweepRunner runner(3);
+  EXPECT_THROW(runner.Map<int>(16,
+                               [](int i) -> int {
+                                 if (i == 7) {
+                                   throw std::runtime_error("world failed");
+                                 }
+                                 return i;
+                               }),
+               std::runtime_error);
+  // The runner's persistent pool stays usable after the failed grid.
+  std::vector<int> out = runner.Map<int>(8, [](int i) { return i * 2; });
+  ASSERT_EQ(out.size(), 8u);
+  EXPECT_EQ(out[7], 14);
 }
 
 // ---- grid + aggregation ---------------------------------------------------
