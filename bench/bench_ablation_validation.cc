@@ -83,15 +83,17 @@ TechniqueCosts RunAt(uint64_t chain_length, uint64_t seed) {
   TechniqueCosts costs;
 
   // ---- 1. full replication --------------------------------------------
-  for (const auto& [hash, entry] : validated.entries()) {
-    costs.full_bytes += entry.block.header.Encode().size();
-    for (const chain::Transaction& body_tx : entry.block.txs) {
-      costs.full_bytes += body_tx.Encode().size();
-    }
-    for (const chain::Receipt& receipt : entry.block.receipts) {
-      costs.full_bytes += receipt.Encode().size();
-    }
-  }
+  validated.ForEachEntry(
+      [&](const crypto::Hash256& hash, const chain::BlockEntry& entry) {
+        (void)hash;
+        costs.full_bytes += entry.block.header.Encode().size();
+        for (const chain::Transaction& body_tx : entry.block.txs) {
+          costs.full_bytes += body_tx.Encode().size();
+        }
+        for (const chain::Receipt& receipt : entry.block.receipts) {
+          costs.full_bytes += receipt.Encode().size();
+        }
+      });
   costs.full_query_us = MeasureMicros([&]() {
     auto loc = validated.FindTx(tx_id);
     benchmarkish_use(loc.has_value());
@@ -130,7 +132,7 @@ TechniqueCosts RunAt(uint64_t chain_length, uint64_t seed) {
 int main(int argc, char** argv) {
   using namespace ac3;
 
-  runner::BenchContext context = runner::ParseBenchArgs(argc, argv);
+  bench::Options context = bench::Options::Parse(argc, argv);
   if (context.exit_early) return context.exit_code;
   benchutil::PrintHeader(
       "Section 4.3 ablation — validator cost of the three cross-chain\n"

@@ -134,7 +134,7 @@ void CrashRecipientAtDecisionPoint(core::ScenarioWorld* world, Duration down) {
 int main(int argc, char** argv) {
   using namespace ac3;
 
-  runner::BenchContext context = runner::ParseBenchArgs(argc, argv);
+  bench::Options context = bench::Options::Parse(argc, argv);
   if (context.exit_early) return context.exit_code;
   benchutil::PrintHeader(
       "Sections 1 / 5.1 — atomicity under failures, protocol x schedule\n"

@@ -389,7 +389,7 @@ PowRun RunPow(uint32_t difficulty_bits, uint64_t headers) {
 int main(int argc, char** argv) {
   using namespace ac3;
 
-  runner::BenchContext context = runner::ParseBenchArgs(argc, argv);
+  bench::Options context = bench::Options::Parse(argc, argv);
   if (context.exit_early) return context.exit_code;
 
   const uint64_t growth_blocks = context.smoke ? 400 : 2500;

@@ -23,7 +23,7 @@
 int main(int argc, char** argv) {
   using namespace ac3;
 
-  runner::BenchContext context = runner::ParseBenchArgs(argc, argv);
+  bench::Options context = bench::Options::Parse(argc, argv);
   if (context.exit_early) return context.exit_code;
 
   const int max_diameter = context.smoke ? 4 : 12;
@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
   for (int s = 0; s < seeds_per_point; ++s) {
     grid.seeds.push_back(1000 + static_cast<uint64_t>(s));
   }
-  runner::ApplyAxisOverrides(context, &grid);
+  context.ApplyAxisOverrides(&grid);
 
   benchutil::PrintHeader(
       "Figure 10 — AC2T latency vs. graph diameter Diam(D)\n"

@@ -87,7 +87,7 @@ runner::Json RunTimeline(int diameter) {
 }  // namespace ac3
 
 int main(int argc, char** argv) {
-  ac3::runner::BenchContext context = ac3::runner::ParseBenchArgs(argc, argv);
+  ac3::bench::Options context = ac3::bench::Options::Parse(argc, argv);
   if (context.exit_early) return context.exit_code;
   ac3::benchutil::PrintHeader(
       "Figure 8 — Herlihy single-leader timeline: sequential deployment\n"

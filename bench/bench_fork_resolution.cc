@@ -134,7 +134,7 @@ bool DecisionSurvives(uint32_t d, uint32_t attack, uint64_t seed) {
 int main(int argc, char** argv) {
   using namespace ac3;
 
-  runner::BenchContext context = runner::ParseBenchArgs(argc, argv);
+  bench::Options context = bench::Options::Parse(argc, argv);
   if (context.exit_early) return context.exit_code;
   benchutil::PrintHeader(
       "Lemma 5.3 ablation — buried commit decision vs private-fork attack\n"

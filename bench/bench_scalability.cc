@@ -123,7 +123,7 @@ BatchResult RunBatch(int witness_networks, int swaps, uint64_t seed) {
 int main(int argc, char** argv) {
   using namespace ac3;
 
-  runner::BenchContext context = runner::ParseBenchArgs(argc, argv);
+  bench::Options context = bench::Options::Parse(argc, argv);
   if (context.exit_early) return context.exit_code;
 
   const int swaps = context.smoke ? 6 : 12;

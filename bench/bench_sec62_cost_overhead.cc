@@ -60,7 +60,7 @@ chain::Amount MeasuredAc3wnFee(int n, uint64_t seed) {
 int main(int argc, char** argv) {
   using namespace ac3;
 
-  runner::BenchContext context = runner::ParseBenchArgs(argc, argv);
+  bench::Options context = bench::Options::Parse(argc, argv);
   if (context.exit_early) return context.exit_code;
   const chain::Amount fd = chain::TestChainParams().deploy_fee;
   const chain::Amount ffc = chain::TestChainParams().call_fee;

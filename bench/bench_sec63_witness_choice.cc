@@ -44,15 +44,19 @@ std::map<uint32_t, double> MeasureReorgFrequency(uint64_t seed,
   while (t < duration) {
     t += Milliseconds(20);
     world.env()->sim()->RunUntil(t);
-    for (const auto& [hash, entry] : chain->entries()) {
-      auto confirmations = chain->ConfirmationsOf(hash);
-      if (confirmations.has_value()) {
-        uint32_t depth = static_cast<uint32_t>(
-            std::min<uint64_t>(*confirmations, 8));
-        auto it = deepest.find(hash);
-        if (it == deepest.end() || it->second < depth) deepest[hash] = depth;
-      }
-    }
+    chain->ForEachEntry(
+        [&](const crypto::Hash256& hash, const chain::BlockEntry& entry) {
+          (void)entry;
+          auto confirmations = chain->ConfirmationsOf(hash);
+          if (confirmations.has_value()) {
+            uint32_t depth = static_cast<uint32_t>(
+                std::min<uint64_t>(*confirmations, 8));
+            auto it = deepest.find(hash);
+            if (it == deepest.end() || it->second < depth) {
+              deepest[hash] = depth;
+            }
+          }
+        });
   }
   // A block whose deepest observed depth was k but is non-canonical at the
   // end was reorged after reaching depth k.
@@ -77,7 +81,7 @@ std::map<uint32_t, double> MeasureReorgFrequency(uint64_t seed,
 int main(int argc, char** argv) {
   using namespace ac3;
 
-  runner::BenchContext context = runner::ParseBenchArgs(argc, argv);
+  bench::Options context = bench::Options::Parse(argc, argv);
   if (context.exit_early) return context.exit_code;
   benchutil::PrintHeader(
       "Section 6.3 — witness-network choice: d > Va*dh/Ch");

@@ -106,7 +106,7 @@ double MeasureChainTps(const chain::ChainParams& params, uint64_t seed,
 int main(int argc, char** argv) {
   using namespace ac3;
 
-  runner::BenchContext context = runner::ParseBenchArgs(argc, argv);
+  bench::Options context = bench::Options::Parse(argc, argv);
   if (context.exit_early) return context.exit_code;
 
   TpsWindows windows;
@@ -209,7 +209,7 @@ int main(int argc, char** argv) {
   grid.protocols = {runner::Protocol::kHerlihy, runner::Protocol::kAc3wn};
   grid.topologies = {runner::Topology::kRing};
   grid.sizes = {2};
-  runner::ApplyAxisOverrides(context, &grid);
+  context.ApplyAxisOverrides(&grid);
   grid.seeds.clear();
   const int sweep_seeds = context.smoke ? 1 : 3;
   for (int s = 0; s < sweep_seeds; ++s) {

@@ -27,7 +27,7 @@
 int main(int argc, char** argv) {
   using namespace ac3;
 
-  runner::BenchContext context = runner::ParseBenchArgs(argc, argv);
+  bench::Options context = bench::Options::Parse(argc, argv);
   if (context.exit_early) return context.exit_code;
 
   runner::SweepGridConfig grid;
@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
                      runner::FailureMode::kCrashParticipant};
     grid.seeds = {301};
   }
-  runner::ApplyAxisOverrides(context, &grid);
+  context.ApplyAxisOverrides(&grid);
 
   benchutil::PrintHeader(
       "Topology × failure matrix — the Section 5.3 functional gap:\n"

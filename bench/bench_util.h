@@ -1,12 +1,16 @@
 // Shared presentation-layer scaffolding for the experiment harnesses:
-// "fast profile" engine configurations, ring-graph construction over a
-// ScenarioWorld, and fixed-width table printing. Measurement, parallel
-// sweeping, and machine-readable output live in src/runner/.
+// the uniform bench CLI (bench::Options), "fast profile" engine
+// configurations, ring-graph construction over a ScenarioWorld, and
+// fixed-width table printing. Measurement, parallel sweeping, and
+// machine-readable output live in src/runner/.
 
 #ifndef AC3_BENCH_BENCH_UTIL_H_
 #define AC3_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -15,7 +19,190 @@
 #include "src/protocols/ac3tw_swap.h"
 #include "src/protocols/ac3wn_swap.h"
 #include "src/protocols/herlihy_swap.h"
+#include "src/runner/bench_output.h"
 #include "src/runner/sweep_runner.h"
+
+namespace ac3::bench {
+
+namespace internal {
+
+/// One row of the shared flag table — the single source for parsing AND
+/// the generated --help text, so the two cannot drift.
+struct FlagSpec {
+  const char* name;        ///< e.g. "--seed".
+  const char* value_name;  ///< Operand placeholder; nullptr = boolean flag.
+  const char* help;        ///< One usage line.
+};
+
+inline constexpr FlagSpec kFlags[] = {
+    {"--smoke", nullptr, "tiny grid (<10s), for CI bit-rot checks"},
+    {"--out", "DIR", "directory for BENCH_*.json (default: .)"},
+    {"--threads", "N", "sweep worker threads (default: all cores)"},
+    {"--protocols", "LIST", "e.g. herlihy,ac3tw,ac3wn (sweep benches)"},
+    {"--topologies", "LIST", "e.g. ring,path,star,complete,random_feasible"},
+    {"--failures", "LIST", "e.g. none,crash_participant"},
+    {"--seed", "N", "override the bench's default base RNG seed"},
+    {"--help", nullptr, "print this usage text and exit"},
+};
+
+/// Usage text generated from the flag table.
+inline void PrintUsage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [flags]\n", argv0);
+  for (const FlagSpec& flag : kFlags) {
+    char left[32];
+    std::snprintf(left, sizeof(left), "%s%s%s", flag.name,
+                  flag.value_name != nullptr ? " " : "",
+                  flag.value_name != nullptr ? flag.value_name : "");
+    std::fprintf(stderr, "  %-19s %s\n", left, flag.help);
+  }
+}
+
+inline std::vector<std::string> SplitCommaList(const std::string& list) {
+  std::vector<std::string> out;
+  size_t begin = 0;
+  while (begin <= list.size()) {
+    size_t end = list.find(',', begin);
+    if (end == std::string::npos) end = list.size();
+    if (end > begin) out.push_back(list.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return out;
+}
+
+}  // namespace internal
+
+/// The uniform bench CLI, parsed once by every harness in bench/ — the
+/// sweep benches, the timeline benches, and (through ParseKnown) the
+/// google-benchmark micro-harnesses. Extends runner::BenchContext (which
+/// the JSON envelope writer consumes) with the --seed override, and folds
+/// the old free-standing runner::ApplyAxisOverrides into a member.
+///
+/// The axis flags parse through the same name tables the JSON output uses
+/// (runner::Parse*), so the CLI, the printers, and the files cannot drift.
+struct Options : runner::BenchContext {
+  /// --seed value; meaningful only when seed_set (see SeedOr).
+  uint64_t seed = 0;
+  /// True when --seed was passed.
+  bool seed_set = false;
+
+  /// The --seed override when given, `fallback` otherwise — how a bench
+  /// keeps its committed-golden default seed while staying re-runnable
+  /// under fresh randomness.
+  uint64_t SeedOr(uint64_t fallback) const { return seed_set ? seed : fallback; }
+
+  /// Overwrites the grid's protocol/topology/failure axes with any
+  /// non-empty override this CLI carried.
+  void ApplyAxisOverrides(runner::SweepGridConfig* grid) const {
+    if (!protocols.empty()) grid->protocols = protocols;
+    if (!topologies.empty()) grid->topologies = topologies;
+    if (!failures.empty()) grid->failures = failures;
+  }
+
+  /// Parses the shared CLI strictly: an unknown flag or a bad value prints
+  /// usage to stderr and sets exit_early with a non-zero exit_code; --help
+  /// sets exit_early with exit_code 0. main() starts with
+  ///   bench::Options options = bench::Options::Parse(argc, argv);
+  ///   if (options.exit_early) return options.exit_code;
+  static Options Parse(int argc, char** argv) {
+    return ParseImpl(argc, argv, nullptr);
+  }
+
+  /// Like Parse, but forwards unknown flags to `passthrough` (argv[0]
+  /// first) instead of failing — for harnesses that wrap another flag
+  /// consumer, e.g. google-benchmark's --benchmark_* family.
+  static Options ParseKnown(int argc, char** argv,
+                            std::vector<char*>* passthrough) {
+    return ParseImpl(argc, argv, passthrough);
+  }
+
+ private:
+  /// Parses a comma list through the shared axis-name table `parse`; on
+  /// failure prints the status and flags a non-zero exit.
+  template <typename E, typename ParseFn>
+  static void ParseAxisList(const char* flag, const std::string& list,
+                            ParseFn parse, std::vector<E>* out,
+                            Options* options, const char* argv0) {
+    for (const std::string& token : internal::SplitCommaList(list)) {
+      auto parsed = parse(token);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s: %s\n", flag,
+                     parsed.status().ToString().c_str());
+        internal::PrintUsage(argv0);
+        options->exit_early = true;
+        options->exit_code = 1;
+        return;
+      }
+      out->push_back(*parsed);
+    }
+  }
+
+  static Options ParseImpl(int argc, char** argv,
+                           std::vector<char*>* passthrough) {
+    Options options;
+    if (passthrough != nullptr && argc > 0) passthrough->push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+      const char* arg =
+          std::strcmp(argv[i], "-h") == 0 ? "--help" : argv[i];
+      const internal::FlagSpec* spec = nullptr;
+      for (const internal::FlagSpec& flag : internal::kFlags) {
+        if (std::strcmp(arg, flag.name) == 0) {
+          spec = &flag;
+          break;
+        }
+      }
+      if (spec == nullptr) {
+        if (passthrough != nullptr) {
+          passthrough->push_back(argv[i]);
+          continue;
+        }
+        std::fprintf(stderr, "unknown flag: %s\n", arg);
+        internal::PrintUsage(argv[0]);
+        options.exit_early = true;
+        options.exit_code = 1;
+        return options;
+      }
+      if (std::strcmp(arg, "--help") == 0) {
+        internal::PrintUsage(argv[0]);
+        options.exit_early = true;
+        return options;
+      }
+      if (std::strcmp(arg, "--smoke") == 0) {
+        options.smoke = true;
+        continue;
+      }
+      // Every remaining flag takes a value.
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", arg);
+        internal::PrintUsage(argv[0]);
+        options.exit_early = true;
+        options.exit_code = 1;
+        return options;
+      }
+      const std::string value = argv[++i];
+      if (std::strcmp(arg, "--out") == 0) {
+        options.out_dir = value;
+      } else if (std::strcmp(arg, "--threads") == 0) {
+        options.threads = std::atoi(value.c_str());
+      } else if (std::strcmp(arg, "--seed") == 0) {
+        options.seed = std::strtoull(value.c_str(), nullptr, 10);
+        options.seed_set = true;
+      } else if (std::strcmp(arg, "--protocols") == 0) {
+        ParseAxisList("--protocols", value, runner::ParseProtocol,
+                      &options.protocols, &options, argv[0]);
+      } else if (std::strcmp(arg, "--topologies") == 0) {
+        ParseAxisList("--topologies", value, runner::ParseTopology,
+                      &options.topologies, &options, argv[0]);
+      } else {
+        ParseAxisList("--failures", value, runner::ParseFailureMode,
+                      &options.failures, &options, argv[0]);
+      }
+      if (options.exit_early) return options;
+    }
+    return options;
+  }
+};
+
+}  // namespace ac3::bench
 
 namespace ac3::benchutil {
 

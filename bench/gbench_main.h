@@ -11,40 +11,28 @@
 #define AC3_BENCH_GBENCH_MAIN_H_
 
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "src/runner/bench_output.h"
 
 namespace ac3::benchutil {
 
-/// Strips the shared bench flags from the argument list — --smoke clamps
-/// per-benchmark measuring time to ~one iteration; --out selects the
-/// BENCH_<name>.json directory; --threads is accepted-and-ignored so CI
-/// can pass one flag set to every bench binary — and hands the rest to
+/// Consumes the shared bench flags through bench::Options::ParseKnown —
+/// --smoke clamps per-benchmark measuring time to ~one iteration; --out
+/// selects the BENCH_<name>.json directory; the other shared flags are
+/// accepted-and-ignored so CI can pass one flag set to every bench binary
+/// — and hands everything unrecognized (--benchmark_*) to
 /// google-benchmark.
 inline int GBenchMain(int argc, char** argv, const std::string& name) {
   static std::string min_time = "--benchmark_min_time=0.01";
-  runner::BenchContext context;
   std::vector<char*> args;
   args.reserve(static_cast<size_t>(argc) + 1);
-  for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      context.smoke = true;
-      continue;
-    }
-    if ((std::strcmp(argv[i], "--out") == 0 ||
-         std::strcmp(argv[i], "--threads") == 0) &&
-        i + 1 < argc) {
-      if (std::strcmp(argv[i], "--out") == 0) context.out_dir = argv[i + 1];
-      ++i;  // Skip flag + value either way.
-      continue;
-    }
-    args.push_back(argv[i]);
-  }
+  bench::Options context = bench::Options::ParseKnown(argc, argv, &args);
+  if (context.exit_early) return context.exit_code;
   if (context.smoke) args.push_back(min_time.data());
   int n = static_cast<int>(args.size());
   benchmark::Initialize(&n, args.data());

@@ -12,8 +12,9 @@
 
 namespace ac3::chain {
 
-Blockchain::Blockchain(ChainParams params, std::vector<TxOutput> allocations)
-    : params_(std::move(params)) {
+Blockchain::Blockchain(ChainParams params, std::vector<TxOutput> allocations,
+                       ChainIndex::Options index_options)
+    : params_(std::move(params)), index_(index_options) {
   // Synthetic genesis: a coinbase materializing the initial allocations.
   Transaction genesis_tx;
   genesis_tx.type = TxType::kCoinbase;
@@ -44,11 +45,10 @@ Blockchain::Blockchain(ChainParams params, std::vector<TxOutput> allocations)
   entry.included_tx_count = 1;
   entry.tx_index[genesis_tx.Id()] = 0;
 
-  auto [it, inserted] = entries_.emplace(entry.hash, std::move(entry));
-  assert(inserted);
-  genesis_ = &it->second;
+  const crypto::Hash256 genesis_hash = entry.hash;
+  genesis_ = index_.Store(genesis_hash, std::move(entry));
   head_ = genesis_;
-  IndexEntry(genesis_);
+  arrival_order_.push_back(genesis_);
 }
 
 namespace {
@@ -101,30 +101,14 @@ bool Blockchain::OnBranch(const BlockEntry& tip,
 
 bool Blockchain::TxOnBranch(const BlockEntry& tip,
                             const crypto::Hash256& tx_id) const {
-  auto it = tx_occurrences_.find(tx_id);
-  if (it == tx_occurrences_.end()) return false;
-  for (const TxOccurrence& occurrence : it->second) {
+  for (const TxLocation& occurrence : index_.OccurrencesOf(tx_id)) {
     if (OnBranch(tip, occurrence.entry)) return true;
   }
   return false;
 }
 
-void Blockchain::IndexEntry(const BlockEntry* entry) {
-  arrival_order_.push_back(entry);
-  for (const auto& [tx_id, index] : entry->tx_index) {
-    tx_occurrences_[tx_id].push_back(TxOccurrence{entry, index});
-  }
-  for (const CallRecord& call : entry->calls) {
-    // One occurrence per contract even with several calls in the block.
-    std::vector<const BlockEntry*>& list =
-        contract_call_entries_[call.contract_id];
-    if (list.empty() || list.back() != entry) list.push_back(entry);
-  }
-}
-
 const BlockEntry* Blockchain::Get(const crypto::Hash256& hash) const {
-  auto it = entries_.find(hash);
-  return it == entries_.end() ? nullptr : &it->second;
+  return index_.FindEntry(hash);
 }
 
 Status Blockchain::ValidateAgainstParent(const Block& block,
@@ -178,7 +162,7 @@ Status Blockchain::ValidateAgainstParent(const Block& block,
 
 Status Blockchain::SubmitBlock(const Block& block, TimePoint arrival_time) {
   const crypto::Hash256 hash = block.header.Hash();
-  if (entries_.count(hash) > 0) {
+  if (index_.Contains(hash)) {
     return Status::AlreadyExists("block already known");
   }
   const BlockEntry* parent = Get(block.header.prev_hash);
@@ -221,21 +205,20 @@ void Blockchain::CommitValidated(const Block& block,
     }
   }
 
-  auto [it, inserted] = entries_.emplace(hash, std::move(entry));
-  assert(inserted);
-  IndexEntry(&it->second);
+  const BlockEntry* stored = index_.Store(hash, std::move(entry));
+  arrival_order_.push_back(stored);
 
   // Longest-chain rule: adopt strictly heavier branches only, so the
   // first-seen block wins ties (Section 2.1: "miners accept the first
   // received mined block").
-  if (it->second.total_work > head_->total_work) {
+  if (stored->total_work > head_->total_work) {
     if (head_->hash != block.header.prev_hash) {
       AC3_LOG(kInfo) << params_.name << ": reorg to "
                      << hash.ShortHex() << " at height "
                      << block.header.height;
     }
     const BlockEntry* old_head = head_;
-    head_ = &it->second;
+    head_ = stored;
     // Iterate by index: a listener may subscribe another listener (growing
     // the vector) but unsubscription mid-notification is not supported.
     for (size_t i = 0; i < head_listeners_.size(); ++i) {
@@ -316,7 +299,7 @@ Blockchain::BatchSubmitResult Blockchain::SubmitBlocks(
     claimed.clear();
     for (size_t i = frontier; i < n; ++i) {
       if (settled[i]) continue;
-      if (entries_.count(hashes[i]) > 0) {
+      if (index_.Contains(hashes[i])) {
         // Duplicate of a stored block: the serial short-circuit — no PoW
         // or re-execution work.
         result.statuses[i] = Status::AlreadyExists("block already known");
@@ -331,7 +314,7 @@ Blockchain::BatchSubmitResult Blockchain::SubmitBlocks(
         // exactly the serial statuses.
         continue;
       }
-      if (entries_.count(parents[i]) > 0) {
+      if (index_.Contains(parents[i])) {
         to_validate.push_back(i);
         claimed.insert(hashes[i]);
         continue;
@@ -348,7 +331,7 @@ Blockchain::BatchSubmitResult Blockchain::SubmitBlocks(
     // Serial phase: commit in input order (to_validate is ascending).
     for (size_t r = 0; r < to_validate.size(); ++r) {
       const size_t i = to_validate[r];
-      if (entries_.count(hashes[i]) > 0) {
+      if (index_.Contains(hashes[i])) {
         // Defensive: to_validate hashes are unique per round (`claimed`),
         // so this only fires if that invariant is ever relaxed.
         result.statuses[i] = Status::AlreadyExists("block already known");
@@ -414,44 +397,19 @@ Result<std::vector<BlockHeader>> Blockchain::HeadersAfter(
 
 std::optional<Blockchain::TxLocation> Blockchain::FindTx(
     const crypto::Hash256& tx_id) const {
-  auto it = tx_occurrences_.find(tx_id);
-  if (it == tx_occurrences_.end()) return std::nullopt;
-  // At most one occurrence is canonical (duplicates are invalid per
-  // branch), so the first on-branch hit is THE location.
-  for (const TxOccurrence& occurrence : it->second) {
-    if (OnBranch(*head_, occurrence.entry)) {
-      return TxLocation{occurrence.entry, occurrence.index};
-    }
-  }
-  return std::nullopt;
+  // The index filters by the canonical branch: head_ supplies "canonical".
+  return index_.FindTx(tx_id, [this](const BlockEntry& entry) {
+    return OnBranch(*head_, &entry);
+  });
 }
 
 std::optional<Blockchain::TxLocation> Blockchain::FindCall(
     const crypto::Hash256& contract_id, const std::string& function,
     bool require_success) const {
-  auto it = contract_call_entries_.find(contract_id);
-  if (it == contract_call_entries_.end()) return std::nullopt;
-  // Newest canonical entry containing a matching call; within an entry,
-  // calls are scanned in block order (same answer the old head-to-genesis
-  // walk produced, without visiting call-free blocks).
-  const BlockEntry* best_entry = nullptr;
-  uint32_t best_index = 0;
-  for (const BlockEntry* entry : it->second) {
-    if (best_entry != nullptr && entry->height() <= best_entry->height()) {
-      continue;
-    }
-    if (!OnBranch(*head_, entry)) continue;
-    for (const CallRecord& call : entry->calls) {
-      if (call.contract_id == contract_id && call.function == function &&
-          (!require_success || call.success)) {
-        best_entry = entry;
-        best_index = call.tx_index;
-        break;
-      }
-    }
-  }
-  if (best_entry == nullptr) return std::nullopt;
-  return TxLocation{best_entry, best_index};
+  return index_.FindCall(contract_id, function, require_success,
+                         [this](const BlockEntry& entry) {
+                           return OnBranch(*head_, &entry);
+                         });
 }
 
 Result<contracts::ContractPtr> Blockchain::ContractAtHead(

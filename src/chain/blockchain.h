@@ -13,64 +13,26 @@
 
 #include <functional>
 #include <optional>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "src/chain/block.h"
+#include "src/chain/chain_index.h"
 #include "src/chain/ledger.h"
 #include "src/chain/params.h"
 #include "src/common/random.h"
 
 namespace ac3::chain {
 
-/// A contract call included in a block (index into block.txs).
-struct CallRecord {
-  crypto::Hash256 contract_id;
-  std::string function;
-  uint32_t tx_index = 0;
-  bool success = false;
-};
-
-/// A validated block plus branch-local derived data.
-///
-/// Branch-cumulative data is chained, not materialized: each entry keeps
-/// only its own block's transaction ids (`tx_index`) plus a `parent` link
-/// and a skip pointer for O(log height) ancestor jumps, so storing a block
-/// costs O(block size) instead of O(chain length). "Is this transaction
-/// already on the branch?" is answered by Blockchain::TxOnBranch through
-/// the chain-global transaction index.
-struct BlockEntry {
-  Block block;
-  crypto::Hash256 hash;
-  /// Cumulative expected work from genesis (longest-chain metric).
-  double total_work = 0;
-  /// When the block reached the store (simulated time).
-  TimePoint arrival_time = 0;
-  /// First-seen order; ties in total work keep the earlier block.
-  uint64_t arrival_seq = 0;
-  /// State after applying this block to its parent's state (a persistent
-  /// snapshot sharing all unmodified structure with the parent's state).
-  LedgerState state;
-  /// Parent entry (nullptr for genesis). Entry pointers are stable.
-  const BlockEntry* parent = nullptr;
-  /// Ancestor jump pointer (Bitcoin's pskip scheme) for GetAncestor.
-  const BlockEntry* skip = nullptr;
-  /// Number of transactions included on this branch, genesis..this block.
-  uint64_t included_tx_count = 0;
-  /// Transaction id -> index within THIS block only (the per-entry delta).
-  std::unordered_map<crypto::Hash256, uint32_t> tx_index;
-  /// Contract calls in this block (for watching redeem/refund events).
-  std::vector<CallRecord> calls;
-
-  uint64_t height() const { return block.header.height; }
-};
-
 class Blockchain {
  public:
   /// Creates the chain with a genesis block materializing `allocations`
   /// (initial asset owners, e.g. experiment participants' funding).
-  Blockchain(ChainParams params, std::vector<TxOutput> allocations);
+  /// `index_options` tunes the ChainIndex backing storage (shard count,
+  /// oracle mode) — the default fits a production chain; equivalence
+  /// harnesses drive a second chain in oracle mode.
+  Blockchain(ChainParams params, std::vector<TxOutput> allocations,
+             ChainIndex::Options index_options = {});
 
   const ChainParams& params() const { return params_; }
   ChainId id() const { return params_.id; }
@@ -121,9 +83,15 @@ class Blockchain {
   const BlockEntry* Get(const crypto::Hash256& hash) const;
   /// Height of the canonical tip.
   uint64_t height() const { return head_->block.header.height; }
-  size_t block_count() const { return entries_.size(); }
-  const std::unordered_map<crypto::Hash256, BlockEntry>& entries() const {
-    return entries_;
+  size_t block_count() const { return index_.EntryCount(); }
+  /// The chain's entry store + query indexes. The only way to reach the
+  /// index internals — there is no raw map accessor.
+  const ChainIndex& index() const { return index_; }
+  /// Visits every stored (hash, entry) — all forks, genesis included — in
+  /// ChainIndex's deterministic order. Shorthand for index().ForEachEntry.
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) const {
+    index_.ForEachEntry(fn);
   }
   /// Every entry (genesis included) in arrival order — an append-only feed
   /// consumers (the mining network's head trackers) index into.
@@ -174,11 +142,9 @@ class Blockchain {
   Result<std::vector<BlockHeader>> HeadersAfter(
       const crypto::Hash256& ancestor_hash) const;
 
-  /// Where a transaction landed on the canonical chain.
-  struct TxLocation {
-    const BlockEntry* entry = nullptr;
-    uint32_t index = 0;
-  };
+  /// Where a transaction landed on the canonical chain (chain::TxLocation,
+  /// re-exported under the historical nested name).
+  using TxLocation = chain::TxLocation;
   std::optional<TxLocation> FindTx(const crypto::Hash256& tx_id) const;
 
   /// Newest canonical call of `function` on `contract_id` (optionally only
@@ -220,22 +186,12 @@ class Blockchain {
                        const BlockEntry* parent, std::vector<Receipt> receipts,
                        LedgerState post_state, TimePoint arrival_time);
 
-  /// Records `entry`'s transactions/calls in the chain-global indexes and
-  /// the arrival feed. Called once per stored entry.
-  void IndexEntry(const BlockEntry* entry);
-
-  /// One on-chain occurrence of a transaction. A transaction may occur in
-  /// several fork-sibling blocks, but at most once per branch.
-  struct TxOccurrence {
-    const BlockEntry* entry = nullptr;
-    uint32_t index = 0;
-  };
-
   /// True when `entry` lies on the branch ending at `tip`.
   bool OnBranch(const BlockEntry& tip, const BlockEntry* entry) const;
 
   ChainParams params_;
-  std::unordered_map<crypto::Hash256, BlockEntry> entries_;
+  /// Entry store + tx/contract query indexes (sharded; see chain_index.h).
+  ChainIndex index_;
   std::vector<std::pair<SubscriptionId, HeadListener>> head_listeners_;
   SubscriptionId next_subscription_id_ = 1;
   const BlockEntry* genesis_ = nullptr;
@@ -243,12 +199,6 @@ class Blockchain {
   uint64_t next_arrival_seq_ = 0;
   /// All entries in arrival order (genesis first).
   std::vector<const BlockEntry*> arrival_order_;
-  /// Transaction id -> every entry containing it (across all forks).
-  std::unordered_map<crypto::Hash256, std::vector<TxOccurrence>>
-      tx_occurrences_;
-  /// Contract id -> every entry containing >= 1 call on it.
-  std::unordered_map<crypto::Hash256, std::vector<const BlockEntry*>>
-      contract_call_entries_;
 };
 
 }  // namespace ac3::chain

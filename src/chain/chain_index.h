@@ -1,0 +1,231 @@
+// ChainIndex: the block-entry store and chain-global query indexes behind
+// one narrow facade.
+//
+// A Blockchain used to hold three raw `std::unordered_map`s (hash ->
+// entry, tx -> occurrences, contract -> call entries) and even leaked one
+// of them through an `entries()` accessor, which welded every caller to
+// the backing container. ChainIndex is the seam that un-welds them: the
+// fork-tree store and both hot query indexes live here behind FindEntry /
+// FindTx / FindCall / OccurrencesOf / EntryCount / ForEachEntry, and the
+// backing storage is the sharded, slab-backed ShardedIndex
+// (src/common/sharded_index.h) — swappable, memory-accounted, and
+// testable against its own single-map oracle mode without touching any
+// caller.
+//
+// Branch awareness stays out: ChainIndex knows every fork-sibling
+// occurrence of a transaction, but *which* occurrence is canonical
+// depends on the head, so the canonical-filtering queries take an
+// `on_branch` predicate from the Blockchain. That keeps the facade a pure
+// index — no head pointer, no ancestry logic — and keeps the longest-chain
+// rule in exactly one place.
+
+#ifndef AC3_CHAIN_CHAIN_INDEX_H_
+#define AC3_CHAIN_CHAIN_INDEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/chain/block.h"
+#include "src/chain/ledger.h"
+#include "src/common/sharded_index.h"
+
+namespace ac3::chain {
+
+/// A contract call included in a block (index into block.txs).
+struct CallRecord {
+  /// The contract the call targeted.
+  crypto::Hash256 contract_id;
+  /// The function invoked (e.g. "redeem").
+  std::string function;
+  /// Index of the calling transaction within its block.
+  uint32_t tx_index = 0;
+  /// Whether the call's receipt reported success.
+  bool success = false;
+};
+
+/// A validated block plus branch-local derived data.
+///
+/// Branch-cumulative data is chained, not materialized: each entry keeps
+/// only its own block's transaction ids (`tx_index`) plus a `parent` link
+/// and a skip pointer for O(log height) ancestor jumps, so storing a block
+/// costs O(block size) instead of O(chain length). "Is this transaction
+/// already on the branch?" is answered by Blockchain::TxOnBranch through
+/// the ChainIndex occurrence lists.
+struct BlockEntry {
+  /// The validated block itself.
+  Block block;
+  /// The block's header hash (its identity in the store).
+  crypto::Hash256 hash;
+  /// Cumulative expected work from genesis (longest-chain metric).
+  double total_work = 0;
+  /// When the block reached the store (simulated time).
+  TimePoint arrival_time = 0;
+  /// First-seen order; ties in total work keep the earlier block.
+  uint64_t arrival_seq = 0;
+  /// State after applying this block to its parent's state (a persistent
+  /// snapshot sharing all unmodified structure with the parent's state).
+  LedgerState state;
+  /// Parent entry (nullptr for genesis). Entry pointers are stable.
+  const BlockEntry* parent = nullptr;
+  /// Ancestor jump pointer (Bitcoin's pskip scheme) for GetAncestor.
+  const BlockEntry* skip = nullptr;
+  /// Number of transactions included on this branch, genesis..this block.
+  uint64_t included_tx_count = 0;
+  /// Transaction id -> index within THIS block only (the per-entry delta).
+  std::unordered_map<crypto::Hash256, uint32_t> tx_index;
+  /// Contract calls in this block (for watching redeem/refund events).
+  std::vector<CallRecord> calls;
+
+  /// The block's height (shorthand for block.header.height).
+  uint64_t height() const { return block.header.height; }
+};
+
+/// One on-chain location of a transaction: the entry holding it and the
+/// transaction's index inside that entry's block. Also the unit of the
+/// occurrence lists — a transaction may occur in several fork-sibling
+/// blocks, but at most once per branch.
+struct TxLocation {
+  /// The entry whose block includes the transaction.
+  const BlockEntry* entry = nullptr;
+  /// The transaction's index within that block.
+  uint32_t index = 0;
+};
+
+/// The per-chain entry store + query indexes. Mutation (Store) is
+/// single-threaded; const queries may run concurrently between mutations
+/// — the Blockchain's parallel-validation discipline.
+class ChainIndex {
+ public:
+  /// Construction knobs, forwarded to the backing ShardedIndexes.
+  struct Options {
+    /// Shards per index (rounded up to a power of two).
+    size_t shards = 16;
+    /// True backs every index with the single-map oracle — the reference
+    /// mode equivalence tests and the many-chain bench compare against.
+    bool oracle = false;
+  };
+
+  /// An empty index with default options.
+  ChainIndex() : ChainIndex(Options{}) {}
+
+  /// An empty index with the given backing options.
+  explicit ChainIndex(Options options)
+      : entries_(IndexOptions<EntryIndex>(options)),
+        tx_occurrences_(IndexOptions<TxIndex>(options)),
+        contract_calls_(IndexOptions<CallIndex>(options)) {}
+
+  /// Stores `entry` under `hash` (which must be new) and records its
+  /// transactions and contract calls in the query indexes. Returns the
+  /// stable stored entry.
+  BlockEntry* Store(const crypto::Hash256& hash, BlockEntry entry);
+
+  /// The stored entry for `hash`, or nullptr.
+  const BlockEntry* FindEntry(const crypto::Hash256& hash) const {
+    return entries_.Find(hash);
+  }
+
+  /// True when `hash` is stored.
+  bool Contains(const crypto::Hash256& hash) const {
+    return entries_.Contains(hash);
+  }
+
+  /// Stored entries (every fork, genesis included).
+  size_t EntryCount() const { return entries_.size(); }
+
+  /// Visits every stored (hash, entry) in the deterministic sharded order
+  /// (shard-major, insertion order within a shard). The only sanctioned
+  /// full scan — there is deliberately no raw map accessor.
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) const {
+    entries_.ForEach(fn);
+  }
+
+  /// Every stored occurrence of `tx_id` across all forks (empty span when
+  /// the transaction is unknown). Valid until the next Store.
+  std::span<const TxLocation> OccurrencesOf(const crypto::Hash256& tx_id) const {
+    const std::vector<TxLocation>* list = tx_occurrences_.Find(tx_id);
+    if (list == nullptr) return {};
+    return {list->data(), list->size()};
+  }
+
+  /// The occurrence of `tx_id` on the branch selected by `on_branch`
+  /// (a predicate over BlockEntry). At most one occurrence lies on any
+  /// branch — duplicates are invalid per branch — so the first hit is THE
+  /// location.
+  template <typename OnBranch>
+  std::optional<TxLocation> FindTx(const crypto::Hash256& tx_id,
+                                   OnBranch&& on_branch) const {
+    for (const TxLocation& occurrence : OccurrencesOf(tx_id)) {
+      if (on_branch(*occurrence.entry)) return occurrence;
+    }
+    return std::nullopt;
+  }
+
+  /// The newest on-branch call of `function` on `contract_id` (optionally
+  /// only successful calls), scanning only entries known to contain calls
+  /// on that contract. `on_branch` selects the branch, as in FindTx.
+  template <typename OnBranch>
+  std::optional<TxLocation> FindCall(const crypto::Hash256& contract_id,
+                                     const std::string& function,
+                                     bool require_success,
+                                     OnBranch&& on_branch) const {
+    const std::vector<const BlockEntry*>* list =
+        contract_calls_.Find(contract_id);
+    if (list == nullptr) return std::nullopt;
+    // Newest on-branch entry containing a matching call; within an entry,
+    // calls are scanned in block order (same answer a head-to-genesis walk
+    // would produce, without visiting call-free blocks).
+    const BlockEntry* best_entry = nullptr;
+    uint32_t best_index = 0;
+    for (const BlockEntry* entry : *list) {
+      if (best_entry != nullptr && entry->height() <= best_entry->height()) {
+        continue;
+      }
+      if (!on_branch(*entry)) continue;
+      for (const CallRecord& call : entry->calls) {
+        if (call.contract_id == contract_id && call.function == function &&
+            (!require_success || call.success)) {
+          best_entry = entry;
+          best_index = call.tx_index;
+          break;
+        }
+      }
+    }
+    if (best_entry == nullptr) return std::nullopt;
+    return TxLocation{best_entry, best_index};
+  }
+
+  /// Slab bytes reserved across all three backing indexes (the number the
+  /// many-chain bench's memory ceiling bounds). Excludes value-owned heap.
+  size_t bytes_reserved() const {
+    return entries_.bytes_reserved() + tx_occurrences_.bytes_reserved() +
+           contract_calls_.bytes_reserved();
+  }
+
+ private:
+  using EntryIndex = ShardedIndex<crypto::Hash256, BlockEntry>;
+  using TxIndex = ShardedIndex<crypto::Hash256, std::vector<TxLocation>>;
+  using CallIndex =
+      ShardedIndex<crypto::Hash256, std::vector<const BlockEntry*>>;
+
+  template <typename Index>
+  static typename Index::Options IndexOptions(const Options& options) {
+    typename Index::Options out;
+    out.shards = options.shards;
+    out.oracle = options.oracle;
+    return out;
+  }
+
+  EntryIndex entries_;
+  TxIndex tx_occurrences_;
+  CallIndex contract_calls_;
+};
+
+}  // namespace ac3::chain
+
+#endif  // AC3_CHAIN_CHAIN_INDEX_H_

@@ -57,14 +57,15 @@ Duration MiningNetwork::GossipDelay(const crypto::Hash256& block_hash,
 const BlockEntry* MiningNetwork::VisibleHeadScan(int miner,
                                                  TimePoint now) const {
   const BlockEntry* best = chain_->genesis();
-  for (const auto& [hash, entry] : chain_->entries()) {
-    if (entry.arrival_time + GossipDelay(hash, miner) > now) continue;
+  chain_->ForEachEntry([&](const crypto::Hash256& hash,
+                           const BlockEntry& entry) {
+    if (entry.arrival_time + GossipDelay(hash, miner) > now) return;
     if (entry.total_work > best->total_work ||
         (entry.total_work == best->total_work &&
          entry.arrival_seq < best->arrival_seq)) {
       best = &entry;
     }
-  }
+  });
   return best;
 }
 

@@ -1,0 +1,345 @@
+// ShardedIndex: an N-way hash-sharded map with slab-backed nodes and an
+// intrusive hot-entry list per shard.
+//
+// This is the storage behind the chain-global indexes (tx -> occurrences,
+// contract -> call entries, hash -> block entry; see
+// src/chain/chain_index.h). The requirements those indexes share:
+//
+//   * **pointer stability** — block entries are referenced by raw pointer
+//     everywhere (parent links, head pointers, occurrence lists), so
+//     values must never move. Nodes are slab-allocated (one SlabPool per
+//     shard) and only the bucket *pointer table* rehashes.
+//   * **sharding by key hash** — a world of hundreds of chains holds
+//     millions of index entries; N smaller shards keep bucket tables in
+//     reasonable allocation sizes, keep rehash pauses short, and give
+//     every per-shard structure (slab pool, hot list) locality.
+//   * **deterministic iteration** — ForEach visits shards in index order
+//     and entries in per-shard insertion order, a pure function of the
+//     operation sequence (never of pointer values or rehash timing), so
+//     golden tests and committed bench fingerprints stay reproducible.
+//   * **a hot-entry fast path** — each shard fronts an intrusive
+//     LRU-style list (in the spirit of rippled's `TaggedCacheIntr`):
+//     inserts and non-const finds move the node to the list head, and
+//     every lookup checks the current head before walking its bucket —
+//     repeated queries for the same key (a protocol engine polling one
+//     contract's calls on every head move) skip the hash walk entirely.
+//
+// Thread safety: mutation is single-threaded, const lookups are safe to
+// run concurrently *between* mutations (the const path is read-only —
+// only the non-const Find/Touch overloads move hot-list links). That is
+// exactly the Blockchain discipline: parallel validation reads, the
+// serial commit phase writes.
+//
+// Oracle mode: `Options{.oracle = true}` swaps the backing storage for a
+// single plain std::unordered_map (no shards, no slabs, no hot list)
+// behind the same API. Equivalence tests and the many-chain bench drive
+// identical operation sequences through both modes and fail on any
+// divergence, the same discipline as `MineHeaderScalar` /
+// `VisibleHeadScan`.
+
+#ifndef AC3_COMMON_SHARDED_INDEX_H_
+#define AC3_COMMON_SHARDED_INDEX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/slab.h"
+
+namespace ac3 {
+
+/// N-way hash-sharded map with slab-backed, pointer-stable nodes, a
+/// deterministic iteration order, per-shard intrusive hot-entry lists,
+/// and a single-map oracle mode for equivalence testing. Insert-only by
+/// design (values stay mutable): the chain indexes it backs are
+/// append-only fork-tree stores.
+template <typename K, typename V, typename Hasher = std::hash<K>>
+class ShardedIndex {
+ public:
+  /// Construction knobs. Defaults match the per-chain index use case.
+  struct Options {
+    /// Shard count; rounded up to a power of two, at least 1.
+    size_t shards = 16;
+    /// True routes every operation through one plain std::unordered_map —
+    /// the reference implementation the sharded backend is tested against.
+    bool oracle = false;
+    /// Blocks per slab for the node pools (0 = SlabPool's ~64 KiB auto).
+    size_t blocks_per_slab = 0;
+  };
+
+  /// An index with the given options (no allocation until the first
+  /// insert beyond the shard headers).
+  explicit ShardedIndex(Options options = Options{})
+      : oracle_(options.oracle) {
+    const size_t want = options.oracle ? 1 : std::max<size_t>(options.shards, 1);
+    size_t shards = 1;
+    while (shards < want) shards <<= 1;
+    shard_bits_ = 0;
+    while ((size_t{1} << shard_bits_) < shards) ++shard_bits_;
+    shards_.reserve(shards);
+    for (size_t s = 0; s < shards; ++s) {
+      shards_.push_back(std::make_unique<Shard>(options.blocks_per_slab));
+    }
+  }
+
+  /// Stored values are referenced by stable pointer: not copyable.
+  ShardedIndex(const ShardedIndex&) = delete;
+  /// Stored values are referenced by stable pointer: not assignable.
+  ShardedIndex& operator=(const ShardedIndex&) = delete;
+
+  /// Destroys every node and returns its block to the shard's pool.
+  ~ShardedIndex() {
+    for (auto& shard : shards_) {
+      Node* walk = shard->order_head;
+      while (walk != nullptr) {
+        Node* next = walk->order_next;
+        walk->~Node();
+        shard->pool.Deallocate(walk);
+        walk = next;
+      }
+    }
+  }
+
+  /// Number of keys stored.
+  size_t size() const { return size_; }
+  /// True when no keys are stored.
+  bool empty() const { return size_ == 0; }
+  /// Number of shards (1 in oracle mode).
+  size_t shard_count() const { return shards_.size(); }
+  /// True when this instance runs the single-map oracle backend.
+  bool is_oracle() const { return oracle_; }
+
+  /// Read-only lookup; nullptr when absent. Safe to call concurrently
+  /// with other const lookups (checks the shard's hot head, then walks
+  /// the bucket — never mutates).
+  const V* Find(const K& key) const {
+    const Node* node = FindNode(key);
+    return node != nullptr ? &node->kv.second : nullptr;
+  }
+
+  /// Mutable lookup; additionally moves the entry to the front of its
+  /// shard's hot list. Serial contexts only.
+  V* Find(const K& key) {
+    Node* node = const_cast<Node*>(FindNode(key));
+    if (node != nullptr) Touch(node);
+    return node != nullptr ? &node->kv.second : nullptr;
+  }
+
+  /// True when `key` is stored.
+  bool Contains(const K& key) const { return FindNode(key) != nullptr; }
+
+  /// Inserts `value` under `key`; returns the stable value pointer and
+  /// whether an insert happened (false = key existed, value untouched).
+  std::pair<V*, bool> Emplace(const K& key, V value) {
+    const size_t hash = Hasher{}(key);
+    Shard& shard = ShardFor(hash);
+    Node* existing = FindInShard(shard, hash, key);
+    if (existing != nullptr) {
+      Touch(existing);
+      return {&existing->kv.second, false};
+    }
+    Node* node = new (shard.pool.Allocate()) Node(key, std::move(value), hash);
+    LinkNode(shard, node);
+    ++size_;
+    return {&node->kv.second, true};
+  }
+
+  /// The value under `key`, default-constructing (and hot-listing) it on
+  /// first use — the accumulator idiom (`index.GetOrCreate(id).push_back`).
+  V& GetOrCreate(const K& key) { return *Emplace(key, V{}).first; }
+
+  /// Moves the entry for `key` (if any) to the front of its shard's hot
+  /// list without returning it. Serial contexts only.
+  void Touch(const K& key) {
+    Node* node = const_cast<Node*>(FindNode(key));
+    if (node != nullptr) Touch(node);
+  }
+
+  /// Visits every (key, value) pair: shards in index order, entries in
+  /// per-shard insertion order. The order is a pure function of the
+  /// operation sequence and the shard count — never of pointer values,
+  /// rehash timing, or platform hash quirks within a run — so two
+  /// identically-driven instances iterate identically.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& shard : shards_) {
+      for (const Node* node = shard->order_head; node != nullptr;
+           node = node->order_next) {
+        fn(node->kv.first, node->kv.second);
+      }
+    }
+  }
+
+  /// Visits up to `per_shard_limit` most-recently-touched entries per
+  /// shard, hottest first (insertion counts as a touch). Empty in oracle
+  /// mode, which keeps no hot list.
+  template <typename Fn>
+  void ForEachHot(size_t per_shard_limit, Fn&& fn) const {
+    for (const auto& shard : shards_) {
+      size_t visited = 0;
+      for (const Node* node = shard->hot_head;
+           node != nullptr && visited < per_shard_limit;
+           node = node->hot_next, ++visited) {
+        fn(node->kv.first, node->kv.second);
+      }
+    }
+  }
+
+  /// Total bytes the node pools have reserved across shards (slab memory,
+  /// live or free). Excludes heap owned by the values themselves and the
+  /// bucket pointer tables. Zero in oracle mode.
+  size_t bytes_reserved() const {
+    size_t total = 0;
+    for (const auto& shard : shards_) total += shard->pool.bytes_reserved();
+    return total;
+  }
+
+ private:
+  struct Node {
+    Node(const K& key, V value, size_t h)
+        : hash(h), kv(key, std::move(value)) {}
+    Node* bucket_next = nullptr;
+    Node* order_next = nullptr;
+    Node* hot_prev = nullptr;
+    Node* hot_next = nullptr;
+    size_t hash = 0;
+    std::pair<const K, V> kv;
+  };
+
+  struct Shard {
+    explicit Shard(size_t blocks_per_slab)
+        : pool(sizeof(Node), blocks_per_slab) {}
+    SlabPool pool;
+    std::vector<Node*> buckets;  // Power-of-two sized; empty until first use.
+    Node* order_head = nullptr;
+    Node* order_tail = nullptr;
+    Node* hot_head = nullptr;
+    Node* hot_tail = nullptr;
+    std::unordered_map<K, Node*, Hasher> oracle_map;  // Oracle backend only.
+    size_t count = 0;
+  };
+
+  /// Finalizer-mixed key hash: decorrelates the shard selector (low bits)
+  /// from the in-shard bucket index (bits above shard_bits_) even for
+  /// identity-like std::hash implementations.
+  static size_t Mix(size_t hash) {
+    uint64_t x = static_cast<uint64_t>(hash);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+
+  Shard& ShardFor(size_t hash) {
+    return *shards_[Mix(hash) & (shards_.size() - 1)];
+  }
+  const Shard& ShardFor(size_t hash) const {
+    return *shards_[Mix(hash) & (shards_.size() - 1)];
+  }
+
+  size_t BucketIndex(const Shard& shard, size_t hash) const {
+    return (Mix(hash) >> shard_bits_) & (shard.buckets.size() - 1);
+  }
+
+  const Node* FindNode(const K& key) const {
+    const size_t hash = Hasher{}(key);
+    const Shard& shard = ShardFor(hash);
+    return FindInShard(const_cast<Shard&>(shard), hash, key);
+  }
+
+  Node* FindInShard(Shard& shard, size_t hash, const K& key) const {
+    if (oracle_) {
+      auto it = shard.oracle_map.find(key);
+      return it == shard.oracle_map.end() ? nullptr : it->second;
+    }
+    // Hot-head fast path: a repeated lookup of the shard's most recently
+    // touched key skips the bucket walk (plain pointer reads — safe under
+    // concurrent const lookups).
+    const Node* hot = shard.hot_head;
+    if (hot != nullptr && hot->hash == hash && hot->kv.first == key) {
+      return const_cast<Node*>(hot);
+    }
+    if (shard.buckets.empty()) return nullptr;
+    for (Node* walk = shard.buckets[BucketIndex(shard, hash)]; walk != nullptr;
+         walk = walk->bucket_next) {
+      if (walk->hash == hash && walk->kv.first == key) return walk;
+    }
+    return nullptr;
+  }
+
+  void LinkNode(Shard& shard, Node* node) {
+    // Insertion-order chain (the deterministic iteration spine).
+    if (shard.order_tail == nullptr) {
+      shard.order_head = shard.order_tail = node;
+    } else {
+      shard.order_tail->order_next = node;
+      shard.order_tail = node;
+    }
+    ++shard.count;
+    if (oracle_) {
+      shard.oracle_map.emplace(node->kv.first, node);
+      return;
+    }
+    if (shard.count > shard.buckets.size()) {
+      // Rehash walks the order chain, which already holds `node` — it
+      // buckets the new node too, so don't push it a second time.
+      Rehash(shard);
+    } else {
+      const size_t index = BucketIndex(shard, node->hash);
+      node->bucket_next = shard.buckets[index];
+      shard.buckets[index] = node;
+    }
+    PushHot(shard, node);
+  }
+
+  /// Doubles the bucket table (load factor 1) and relinks every node.
+  /// Nodes never move; only bucket heads change.
+  void Rehash(Shard& shard) {
+    size_t buckets = shard.buckets.empty() ? 8 : shard.buckets.size() * 2;
+    while (buckets < shard.count) buckets *= 2;
+    shard.buckets.assign(buckets, nullptr);
+    for (Node* walk = shard.order_head; walk != nullptr;
+         walk = walk->order_next) {
+      const size_t index = BucketIndex(shard, walk->hash);
+      walk->bucket_next = shard.buckets[index];
+      shard.buckets[index] = walk;
+    }
+  }
+
+  void PushHot(Shard& shard, Node* node) {
+    node->hot_prev = nullptr;
+    node->hot_next = shard.hot_head;
+    if (shard.hot_head != nullptr) shard.hot_head->hot_prev = node;
+    shard.hot_head = node;
+    if (shard.hot_tail == nullptr) shard.hot_tail = node;
+  }
+
+  void Touch(Node* node) {
+    if (oracle_) return;
+    Shard& shard = ShardFor(node->hash);
+    if (shard.hot_head == node) return;
+    // Unlink, then push to the front.
+    if (node->hot_prev != nullptr) node->hot_prev->hot_next = node->hot_next;
+    if (node->hot_next != nullptr) node->hot_next->hot_prev = node->hot_prev;
+    if (shard.hot_tail == node) shard.hot_tail = node->hot_prev;
+    PushHot(shard, node);
+  }
+
+  bool oracle_;
+  size_t shard_bits_ = 0;
+  size_t size_ = 0;
+  /// unique_ptr keeps Shard addresses stable across the vector and lets
+  /// Shard hold the non-movable SlabPool.
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace ac3
+
+#endif  // AC3_COMMON_SHARDED_INDEX_H_

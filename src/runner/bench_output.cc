@@ -1,118 +1,9 @@
 #include "src/runner/bench_output.h"
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 
 namespace ac3::runner {
-
-namespace {
-
-void PrintUsage(const char* argv0) {
-  std::fprintf(
-      stderr,
-      "usage: %s [--smoke] [--out DIR] [--threads N]\n"
-      "          [--protocols LIST] [--topologies LIST] [--failures LIST]\n"
-      "          [--help]\n"
-      "  --smoke            tiny grid (<10s), for CI bit-rot checks\n"
-      "  --out DIR          directory for BENCH_*.json (default: .)\n"
-      "  --threads N        sweep worker threads (default: all cores)\n"
-      "  --protocols LIST   e.g. herlihy,ac3tw,ac3wn (sweep benches)\n"
-      "  --topologies LIST  e.g. ring,path,star,complete,random_feasible\n"
-      "  --failures LIST    e.g. none,crash_participant\n",
-      argv0);
-}
-
-std::vector<std::string> SplitCommaList(const std::string& list) {
-  std::vector<std::string> out;
-  size_t begin = 0;
-  while (begin <= list.size()) {
-    size_t end = list.find(',', begin);
-    if (end == std::string::npos) end = list.size();
-    if (end > begin) out.push_back(list.substr(begin, end - begin));
-    begin = end + 1;
-  }
-  return out;
-}
-
-/// Parses a comma list through `parse`; on failure prints the status and
-/// flags the context for a non-zero exit.
-template <typename E, typename ParseFn>
-void ParseAxisList(const char* flag, const std::string& list, ParseFn parse,
-                   std::vector<E>* out, BenchContext* context,
-                   const char* argv0) {
-  for (const std::string& token : SplitCommaList(list)) {
-    auto parsed = parse(token);
-    if (!parsed.ok()) {
-      std::fprintf(stderr, "%s: %s\n", flag,
-                   parsed.status().ToString().c_str());
-      PrintUsage(argv0);
-      context->exit_early = true;
-      context->exit_code = 1;
-      return;
-    }
-    out->push_back(*parsed);
-  }
-}
-
-}  // namespace
-
-void ApplyAxisOverrides(const BenchContext& context, SweepGridConfig* grid) {
-  if (!context.protocols.empty()) grid->protocols = context.protocols;
-  if (!context.topologies.empty()) grid->topologies = context.topologies;
-  if (!context.failures.empty()) grid->failures = context.failures;
-}
-
-BenchContext ParseBenchArgs(int argc, char** argv) {
-  BenchContext context;
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strcmp(arg, "--smoke") == 0) {
-      context.smoke = true;
-    } else if (std::strcmp(arg, "--out") == 0 ||
-               std::strcmp(arg, "--threads") == 0 ||
-               std::strcmp(arg, "--protocols") == 0 ||
-               std::strcmp(arg, "--topologies") == 0 ||
-               std::strcmp(arg, "--failures") == 0) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s requires a value\n", arg);
-        PrintUsage(argv[0]);
-        context.exit_early = true;
-        context.exit_code = 1;
-        return context;
-      }
-      const std::string value = argv[++i];
-      if (std::strcmp(arg, "--out") == 0) {
-        context.out_dir = value;
-      } else if (std::strcmp(arg, "--threads") == 0) {
-        context.threads = std::atoi(value.c_str());
-      } else if (std::strcmp(arg, "--protocols") == 0) {
-        ParseAxisList("--protocols", value, ParseProtocol,
-                      &context.protocols, &context, argv[0]);
-      } else if (std::strcmp(arg, "--topologies") == 0) {
-        ParseAxisList("--topologies", value, ParseTopology,
-                      &context.topologies, &context, argv[0]);
-      } else {
-        ParseAxisList("--failures", value, ParseFailureMode,
-                      &context.failures, &context, argv[0]);
-      }
-      if (context.exit_early) return context;
-    } else if (std::strcmp(arg, "--help") == 0 ||
-               std::strcmp(arg, "-h") == 0) {
-      PrintUsage(argv[0]);
-      context.exit_early = true;
-      return context;
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", arg);
-      PrintUsage(argv[0]);
-      context.exit_early = true;
-      context.exit_code = 1;
-      return context;
-    }
-  }
-  return context;
-}
 
 Json BenchEnvelope(const BenchContext& context, const std::string& name,
                    Json results, Json wall_extra) {

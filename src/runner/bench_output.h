@@ -1,20 +1,10 @@
-// Machine-readable bench output: every experiment harness parses the same
-// CLI flags and writes its structured results as BENCH_<name>.json through
-// one envelope, so the perf trajectory across commits is diffable.
+// Machine-readable bench output: every experiment harness writes its
+// structured results as BENCH_<name>.json through one envelope, so the
+// perf trajectory across commits is diffable.
 //
-// Flags understood by every bench binary:
-//   --smoke            tiny grid, seconds not minutes (CI bit-rot guard)
-//   --out DIR          directory for BENCH_*.json (default: current dir)
-//   --threads N        sweep worker threads (default: hardware concurrency)
-//   --protocols LIST   comma-separated sweep-axis override (herlihy,ac3wn)
-//   --topologies LIST  comma-separated topology families (ring,star,...)
-//   --failures LIST    comma-separated failure modes (none,crash_...)
-//   --help             usage
-//
-// The axis flags parse through the same name tables the JSON output uses
-// (runner::Parse*), so the CLI, the printers, and the files cannot drift.
-// Benches that run a sweep grid apply them via ApplyAxisOverrides; benches
-// without a grid simply ignore them.
+// The uniform bench CLI that fills a BenchContext lives one layer up, in
+// bench/bench_util.h (bench::Options::Parse) — this header owns only the
+// context the envelope writer consumes and the writer itself.
 
 #ifndef AC3_RUNNER_BENCH_OUTPUT_H_
 #define AC3_RUNNER_BENCH_OUTPUT_H_
@@ -46,14 +36,6 @@ struct BenchContext {
   std::chrono::steady_clock::time_point start_time =
       std::chrono::steady_clock::now();
 };
-
-/// Overwrites the grid's protocol/topology/failure axes with any non-empty
-/// override the CLI carried.
-void ApplyAxisOverrides(const BenchContext& context, SweepGridConfig* grid);
-
-/// Parses the shared bench CLI. Unknown flags print usage to stderr and
-/// set exit_early/exit_code.
-BenchContext ParseBenchArgs(int argc, char** argv);
 
 /// Wraps `results` in the standard envelope and writes
 /// `<out_dir>/BENCH_<name>.json`:

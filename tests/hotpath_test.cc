@@ -327,11 +327,13 @@ TEST(AncestryTest, TxOnBranchDistinguishesForks) {
           ? nullptr  // Ties keep the first-seen head; find B by walking.
           : tc.chain().head();
   if (tip_b == nullptr) {
-    for (const auto& [hash, entry] : tc.chain().entries()) {
-      if (entry.height() == tip_a->height() && &entry != tip_a) {
-        tip_b = &entry;
-      }
-    }
+    tc.chain().ForEachEntry(
+        [&](const crypto::Hash256& hash, const chain::BlockEntry& entry) {
+          (void)hash;
+          if (entry.height() == tip_a->height() && &entry != tip_a) {
+            tip_b = &entry;
+          }
+        });
   }
   ASSERT_NE(tip_b, nullptr);
 

@@ -152,11 +152,12 @@ TEST_F(WitnessForkTest, ConflictingStatesResolveByLongestChain) {
   // Branch B grows heavier: the reorg flips the canonical SCw state to
   // RFauth, and the RDauth block is no longer canonical.
   crypto::Hash256 branch_b;
-  for (const auto& [hash, entry] : witness_.chain().entries()) {
-    if (entry.block.header.prev_hash == fork_parent && hash != branch_a) {
-      branch_b = hash;
-    }
-  }
+  witness_.chain().ForEachEntry(
+      [&](const crypto::Hash256& hash, const chain::BlockEntry& entry) {
+        if (entry.block.header.prev_hash == fork_parent && hash != branch_a) {
+          branch_b = hash;
+        }
+      });
   ASSERT_FALSE(branch_b.IsZero());
   ASSERT_TRUE(witness_.MineBlockOn(branch_b, {}).ok());
   EXPECT_FALSE(witness_.chain().IsCanonical(branch_a));
@@ -191,18 +192,22 @@ TEST_F(WitnessForkTest, DepthDisciplineOutlastsShortForkAttack) {
   // Attacker releases a private RFauth branch of length d (< honest d+1).
   ASSERT_TRUE(witness_.MineBlockOn(fork_parent, {*refund_call}).ok());
   crypto::Hash256 tip;
-  for (const auto& [hash, entry] : witness_.chain().entries()) {
-    if (entry.block.header.prev_hash == fork_parent &&
-        !witness_.chain().IsCanonical(hash)) {
-      tip = hash;
-    }
-  }
+  witness_.chain().ForEachEntry(
+      [&](const crypto::Hash256& hash, const chain::BlockEntry& entry) {
+        if (entry.block.header.prev_hash == fork_parent &&
+            !witness_.chain().IsCanonical(hash)) {
+          tip = hash;
+        }
+      });
   ASSERT_FALSE(tip.IsZero());
   for (uint32_t i = 1; i < d; ++i) {
     ASSERT_TRUE(witness_.MineBlockOn(tip, {}).ok());
-    for (const auto& [hash, entry] : witness_.chain().entries()) {
-      if (entry.block.header.prev_hash == tip) tip = hash;
-    }
+    crypto::Hash256 next;
+    witness_.chain().ForEachEntry(
+        [&](const crypto::Hash256& hash, const chain::BlockEntry& entry) {
+          if (entry.block.header.prev_hash == tip) next = hash;
+        });
+    tip = next;
   }
   // The honest branch (d+1 blocks past the parent) still wins.
   EXPECT_EQ(ScwStateAtHead(), contracts::WitnessState::kRedeemAuthorized);

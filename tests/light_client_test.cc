@@ -149,11 +149,12 @@ TEST_F(LightClientTest, FollowsHeaviestForkLikeFullNode) {
   // Feed EVERY known header (both branches) in true arrival order — ties
   // between equal-work tips break toward the first seen, as on the node.
   std::vector<std::pair<uint64_t, BlockHeader>> ordered;
-  for (const auto& [hash, entry] : full_.chain().entries()) {
-    if (hash != full_.chain().genesis()->hash) {
-      ordered.emplace_back(entry.arrival_seq, entry.block.header);
-    }
-  }
+  full_.chain().ForEachEntry(
+      [&](const crypto::Hash256& hash, const chain::BlockEntry& entry) {
+        if (hash != full_.chain().genesis()->hash) {
+          ordered.emplace_back(entry.arrival_seq, entry.block.header);
+        }
+      });
   std::sort(ordered.begin(), ordered.end(),
             [](const auto& x, const auto& y) { return x.first < y.first; });
   std::vector<BlockHeader> all;
@@ -163,11 +164,12 @@ TEST_F(LightClientTest, FollowsHeaviestForkLikeFullNode) {
 
   // Extend the other branch: both full node and light client reorg.
   crypto::Hash256 branch_b;
-  for (const auto& [hash, entry] : full_.chain().entries()) {
-    if (entry.block.header.prev_hash == fork_parent && hash != branch_a) {
-      branch_b = hash;
-    }
-  }
+  full_.chain().ForEachEntry(
+      [&](const crypto::Hash256& hash, const chain::BlockEntry& entry) {
+        if (entry.block.header.prev_hash == fork_parent && hash != branch_a) {
+          branch_b = hash;
+        }
+      });
   ASSERT_FALSE(branch_b.IsZero());
   ASSERT_TRUE(full_.MineBlockOn(branch_b, {}).ok());
   ASSERT_TRUE(client_.AcceptHeader(full_.chain().head()->block.header).ok());

@@ -101,23 +101,8 @@ TEST(JsonTest, DoubleRoundTripIsExact) {
 
 // ---- bench envelope -------------------------------------------------------
 
-TEST(BenchOutputTest, ParsesSharedFlags) {
-  const char* argv[] = {"bench", "--smoke", "--out", "/tmp/x", "--threads",
-                        "3"};
-  BenchContext context =
-      ParseBenchArgs(6, const_cast<char**>(argv));
-  EXPECT_TRUE(context.smoke);
-  EXPECT_EQ(context.out_dir, "/tmp/x");
-  EXPECT_EQ(context.threads, 3);
-  EXPECT_FALSE(context.exit_early);
-}
-
-TEST(BenchOutputTest, UnknownFlagRequestsNonZeroExit) {
-  const char* argv[] = {"bench", "--bogus"};
-  BenchContext context = ParseBenchArgs(2, const_cast<char**>(argv));
-  EXPECT_TRUE(context.exit_early);
-  EXPECT_EQ(context.exit_code, 1);
-}
+// NOTE: the shared bench CLI (bench::Options::Parse) is covered by
+// tests/bench_cli_test.cc; this file covers the envelope itself.
 
 TEST(BenchOutputTest, EnvelopeShape) {
   BenchContext context;
@@ -261,33 +246,6 @@ TEST(SweepGridTest, NameTablesRoundTripThroughParse) {
   EXPECT_FALSE(ParseProtocol("bitcoin").ok());
   EXPECT_FALSE(ParseTopology("mesh").ok());
   EXPECT_FALSE(ParseFailureMode("byzantine").ok());
-}
-
-TEST(BenchOutputTest, ParsesAxisListsThroughTheSharedTables) {
-  const char* argv[] = {"bench", "--protocols", "herlihy,ac3wn",
-                        "--topologies", "ring,complete", "--failures",
-                        "crash_participant"};
-  BenchContext context = ParseBenchArgs(7, const_cast<char**>(argv));
-  ASSERT_FALSE(context.exit_early);
-  ASSERT_EQ(context.protocols.size(), 2u);
-  EXPECT_EQ(context.protocols[1], Protocol::kAc3wn);
-  ASSERT_EQ(context.topologies.size(), 2u);
-  EXPECT_EQ(context.topologies[1], Topology::kComplete);
-  ASSERT_EQ(context.failures.size(), 1u);
-  EXPECT_EQ(context.failures[0], FailureMode::kCrashParticipant);
-
-  SweepGridConfig grid;
-  ApplyAxisOverrides(context, &grid);
-  EXPECT_EQ(grid.topologies, context.topologies);
-  EXPECT_EQ(grid.protocols, context.protocols);
-  EXPECT_EQ(grid.failures, context.failures);
-}
-
-TEST(BenchOutputTest, RejectsUnknownAxisNames) {
-  const char* argv[] = {"bench", "--topologies", "ring,donut"};
-  BenchContext context = ParseBenchArgs(3, const_cast<char**>(argv));
-  EXPECT_TRUE(context.exit_early);
-  EXPECT_EQ(context.exit_code, 1);
 }
 
 TEST(AggregateTest, LatencyPercentilesUseNearestRank) {
