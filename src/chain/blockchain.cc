@@ -111,10 +111,20 @@ const BlockEntry* Blockchain::Get(const crypto::Hash256& hash) const {
   return index_.FindEntry(hash);
 }
 
+Blockchain::~Blockchain() = default;
+
+common::WorkerPool* Blockchain::ExecPool() const {
+  if (exec_pool_ == nullptr) {
+    exec_pool_ = std::make_unique<common::WorkerPool>(0);
+  }
+  return exec_pool_.get();
+}
+
 Status Blockchain::ValidateAgainstParent(const Block& block,
                                          const BlockEntry& parent,
                                          std::vector<Receipt>* receipts,
-                                         LedgerState* post_state) const {
+                                         LedgerState* post_state,
+                                         common::WorkerPool* exec_pool) const {
   const BlockHeader& header = block.header;
   if (header.chain_id != params_.id) {
     return Status::InvalidArgument("block for another chain");
@@ -145,7 +155,8 @@ Status Blockchain::ValidateAgainstParent(const Block& block,
   }
 
   *post_state = parent.state;  // Copy-on-apply snapshot.
-  AC3_ASSIGN_OR_RETURN(*receipts, ApplyBlockBody(post_state, block, params_));
+  AC3_ASSIGN_OR_RETURN(
+      *receipts, ApplyBlockBodyParallel(post_state, block, params_, exec_pool));
 
   // The block's declared receipts must match deterministic re-execution.
   if (receipts->size() != block.receipts.size()) {
@@ -173,7 +184,8 @@ Status Blockchain::SubmitBlock(const Block& block, TimePoint arrival_time) {
   std::vector<Receipt> receipts;
   LedgerState post_state;
   AC3_RETURN_IF_ERROR(
-      ValidateAgainstParent(block, *parent, &receipts, &post_state));
+      ValidateAgainstParent(block, *parent, &receipts, &post_state,
+                            ExecPool()));
   CommitValidated(block, hash, parent, std::move(receipts),
                   std::move(post_state), arrival_time);
   return Status::OK();
@@ -265,12 +277,18 @@ Blockchain::BatchSubmitResult Blockchain::SubmitBlocks(
   std::vector<size_t> to_validate;
   std::vector<ValidationSlot> validated;
   std::unordered_set<crypto::Hash256> claimed;  // Hashes validating per round.
+  // Intra-block execution pool for the current round. Width-1 rounds (the
+  // deep linear-chain catch-up shape) run ParallelFor(1, ·) inline on this
+  // thread, leaving the pool idle — so the lone block's body can fan out
+  // on it. Wider rounds keep the pool busy across blocks; each block then
+  // executes serially (nullptr disables the intra-block fan-out).
+  common::WorkerPool* round_exec_pool = nullptr;
   const std::function<void(size_t)> validate_one = [&](size_t r) {
     const size_t i = to_validate[r];
     validated[r].status =
         ValidateAgainstParent(blocks[i], *Get(parents[i]),
                               &validated[r].receipts,
-                              &validated[r].post_state);
+                              &validated[r].post_state, round_exec_pool);
   };
   // The shared worker-pool primitive: lazily spawned on the first round
   // with >= 2 validations, reused (two barrier hops) across later rounds,
@@ -326,6 +344,7 @@ Blockchain::BatchSubmitResult Blockchain::SubmitBlocks(
 
     // Parallel phase: validation is read-only against committed state.
     validated.assign(to_validate.size(), ValidationSlot{});
+    round_exec_pool = to_validate.size() == 1 ? &pool : nullptr;
     pool.ParallelFor(to_validate.size(), validate_one);
 
     // Serial phase: commit in input order (to_validate is ascending).
@@ -430,6 +449,7 @@ Result<Block> Blockchain::AssembleBlock(
   // per-candidate scratch snapshot is O(1) thanks to the persistent state.
   LedgerState working = parent->state;
   std::vector<Transaction> chosen;
+  std::vector<Receipt> chosen_receipts;
   std::set<crypto::Hash256> chosen_ids;
   Amount total_fees = 0;
   for (const Transaction& tx : candidates) {
@@ -447,6 +467,7 @@ Result<Block> Blockchain::AssembleBlock(
     }
     working = std::move(scratch);
     chosen.push_back(tx);
+    chosen_receipts.push_back(std::move(*receipt));
     chosen_ids.insert(tx_id);
     total_fees += tx.fee;
   }
@@ -468,10 +489,23 @@ Result<Block> Blockchain::AssembleBlock(
   block.txs.push_back(std::move(coinbase));
   for (Transaction& tx : chosen) block.txs.push_back(std::move(tx));
 
-  // Deterministic re-execution to produce the declared receipts.
-  LedgerState verify_state = parent->state;
-  AC3_ASSIGN_OR_RETURN(block.receipts,
-                       ApplyBlockBody(&verify_state, block, params_));
+  // Declared receipts come straight from the selection pass: each chosen
+  // transaction's receipt was produced by the same ApplyTransaction call
+  // sequence, against the same evolving state, that ApplyBlockBody runs
+  // for validators (the serial loop creates the coinbase outputs *after*
+  // the body, so body transactions never observe them). The old
+  // re-execution pass ran every transaction a second time for provably
+  // identical results; ValidateAgainstParent's receipt-equality check
+  // still re-derives them on every submission, and the golden determinism
+  // fingerprints pin the block hashes.
+  Receipt coinbase_receipt;
+  coinbase_receipt.tx_id = block.txs[0].Id();
+  coinbase_receipt.note = "coinbase";
+  block.receipts.reserve(1 + chosen_receipts.size());
+  block.receipts.push_back(std::move(coinbase_receipt));
+  for (Receipt& receipt : chosen_receipts) {
+    block.receipts.push_back(std::move(receipt));
+  }
   block.header.tx_root = block.ComputeTxRoot();
   block.header.receipt_root = block.ComputeReceiptRoot();
   MineHeader(&block.header, rng);

@@ -12,6 +12,7 @@
 #define AC3_CHAIN_BLOCKCHAIN_H_
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -33,6 +34,7 @@ class Blockchain {
   /// harnesses drive a second chain in oracle mode.
   Blockchain(ChainParams params, std::vector<TxOutput> allocations,
              ChainIndex::Options index_options = {});
+  ~Blockchain();  // Out-of-line: exec_pool_ holds an incomplete type here.
 
   const ChainParams& params() const { return params_; }
   ChainId id() const { return params_.id; }
@@ -174,9 +176,21 @@ class Blockchain {
                               TimePoint now, Rng* rng) const;
 
  private:
+  /// Full validation of `block` against its parent entry: PoW, linkage,
+  /// roots, capacity, branch-duplicate checks, then transaction execution
+  /// (via ApplyBlockBodyParallel on `exec_pool`; pass nullptr to force the
+  /// serial path, e.g. while the pool is busy validating sibling blocks)
+  /// and declared-receipt equality.
   Status ValidateAgainstParent(const Block& block, const BlockEntry& parent,
                                std::vector<Receipt>* receipts,
-                               LedgerState* post_state) const;
+                               LedgerState* post_state,
+                               common::WorkerPool* exec_pool) const;
+
+  /// The lazily-created pool backing intra-block parallel execution on the
+  /// single-block SubmitBlock path. WorkerPool spawns no threads until the
+  /// first wide ParallelFor, so chains that only ever see small blocks pay
+  /// nothing.
+  common::WorkerPool* ExecPool() const;
 
   /// Stores a block that already passed ValidateAgainstParent: builds the
   /// BlockEntry, indexes it, and applies the longest-chain rule (head
@@ -199,6 +213,8 @@ class Blockchain {
   uint64_t next_arrival_seq_ = 0;
   /// All entries in arrival order (genesis first).
   std::vector<const BlockEntry*> arrival_order_;
+  /// See ExecPool().
+  mutable std::unique_ptr<common::WorkerPool> exec_pool_;
 };
 
 }  // namespace ac3::chain

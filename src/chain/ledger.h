@@ -26,25 +26,52 @@
 #include "src/common/persistent_map.h"
 #include "src/contracts/contract.h"
 
+namespace ac3::common {
+class WorkerPool;
+}
+
 namespace ac3::chain {
 
 /// Snapshot of one branch's state. Copies are O(1) and fully independent:
 /// mutating a copy never affects the state it was copied from.
+///
+/// The UTXO set carries two incrementally-maintained aggregates — the
+/// total liquid value and a per-owner balance map — so the per-step
+/// engine queries (protocol funding checks, bench assertions) are O(1) /
+/// O(log owners) instead of a full-set scan. All UTXO mutations go
+/// through AddUtxo/SpendUtxo (ledger execution is the only writer), which
+/// keeps the aggregates exact; the *Scan variants recompute them from the
+/// set and are kept as the test oracle.
 struct LedgerState {
   /// Unspent outputs: the current ownership of every liquid asset.
   PersistentMap<OutPoint, TxOutput> utxos;
   /// Live contract snapshots by contract id.
   PersistentMap<crypto::Hash256, contracts::ContractPtr> contracts;
+  /// Running sum of utxos' values (exact mirror; see AddUtxo/SpendUtxo).
+  Amount liquid_total = 0;
+  /// Per-owner running balances; entries are erased when they hit zero,
+  /// so the map's content is a pure function of the UTXO set.
+  PersistentMap<crypto::PublicKey, Amount> balances;
 
-  /// Sum of all liquid (UTXO) value.
-  Amount LiquidValue() const;
+  /// Sum of all liquid (UTXO) value — the maintained total, O(1).
+  Amount LiquidValue() const { return liquid_total; }
+  /// Full-scan recomputation of LiquidValue (test oracle).
+  Amount LiquidValueScan() const;
   /// Sum of all value locked inside contracts.
   Amount LockedValue() const;
   /// Liquid + locked: conserved by every non-coinbase transaction.
   Amount TotalValue() const { return LiquidValue() + LockedValue(); }
 
-  /// Balance owned by `owner` across the UTXO set.
+  /// Balance owned by `owner` — the maintained map, O(log owners).
   Amount BalanceOf(const crypto::PublicKey& owner) const;
+  /// Full-scan recomputation of BalanceOf (test oracle).
+  Amount BalanceOfScan(const crypto::PublicKey& owner) const;
+
+  /// Inserts an unspent output and updates the aggregates.
+  void AddUtxo(const OutPoint& outpoint, const TxOutput& output);
+  /// Erases an unspent output (which must exist) and updates the
+  /// aggregates.
+  void SpendUtxo(const OutPoint& outpoint);
 
   /// Looks up a contract snapshot.
   Result<contracts::ContractPtr> GetContract(const crypto::Hash256& id) const;
@@ -78,6 +105,40 @@ Result<Receipt> ApplyTransaction(LedgerState* state, const Transaction& tx,
 Result<std::vector<Receipt>> ApplyBlockBody(LedgerState* state,
                                             const Block& block,
                                             const ChainParams& params);
+
+/// Parallel block-body execution — the serial loop's equivalence twin.
+///
+/// Returns exactly what ApplyBlockBody returns for the same inputs: same
+/// receipts (revert ordering included), same error status on an invalid
+/// body, same post-state content. The fast path fans out on `pool`:
+/// signature verification runs for every transaction unconditionally
+/// (pure per-tx), then the conflict analyzer (tx_conflict.h) schedules
+/// the body into conflict-free waves and each wave executes concurrently
+/// against an O(1) snapshot of the pre-wave state — the persistent maps'
+/// atomic refcounts make concurrent snapshot reads safe, exactly as in
+/// Blockchain::SubmitBlocks — with recorded writes merged serially in
+/// transaction order. Anything the fast path cannot reproduce bit-for-bit
+/// (a structurally invalid transaction, a bad signature, a duplicate
+/// coinbase — all of which abort the block with a position-dependent
+/// status) falls back to re-running ApplyBlockBody from the untouched
+/// input state, so mid-block failure semantics are the serial ones by
+/// construction.
+///
+/// Runs serially (delegating to ApplyBlockBody) when `pool` is null or
+/// single-threaded, when the body is too small to amortize the fan-out,
+/// or when the AC3_EXEC_SERIAL environment pin is set (any value but
+/// "0"; mirrors AC3_SHA256_DISPATCH) — the serial loop stays the
+/// always-available oracle, same discipline as MineHeaderScalar and
+/// VisibleHeadScan.
+Result<std::vector<Receipt>> ApplyBlockBodyParallel(LedgerState* state,
+                                                    const Block& block,
+                                                    const ChainParams& params,
+                                                    common::WorkerPool* pool);
+
+/// True when the AC3_EXEC_SERIAL environment pin forces every
+/// ApplyBlockBodyParallel call down the serial path (read once, at first
+/// use).
+bool BlockExecutionPinnedSerial();
 
 /// Builds the genesis state from initial allocations. The allocations are
 /// materialized as outputs of a synthetic genesis transaction.

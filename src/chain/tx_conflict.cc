@@ -1,0 +1,118 @@
+#include "src/chain/tx_conflict.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ac3::chain {
+
+namespace {
+
+struct OutPointHasher {
+  size_t operator()(const OutPoint& op) const {
+    return static_cast<size_t>(
+        op.tx_id.Prefix64() ^
+        (0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(op.index) + 1)));
+  }
+};
+
+}  // namespace
+
+TxRwSet ExtractRwSet(const Transaction& tx) {
+  TxRwSet set;
+  set.id = tx.Id();
+  set.inputs = &tx.inputs;
+  switch (tx.type) {
+    case TxType::kCoinbase:
+    case TxType::kTransfer:
+      break;
+    case TxType::kDeploy:
+      set.contract_key = set.id;
+      set.touches_contract = true;
+      break;
+    case TxType::kCall:
+      set.contract_key = tx.contract_id;
+      set.touches_contract = true;
+      break;
+  }
+  return set;
+}
+
+bool RwSetsConflict(const TxRwSet& a, const TxRwSet& b) {
+  for (const OutPoint& in : *a.inputs) {
+    if (in.tx_id == b.id) return true;  // a spends an output b creates.
+    for (const OutPoint& other : *b.inputs) {
+      if (in == other) return true;  // Shared consumed outpoint.
+    }
+  }
+  for (const OutPoint& in : *b.inputs) {
+    if (in.tx_id == a.id) return true;  // b spends an output a creates.
+  }
+  if (a.touches_contract && b.touches_contract &&
+      a.contract_key == b.contract_key) {
+    return true;  // Same contract snapshot.
+  }
+  return false;
+}
+
+std::vector<std::vector<size_t>> BuildExecutionWaves(
+    const std::vector<Transaction>& txs) {
+  const size_t n = txs.size();
+  if (n <= 1) return {};
+
+  std::vector<TxRwSet> sets(n);
+  std::unordered_map<crypto::Hash256, size_t> id_to_index;
+  for (size_t i = 1; i < n; ++i) {
+    sets[i] = ExtractRwSet(txs[i]);
+    // First occurrence wins on (degenerate) duplicate ids; duplicates
+    // share inputs and conflict through them anyway.
+    id_to_index.emplace(sets[i].id, i);
+  }
+
+  // Last block transaction that touched each key so far; a toucher at
+  // index k forces any later toucher into wave > wave[k].
+  std::unordered_map<OutPoint, size_t, OutPointHasher> last_utxo_touch;
+  std::unordered_map<crypto::Hash256, size_t> last_contract_touch;
+  // Conflicts discovered against a *later* index (tx i naming tx k > i —
+  // spending its future output or calling its future deploy): recorded
+  // here and folded in when k is scheduled, preserving block order.
+  std::vector<std::vector<size_t>> earlier_refs(n);
+
+  std::vector<size_t> wave(n, 0);
+  size_t wave_count = 0;
+  for (size_t i = 1; i < n; ++i) {
+    size_t w = 0;
+    const auto after = [&](size_t j) { w = std::max(w, wave[j] + 1); };
+    for (size_t j : earlier_refs[i]) after(j);
+    const auto cross_ref = [&](const crypto::Hash256& named_id) {
+      const auto ref = id_to_index.find(named_id);
+      if (ref == id_to_index.end() || ref->second == i) return;
+      if (ref->second < i) {
+        after(ref->second);
+      } else {
+        earlier_refs[ref->second].push_back(i);
+      }
+    };
+    for (const OutPoint& in : *sets[i].inputs) {
+      const auto touched = last_utxo_touch.find(in);
+      if (touched != last_utxo_touch.end()) after(touched->second);
+      cross_ref(in.tx_id);
+    }
+    if (sets[i].touches_contract) {
+      const auto touched = last_contract_touch.find(sets[i].contract_key);
+      if (touched != last_contract_touch.end()) after(touched->second);
+      cross_ref(sets[i].contract_key);
+    }
+    wave[i] = w;
+    wave_count = std::max(wave_count, w + 1);
+    for (const OutPoint& in : *sets[i].inputs) last_utxo_touch[in] = i;
+    if (sets[i].touches_contract) {
+      last_contract_touch[sets[i].contract_key] = i;
+    }
+  }
+
+  std::vector<std::vector<size_t>> waves(wave_count);
+  for (size_t i = 1; i < n; ++i) waves[wave[i]].push_back(i);
+  return waves;
+}
+
+}  // namespace ac3::chain

@@ -1,0 +1,66 @@
+// Transaction conflict analysis: the scheduling half of intra-block
+// parallel execution.
+//
+// Every transaction's effect on a LedgerState touches a small, statically
+// extractable key set: the UTXO outpoints it consumes, the outpoint
+// namespace it creates (all outputs land under its own tx id — payouts
+// included), and at most one contract snapshot (its own id for a deploy,
+// the target id for a call; a redeem is just a call). Two transactions
+// whose key sets are disjoint commute: ApplyTransaction reads and writes
+// nothing else, so each one's receipt and writes are independent of
+// whether the other has been applied.
+//
+// BuildExecutionWaves turns a block body into "waves" — index sets where
+// every pair inside a wave is conflict-free and every conflict pair is
+// split across waves in transaction order. The parallel executor
+// (ApplyBlockBodyParallel) runs each wave's transactions concurrently
+// against the pre-wave state and merges their recorded writes serially in
+// index order, which is why its output is byte-identical to the serial
+// loop (see ledger.h).
+
+#ifndef AC3_CHAIN_TX_CONFLICT_H_
+#define AC3_CHAIN_TX_CONFLICT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/chain/transaction.h"
+
+namespace ac3::chain {
+
+/// The statically-known read/write key set of one transaction: everything
+/// its execution can observe or mutate in a LedgerState.
+struct TxRwSet {
+  /// The transaction's id — the namespace all of its created outpoints
+  /// (declared outputs and contract payouts alike) live under.
+  crypto::Hash256 id;
+  /// Consumed outpoints (reads + erases). Points into the source
+  /// transaction; the set does not outlive it.
+  const std::vector<OutPoint>* inputs = nullptr;
+  /// The one contract snapshot touched: own id for kDeploy (created), the
+  /// target for kCall (read + replaced). Meaningful iff touches_contract.
+  crypto::Hash256 contract_key;
+  bool touches_contract = false;
+};
+
+/// Extracts the read/write set. Computes tx.Id() (one SHA-256 of the
+/// encoding); callers batching many transactions should hold the result.
+TxRwSet ExtractRwSet(const Transaction& tx);
+
+/// True when the two sets overlap — shared input outpoint, one spending
+/// an outpoint the other creates (either direction), or the same contract
+/// snapshot — i.e. when the two transactions must execute in block order.
+bool RwSetsConflict(const TxRwSet& a, const TxRwSet& b);
+
+/// Schedules a block body (txs[0] is the coinbase and is excluded — it is
+/// applied by the block epilogue, not the wave executor) into conflict-free
+/// waves. Within a wave no two transactions conflict; for every
+/// conflicting pair i < j, j lands in a strictly later wave than i.
+/// Indices inside each wave are ascending. O(total keys) expected via
+/// last-writer hash maps.
+std::vector<std::vector<size_t>> BuildExecutionWaves(
+    const std::vector<Transaction>& txs);
+
+}  // namespace ac3::chain
+
+#endif  // AC3_CHAIN_TX_CONFLICT_H_

@@ -1,0 +1,531 @@
+// Parallel intra-block execution: conflict-graph unit tests plus the
+// parallel-vs-serial equivalence harness.
+//
+// ApplyBlockBodyParallel's contract is byte-identity with ApplyBlockBody —
+// same receipts (revert ordering included), same error statuses on invalid
+// bodies (with the same partial state mutation the serial loop leaves
+// behind), same post-state. The harness checks all three on blocks mixing
+// transfers, deploys, calls and reverted redeems, on hand-built invalid
+// bodies, and across SubmitBlocks catch-up at several thread counts.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/chain/ledger.h"
+#include "src/chain/tx_conflict.h"
+#include "src/common/worker_pool.h"
+#include "src/contracts/atomic_swap_contract.h"
+#include "src/contracts/htlc_contract.h"
+#include "tests/test_util.h"
+
+namespace ac3 {
+namespace {
+
+using chain::Amount;
+using chain::ApplyBlockBody;
+using chain::ApplyBlockBodyParallel;
+using chain::Block;
+using chain::BuildExecutionWaves;
+using chain::ChainParams;
+using chain::ExtractRwSet;
+using chain::LedgerState;
+using chain::OutPoint;
+using chain::Receipt;
+using chain::RwSetsConflict;
+using chain::Transaction;
+using chain::TxOutput;
+using chain::TxType;
+using chain::Wallet;
+
+// ------------------------------------------------------------ conflict graph
+
+Transaction FakeCoinbase() {
+  Transaction tx;
+  tx.type = TxType::kCoinbase;
+  tx.nonce = 1;
+  return tx;
+}
+
+Transaction FakeTransfer(uint64_t nonce, std::vector<OutPoint> inputs) {
+  Transaction tx;
+  tx.type = TxType::kTransfer;
+  tx.nonce = nonce;
+  tx.inputs = std::move(inputs);
+  return tx;
+}
+
+OutPoint Op(uint8_t tag, uint32_t index = 0) {
+  return OutPoint{crypto::Hash256::Of(Bytes{tag}), index};
+}
+
+/// wave_of[i] for every body index; also asserts the two scheduling
+/// invariants: conflicting pairs are split across waves in block order,
+/// and no two transactions inside one wave conflict.
+std::vector<size_t> CheckWaves(const std::vector<Transaction>& txs) {
+  const auto waves = BuildExecutionWaves(txs);
+  std::vector<size_t> wave_of(txs.size(), SIZE_MAX);
+  size_t scheduled = 0;
+  for (size_t w = 0; w < waves.size(); ++w) {
+    for (size_t k = 0; k < waves[w].size(); ++k) {
+      const size_t i = waves[w][k];
+      EXPECT_EQ(wave_of[i], SIZE_MAX) << "index scheduled twice";
+      wave_of[i] = w;
+      ++scheduled;
+      if (k > 0) {
+        EXPECT_LT(waves[w][k - 1], i) << "wave not ascending";
+      }
+    }
+  }
+  EXPECT_EQ(scheduled, txs.size() - 1) << "body index missing from waves";
+
+  std::vector<chain::TxRwSet> sets(txs.size());
+  for (size_t i = 1; i < txs.size(); ++i) sets[i] = ExtractRwSet(txs[i]);
+  for (size_t i = 1; i < txs.size(); ++i) {
+    for (size_t j = i + 1; j < txs.size(); ++j) {
+      if (RwSetsConflict(sets[i], sets[j])) {
+        EXPECT_LT(wave_of[i], wave_of[j])
+            << "conflicting pair (" << i << "," << j << ") not ordered";
+      }
+    }
+  }
+  return wave_of;
+}
+
+TEST(TxConflictTest, DisjointTransfersShareOneWave) {
+  std::vector<Transaction> txs{FakeCoinbase(), FakeTransfer(1, {Op(1)}),
+                               FakeTransfer(2, {Op(2)}),
+                               FakeTransfer(3, {Op(3)})};
+  const auto wave_of = CheckWaves(txs);
+  EXPECT_EQ(wave_of[1], 0u);
+  EXPECT_EQ(wave_of[2], 0u);
+  EXPECT_EQ(wave_of[3], 0u);
+}
+
+TEST(TxConflictTest, SharedInputConflicts) {
+  std::vector<Transaction> txs{FakeCoinbase(), FakeTransfer(1, {Op(1)}),
+                               FakeTransfer(2, {Op(1)})};
+  const auto wave_of = CheckWaves(txs);
+  EXPECT_LT(wave_of[1], wave_of[2]);
+}
+
+TEST(TxConflictTest, ChainedSpendsSerialize) {
+  // t2 spends t1's output, t3 spends t2's: three waves.
+  Transaction t1 = FakeTransfer(1, {Op(1)});
+  Transaction t2 = FakeTransfer(2, {OutPoint{t1.Id(), 0}});
+  Transaction t3 = FakeTransfer(3, {OutPoint{t2.Id(), 0}});
+  std::vector<Transaction> txs{FakeCoinbase(), t1, t2, t3};
+  const auto wave_of = CheckWaves(txs);
+  EXPECT_EQ(wave_of[1], 0u);
+  EXPECT_EQ(wave_of[2], 1u);
+  EXPECT_EQ(wave_of[3], 2u);
+}
+
+TEST(TxConflictTest, SameContractCallsSerialize) {
+  const crypto::Hash256 contract = crypto::Hash256::Of(Bytes{9});
+  Transaction c1 = FakeTransfer(1, {Op(1)});
+  c1.type = TxType::kCall;
+  c1.contract_id = contract;
+  Transaction c2 = FakeTransfer(2, {Op(2)});
+  c2.type = TxType::kCall;
+  c2.contract_id = contract;
+  Transaction other = FakeTransfer(3, {Op(3)});
+  std::vector<Transaction> txs{FakeCoinbase(), c1, c2, other};
+  const auto wave_of = CheckWaves(txs);
+  EXPECT_LT(wave_of[1], wave_of[2]);
+  EXPECT_EQ(wave_of[3], 0u);  // Unrelated transfer still runs first wave.
+}
+
+TEST(TxConflictTest, CallOrdersAfterSameBlockDeploy) {
+  Transaction deploy = FakeTransfer(1, {Op(1)});
+  deploy.type = TxType::kDeploy;
+  Transaction call = FakeTransfer(2, {Op(2)});
+  call.type = TxType::kCall;
+  call.contract_id = deploy.Id();
+  std::vector<Transaction> txs{FakeCoinbase(), deploy, call};
+  const auto wave_of = CheckWaves(txs);
+  EXPECT_LT(wave_of[1], wave_of[2]);
+}
+
+TEST(TxConflictTest, SpendOfLaterTxOutputForcesOrder) {
+  // t1 names t2's (later) output: a forward reference. The scheduler must
+  // still order the pair by block position — t2 lands after t1.
+  Transaction t2 = FakeTransfer(2, {Op(2)});
+  Transaction t1 = FakeTransfer(1, {OutPoint{t2.Id(), 0}});
+  std::vector<Transaction> txs{FakeCoinbase(), t1, t2};
+  const auto wave_of = CheckWaves(txs);
+  EXPECT_LT(wave_of[1], wave_of[2]);
+}
+
+// ----------------------------------------------------- equivalence harness
+
+void ExpectStatesEqual(const LedgerState& a, const LedgerState& b) {
+  std::vector<std::pair<OutPoint, TxOutput>> utxos_a, utxos_b;
+  for (const auto& [op, out] : a.utxos) utxos_a.emplace_back(op, out);
+  for (const auto& [op, out] : b.utxos) utxos_b.emplace_back(op, out);
+  EXPECT_EQ(utxos_a, utxos_b);
+
+  std::vector<std::pair<crypto::Hash256, Bytes>> digests_a, digests_b;
+  for (const auto& [id, c] : a.contracts) {
+    digests_a.emplace_back(id, c->StateDigest());
+  }
+  for (const auto& [id, c] : b.contracts) {
+    digests_b.emplace_back(id, c->StateDigest());
+  }
+  EXPECT_EQ(digests_a, digests_b);
+
+  EXPECT_EQ(a.LiquidValue(), b.LiquidValue());
+  EXPECT_EQ(a.LockedValue(), b.LockedValue());
+}
+
+/// Runs `block` through both execution paths from `base` and asserts the
+/// byte-identity contract: same ok/error outcome (status text included),
+/// same receipts, and the same post-state — even mid-block-failure partial
+/// mutation.
+void ExpectParallelMatchesSerial(const LedgerState& base, const Block& block,
+                                 const ChainParams& params, int threads) {
+  SCOPED_TRACE("threads=" + std::to_string(threads));
+  LedgerState serial_state = base;
+  LedgerState parallel_state = base;
+  auto serial = ApplyBlockBody(&serial_state, block, params);
+  common::WorkerPool pool(threads);
+  auto parallel =
+      ApplyBlockBodyParallel(&parallel_state, block, params, &pool);
+
+  ASSERT_EQ(serial.ok(), parallel.ok()) << serial.status().ToString() << " vs "
+                                        << parallel.status().ToString();
+  if (!serial.ok()) {
+    EXPECT_EQ(serial.status().code(), parallel.status().code());
+    EXPECT_EQ(serial.status().ToString(), parallel.status().ToString());
+  } else {
+    ASSERT_EQ(serial->size(), parallel->size());
+    for (size_t i = 0; i < serial->size(); ++i) {
+      EXPECT_EQ((*serial)[i].Encode(), (*parallel)[i].Encode())
+          << "receipt mismatch at index " << i;
+    }
+  }
+  ExpectStatesEqual(serial_state, parallel_state);
+}
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+class ParallelExecTest : public ::testing::Test {
+ protected:
+  ParallelExecTest() {
+    for (int i = 0; i < 16; ++i) {
+      keys_.push_back(crypto::KeyPair::FromSeed(1000 + i));
+    }
+    std::vector<crypto::PublicKey> pks;
+    for (const auto& k : keys_) pks.push_back(k.public_key());
+    tc_ = std::make_unique<testutil::TestChain>(chain::TestChainParams(),
+                                                testutil::Fund(pks, 1000));
+  }
+
+  chain::Blockchain& chain() { return tc_->chain(); }
+  const ChainParams& params() { return chain().params(); }
+  Wallet WalletFor(size_t i) { return Wallet(keys_[i], chain().id()); }
+
+  /// Assembles a block from `candidates` on the current head, runs the
+  /// equivalence harness against the head state at every thread count,
+  /// then submits it (advancing the chain for the next round).
+  void CheckAndSubmit(const std::vector<Transaction>& candidates) {
+    now_ += 100;
+    auto block = chain().AssembleBlock(chain().head()->hash, candidates,
+                                       keys_[0].public_key(), now_,
+                                       tc_->rng());
+    ASSERT_TRUE(block.ok()) << block.status().ToString();
+    for (int threads : kThreadCounts) {
+      ExpectParallelMatchesSerial(chain().head()->state, *block, params(),
+                                  threads);
+    }
+    ASSERT_TRUE(chain().SubmitBlock(*block, now_).ok());
+  }
+
+  /// A coinbase-headed block built outside AssembleBlock, for invalid
+  /// shapes the assembler would never produce. `fees` funds the coinbase.
+  Block RawBlock(std::vector<Transaction> body, Amount fees) {
+    Block block;
+    block.header.chain_id = params().id;
+    block.header.height = chain().head()->height() + 1;
+    block.header.time = now_ + 50;
+    Transaction coinbase;
+    coinbase.type = TxType::kCoinbase;
+    coinbase.chain_id = params().id;
+    coinbase.outputs.push_back(
+        TxOutput{params().block_reward + fees, keys_[0].public_key()});
+    coinbase.nonce = 4242;
+    block.txs.push_back(std::move(coinbase));
+    for (Transaction& tx : body) block.txs.push_back(std::move(tx));
+    return block;
+  }
+
+  std::vector<crypto::KeyPair> keys_;
+  std::unique_ptr<testutil::TestChain> tc_;
+  TimePoint now_ = 0;
+};
+
+TEST_F(ParallelExecTest, WideTransferBlockMatchesSerial) {
+  // 15 pairwise-independent transfers: one wide wave.
+  std::vector<Transaction> txs;
+  for (size_t i = 0; i < 15; ++i) {
+    Wallet w = WalletFor(i);
+    auto tx = w.BuildTransfer(chain().head()->state,
+                              keys_[(i + 1) % keys_.size()].public_key(),
+                              50 + static_cast<Amount>(i), 1, i);
+    ASSERT_TRUE(tx.ok());
+    txs.push_back(std::move(*tx));
+  }
+  CheckAndSubmit(txs);
+}
+
+TEST_F(ParallelExecTest, ConflictChainsAndRevertsMatchSerial) {
+  // Block 1: two HTLCs (one to redeem properly, one to feed a wrong-secret
+  // revert) plus independent transfers.
+  const Bytes secret{7, 7, 7};
+  const Bytes wrong{6, 6, 6};
+  Wallet alice = WalletFor(1);
+  Wallet dave = WalletFor(3);
+  Wallet bob = WalletFor(2);
+  const LedgerState& s0 = chain().head()->state;
+  Bytes payload = contracts::HtlcContract::MakeInitPayload(
+      keys_[2].public_key(), crypto::Hash256::Of(secret), /*timelock=*/10'000);
+  auto deploy_a =
+      alice.BuildDeploy(s0, contracts::kHtlcKind, payload, 300, 4, 1);
+  auto deploy_b =
+      dave.BuildDeploy(s0, contracts::kHtlcKind, payload, 200, 4, 2);
+  ASSERT_TRUE(deploy_a.ok() && deploy_b.ok());
+  std::vector<Transaction> block1{*deploy_a, *deploy_b};
+  for (size_t i = 4; i < 10; ++i) {
+    Wallet w = WalletFor(i);
+    auto tx = w.BuildTransfer(s0, keys_[i + 1].public_key(), 40, 1, i);
+    ASSERT_TRUE(tx.ok());
+    block1.push_back(std::move(*tx));
+  }
+  CheckAndSubmit(block1);
+
+  // Block 2: a successful redeem, a wrong-secret revert (both kCall, on
+  // different contracts — same wave), and a same-block spend chain: a
+  // transfer whose output a second transfer consumes.
+  const LedgerState& s1 = chain().head()->state;
+  Wallet eve = WalletFor(15);
+  auto redeem = bob.BuildCall(s1, deploy_a->Id(), contracts::kRedeemFunction,
+                              secret, 2, 1);
+  auto bad_redeem = eve.BuildCall(s1, deploy_b->Id(),
+                                  contracts::kRedeemFunction, wrong, 2, 2);
+  ASSERT_TRUE(redeem.ok() && bad_redeem.ok());
+
+  Wallet carol = WalletFor(5);
+  auto hop1 = carol.BuildTransfer(s1, keys_[6].public_key(), 100, 1, 7);
+  ASSERT_TRUE(hop1.ok());
+  Transaction hop2;  // keys_[6] spends hop1's output inside the same block.
+  hop2.type = TxType::kTransfer;
+  hop2.chain_id = chain().id();
+  hop2.inputs.push_back(OutPoint{hop1->Id(), 0});
+  hop2.outputs.push_back(TxOutput{99, keys_[7].public_key()});
+  hop2.fee = 1;
+  hop2.nonce = 8;
+  hop2.SignWith(keys_[6]);
+
+  std::vector<Transaction> block2{*redeem, *bad_redeem, *hop1, hop2};
+  for (size_t i = 10; i < 14; ++i) {
+    Wallet w = WalletFor(i);
+    auto tx = w.BuildTransfer(s1, keys_[i + 1].public_key(), 30, 1, i);
+    ASSERT_TRUE(tx.ok());
+    block2.push_back(std::move(*tx));
+  }
+  CheckAndSubmit(block2);
+
+  // The wrong-secret call must have landed as a revert receipt.
+  const Block& mined = chain().head()->block;
+  bool saw_revert = false;
+  for (size_t i = 0; i < mined.txs.size(); ++i) {
+    if (mined.txs[i].Id() == bad_redeem->Id()) {
+      EXPECT_FALSE(mined.receipts[i].success);
+      saw_revert = true;
+    }
+  }
+  EXPECT_TRUE(saw_revert);
+}
+
+TEST_F(ParallelExecTest, RandomizedChurnMatchesSerial) {
+  Rng rng(0xfeed);
+  for (int round = 0; round < 6; ++round) {
+    const LedgerState& state = chain().head()->state;
+    std::vector<Transaction> txs;
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (rng.NextU64() % 4 == 0) continue;  // Skip some senders.
+      Wallet w = WalletFor(i);
+      const size_t to = rng.NextU64() % keys_.size();
+      const Amount amount = 10 + static_cast<Amount>(rng.NextU64() % 50);
+      auto tx = w.BuildTransfer(state, keys_[to].public_key(), amount, 1,
+                                rng.NextU64());
+      if (tx.ok()) txs.push_back(std::move(*tx));
+    }
+    CheckAndSubmit(txs);
+  }
+  // Aggregate caches stayed exact mirrors of the UTXO set through churn.
+  const LedgerState& head = chain().head()->state;
+  EXPECT_EQ(head.LiquidValue(), head.LiquidValueScan());
+  for (const auto& key : keys_) {
+    EXPECT_EQ(head.BalanceOf(key.public_key()),
+              head.BalanceOfScan(key.public_key()));
+  }
+}
+
+TEST_F(ParallelExecTest, MidBlockFailureStatusIdentical) {
+  // Body: two valid transfers, then a signed transfer spending a
+  // nonexistent outpoint, then another valid transfer. The serial loop
+  // aborts at index 3 having applied indices 1-2; the parallel path must
+  // return the identical status and leave identical partial mutation.
+  const LedgerState& state = chain().head()->state;
+  std::vector<Transaction> body;
+  for (size_t i = 1; i <= 2; ++i) {
+    Wallet w = WalletFor(i);
+    auto tx = w.BuildTransfer(state, keys_[i + 1].public_key(), 25, 1, i);
+    ASSERT_TRUE(tx.ok());
+    body.push_back(std::move(*tx));
+  }
+  Transaction bogus;
+  bogus.type = TxType::kTransfer;
+  bogus.chain_id = chain().id();
+  bogus.inputs.push_back(OutPoint{crypto::Hash256::Of(Bytes{0xBA}), 0});
+  bogus.outputs.push_back(TxOutput{5, keys_[9].public_key()});
+  bogus.nonce = 77;
+  bogus.SignWith(keys_[8]);
+  body.push_back(std::move(bogus));
+  Wallet w4 = WalletFor(4);
+  auto tail = w4.BuildTransfer(state, keys_[5].public_key(), 25, 1, 4);
+  ASSERT_TRUE(tail.ok());
+  body.push_back(std::move(*tail));
+
+  const Block block = RawBlock(std::move(body), /*fees=*/4);
+  for (int threads : kThreadCounts) {
+    ExpectParallelMatchesSerial(state, block, params(), threads);
+  }
+}
+
+TEST_F(ParallelExecTest, DuplicateCoinbaseStatusIdentical) {
+  const LedgerState& state = chain().head()->state;
+  std::vector<Transaction> body;
+  for (size_t i = 1; i <= 2; ++i) {
+    Wallet w = WalletFor(i);
+    auto tx = w.BuildTransfer(state, keys_[i + 1].public_key(), 25, 1, i);
+    ASSERT_TRUE(tx.ok());
+    body.push_back(std::move(*tx));
+  }
+  Transaction rogue;  // A second coinbase buried mid-body.
+  rogue.type = TxType::kCoinbase;
+  rogue.chain_id = chain().id();
+  rogue.outputs.push_back(TxOutput{1, keys_[9].public_key()});
+  rogue.nonce = 5;
+  body.push_back(std::move(rogue));
+  Wallet w4 = WalletFor(4);
+  auto tail = w4.BuildTransfer(state, keys_[5].public_key(), 25, 1, 4);
+  ASSERT_TRUE(tail.ok());
+  body.push_back(std::move(*tail));
+
+  const Block block = RawBlock(std::move(body), /*fees=*/2);
+  for (int threads : kThreadCounts) {
+    ExpectParallelMatchesSerial(state, block, params(), threads);
+  }
+}
+
+TEST_F(ParallelExecTest, BadSignatureStatusIdentical) {
+  const LedgerState& state = chain().head()->state;
+  std::vector<Transaction> body;
+  for (size_t i = 1; i <= 3; ++i) {
+    Wallet w = WalletFor(i);
+    auto tx = w.BuildTransfer(state, keys_[i + 1].public_key(), 25, 1, i);
+    ASSERT_TRUE(tx.ok());
+    body.push_back(std::move(*tx));
+  }
+  // Corrupt the third transfer's nonce after signing: the batch signature
+  // fan-out sees the failure, and the oracle pins which status surfaces.
+  body[2].nonce ^= 1;
+  Wallet w4 = WalletFor(4);
+  auto tail = w4.BuildTransfer(state, keys_[5].public_key(), 25, 1, 4);
+  ASSERT_TRUE(tail.ok());
+  body.push_back(std::move(*tail));
+
+  const Block block = RawBlock(std::move(body), /*fees=*/4);
+  for (int threads : kThreadCounts) {
+    ExpectParallelMatchesSerial(state, block, params(), threads);
+  }
+}
+
+TEST_F(ParallelExecTest, AssembledReceiptsMatchFullReExecution) {
+  // AssembleBlock now reuses the selection-pass receipts instead of
+  // re-running the body; this pins them against the validators' oracle.
+  std::vector<Transaction> txs;
+  for (size_t i = 0; i < 8; ++i) {
+    Wallet w = WalletFor(i);
+    auto tx = w.BuildTransfer(chain().head()->state,
+                              keys_[i + 1].public_key(), 60, 1, i);
+    ASSERT_TRUE(tx.ok());
+    txs.push_back(std::move(*tx));
+  }
+  now_ += 100;
+  auto block = chain().AssembleBlock(chain().head()->hash, txs,
+                                     keys_[0].public_key(), now_, tc_->rng());
+  ASSERT_TRUE(block.ok());
+  LedgerState replay = chain().head()->state;
+  auto receipts = ApplyBlockBody(&replay, *block, params());
+  ASSERT_TRUE(receipts.ok());
+  ASSERT_EQ(receipts->size(), block->receipts.size());
+  for (size_t i = 0; i < receipts->size(); ++i) {
+    EXPECT_EQ((*receipts)[i].Encode(), block->receipts[i].Encode());
+  }
+  EXPECT_EQ(block->header.receipt_root, block->ComputeReceiptRoot());
+}
+
+TEST_F(ParallelExecTest, DeepCatchupThreadInvariant) {
+  // Grow a 10-block linear chain of 8-transfer blocks, then replay it into
+  // fresh chains through SubmitBlocks at several thread counts. Width-1
+  // rounds route the batch pool into intra-block execution; the head hash
+  // and post-state must not depend on the thread count.
+  for (int round = 0; round < 10; ++round) {
+    const LedgerState& state = chain().head()->state;
+    std::vector<Transaction> txs;
+    for (size_t i = 0; i < 8; ++i) {
+      Wallet w = WalletFor(i + (round % 2 == 0 ? 0 : 8));
+      auto tx = w.BuildTransfer(state, keys_[(i + 3) % keys_.size()].public_key(),
+                                20, 1, static_cast<uint64_t>(round) * 100 + i);
+      ASSERT_TRUE(tx.ok());
+      txs.push_back(std::move(*tx));
+    }
+    CheckAndSubmit(txs);
+  }
+  std::vector<Block> batch;
+  for (const auto* entry : chain().arrival_order()) {
+    if (entry->height() > 0) batch.push_back(entry->block);
+  }
+  ASSERT_EQ(batch.size(), 10u);
+
+  std::vector<crypto::PublicKey> pks;
+  for (const auto& k : keys_) pks.push_back(k.public_key());
+  for (int threads : kThreadCounts) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    chain::Blockchain replica(chain::TestChainParams(),
+                              testutil::Fund(pks, 1000));
+    auto result = replica.SubmitBlocks(batch, /*arrival_time=*/1, threads);
+    EXPECT_EQ(result.accepted, batch.size());
+    for (const Status& status : result.statuses) {
+      EXPECT_TRUE(status.ok()) << status.ToString();
+    }
+    ASSERT_EQ(replica.head()->hash, chain().head()->hash);
+    ExpectStatesEqual(replica.head()->state, chain().head()->state);
+  }
+}
+
+TEST(ParallelExecEnvTest, SerialPinReadsEnvironmentOnce) {
+  // In the regular test environment the pin is unset; the forced-serial CI
+  // shard runs this whole suite with AC3_EXEC_SERIAL=1, where every
+  // equivalence test above exercises the oracle delegation instead.
+  const char* pin = std::getenv("AC3_EXEC_SERIAL");
+  const bool expected =
+      pin != nullptr && pin[0] != '\0' && !(pin[0] == '0' && pin[1] == '\0');
+  EXPECT_EQ(chain::BlockExecutionPinnedSerial(), expected);
+}
+
+}  // namespace
+}  // namespace ac3
