@@ -13,12 +13,16 @@
 // refactors. Wall-clock rates are machine-dependent and live in the
 // envelope's "wall" section.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <set>
+#include <span>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/chain/blockchain.h"
+#include "src/chain/mempool.h"
 #include "src/chain/pow.h"
 #include "src/chain/tx_conflict.h"
 #include "src/chain/wallet.h"
@@ -226,6 +230,73 @@ MempoolDrainRun RunMempoolDrain(int users) {
   run.txs_per_sec = run.wall_ms > 0 ? static_cast<double>(run.included) /
                                           (run.wall_ms / 1000.0)
                                     : 0;
+  return run;
+}
+
+// ---- section 2b': prune-overload delta ------------------------------------
+//
+// The canonical-head subscription prunes included ids one block at a
+// time. The std::set overload forces every call site to build an ordered
+// set first; the span overload takes the flat id list as-is. Both runs
+// prune the same pool in the same block-sized chunks and must reach the
+// same post-state; the wall-clock delta is the cost of the set builds
+// plus the ordered lookups inside Prune.
+
+struct PruneDeltaRun {
+  size_t pool_txs = 0;
+  int chunk = 0;
+  int repeats = 0;
+  bool identical = false;  ///< Both overloads emptied the pool every repeat.
+  double set_wall_ms = 0;
+  double span_wall_ms = 0;
+  double speedup = 0;  ///< set / span.
+};
+
+PruneDeltaRun RunPruneDelta(size_t pool_txs, int chunk, int repeats) {
+  // The mempool indexes by id only, so synthetic distinct transactions
+  // suffice — no chain state or signatures are involved in what is
+  // measured here.
+  const crypto::KeyPair payee = crypto::KeyPair::FromSeed(88'888);
+  std::vector<chain::Transaction> batch;
+  batch.reserve(pool_txs);
+  std::vector<crypto::Hash256> ids;
+  ids.reserve(pool_txs);
+  for (size_t i = 0; i < pool_txs; ++i) {
+    chain::Transaction tx;
+    tx.chain_id = 1;
+    tx.nonce = i + 1;
+    tx.outputs.push_back(chain::TxOutput{i + 1, payee.public_key()});
+    ids.push_back(tx.Id());
+    batch.push_back(std::move(tx));
+  }
+
+  PruneDeltaRun run;
+  run.pool_txs = pool_txs;
+  run.chunk = chunk;
+  run.repeats = repeats;
+  run.identical = true;
+  for (int r = 0; r < repeats; ++r) {
+    chain::Mempool set_pool;
+    chain::Mempool span_pool;
+    (void)set_pool.SubmitBatch(std::span<const chain::Transaction>(batch), 0);
+    (void)span_pool.SubmitBatch(std::span<const chain::Transaction>(batch), 0);
+    for (size_t at = 0; at < ids.size(); at += static_cast<size_t>(chunk)) {
+      const size_t end = std::min(at + static_cast<size_t>(chunk), ids.size());
+      const Clock::time_point t_set = Clock::now();
+      set_pool.Prune(
+          std::set<crypto::Hash256>(ids.begin() + static_cast<ptrdiff_t>(at),
+                                    ids.begin() + static_cast<ptrdiff_t>(end)));
+      run.set_wall_ms += ElapsedMs(t_set);
+      const Clock::time_point t_span = Clock::now();
+      span_pool.Prune(std::span<const crypto::Hash256>(ids.data() + at,
+                                                       end - at));
+      run.span_wall_ms += ElapsedMs(t_span);
+    }
+    run.identical = run.identical && set_pool.size() == 0 &&
+                    span_pool.size() == 0;
+  }
+  run.speedup =
+      run.span_wall_ms > 0 ? run.set_wall_ms / run.span_wall_ms : 0;
   return run;
 }
 
@@ -609,6 +680,9 @@ int main(int argc, char** argv) {
   const int txs_per_block = 4;
   const uint64_t sim_height = context.smoke ? 150 : 1200;
   const int drain_users = context.smoke ? 500 : 3000;
+  const size_t prune_pool_txs = context.smoke ? 1'000 : 10'000;
+  const int prune_chunk = 32;
+  const int prune_repeats = context.smoke ? 3 : 10;
   const int fork_count = context.smoke ? 4 : 8;
   const int fork_depth = context.smoke ? 12 : 60;
   const int fork_threads = common::WorkerPool::ResolveThreads(context.threads);
@@ -658,6 +732,18 @@ int main(int argc, char** argv) {
               "%.1f ms — %.0f txs/s\n",
               drain.submitted, static_cast<unsigned long long>(drain.height),
               drain.pool_left, drain.wall_ms, drain.txs_per_sec);
+
+  PruneDeltaRun prune = RunPruneDelta(prune_pool_txs, prune_chunk,
+                                      prune_repeats);
+  std::printf("prune delta: %zu txs in %d-id chunks x%d — set %.1f ms, "
+              "span %.1f ms (%.2fx), post-states %s\n",
+              prune.pool_txs, prune.chunk, prune.repeats, prune.set_wall_ms,
+              prune.span_wall_ms, prune.speedup,
+              prune.identical ? "identical" : "DIVERGED");
+  if (!prune.identical) {
+    std::fprintf(stderr, "prune delta: overloads left different pools\n");
+    return 1;
+  }
 
   ForkValidationRun fork = RunForkValidation(fork_count, fork_depth,
                                              txs_per_block, fork_threads);
@@ -768,6 +854,11 @@ int main(int argc, char** argv) {
   drain_json.Set("height", drain.height);
   drain_json.Set("pool_left", drain.pool_left);
   drain_json.Set("head_hash", drain.head_hash);
+  // Prune-overload equivalence is deterministic; the timing delta is
+  // machine-dependent and lives under wall.prune_delta.
+  drain_json.Set("prune_pool_txs", prune.pool_txs);
+  drain_json.Set("prune_chunk", prune.chunk);
+  drain_json.Set("prune_identical", prune.identical);
   results.Set("mempool_drain", std::move(drain_json));
   runner::Json fork_json = runner::Json::Object();
   fork_json.Set("forks", fork.forks);
@@ -813,6 +904,12 @@ int main(int argc, char** argv) {
   drain_wall.Set("wall_ms", drain.wall_ms);
   drain_wall.Set("txs_per_sec", drain.txs_per_sec);
   wall.Set("mempool_drain", std::move(drain_wall));
+  runner::Json prune_wall = runner::Json::Object();
+  prune_wall.Set("repeats", prune.repeats);
+  prune_wall.Set("set_wall_ms", prune.set_wall_ms);
+  prune_wall.Set("span_wall_ms", prune.span_wall_ms);
+  prune_wall.Set("speedup", prune.speedup);
+  wall.Set("prune_delta", std::move(prune_wall));
   runner::Json fork_wall = runner::Json::Object();
   fork_wall.Set("threads", fork.threads);
   fork_wall.Set("serial_wall_ms", fork.serial_wall_ms);

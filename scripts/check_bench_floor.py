@@ -37,6 +37,18 @@ The many-chain world-state envelope has its own mode:
     the same absolute budget the full run promised.
   * the fresh sharded-vs-oracle equivalence verdict must be true.
 
+The open-world traffic envelope has its own mode:
+
+  check_bench_floor.py --openworld FRESH.json COMMITTED.json [SWAPS_FACTOR]
+
+  * throughput — the slowest fresh cell's wall swaps/sec must reach at
+    least SWAPS_FACTOR (default 0.05; a smoke cell is far smaller than a
+    full-run cell, and CI runners lack the bench container's SIMD rungs)
+    times the slowest committed cell's.
+  * memory — the fresh run's wall.peak_rss_bytes must stay under the
+    ceiling the *committed* envelope declares (results.rss_ceiling_bytes).
+  * the fresh hot-vs-serial-oracle equivalence verdict must be true.
+
 Usage: check_bench_floor.py FRESH.json COMMITTED.json [GROWTH_FACTOR] [POW_FACTOR] [EXEC_FACTOR]
 Exit status: 0 when every floor holds, 1 on regression or malformed input.
 """
@@ -136,9 +148,50 @@ def check_multichain(argv):
     return 0 if ops_ok and rss_ok and equiv_ok else 1
 
 
+def min_swap_rate(doc, path):
+    cells = doc["wall"]["cells"]
+    if not cells:
+        raise ValueError(f"{path}: no wall cells")
+    return min(cell["wall_swaps_per_sec"] for cell in cells)
+
+
+def check_openworld(argv):
+    if len(argv) not in (4, 5):
+        print(__doc__, file=sys.stderr)
+        return 1
+    fresh_path, committed_path = argv[2], argv[3]
+    swaps_factor = float(argv[4]) if len(argv) == 5 else 0.05
+
+    fresh = load(fresh_path)
+    committed = load(committed_path)
+    swaps_ok = check(
+        "openworld throughput (swaps/s)",
+        min_swap_rate(fresh, fresh_path),
+        min_swap_rate(committed, committed_path),
+        swaps_factor,
+    )
+
+    ceiling = committed["results"]["rss_ceiling_bytes"]
+    peak = fresh["wall"]["peak_rss_bytes"]
+    rss_ok = peak <= ceiling
+    print(
+        f"openworld peak RSS: fresh {peak} vs declared ceiling {ceiling} "
+        f"-> {'OK' if rss_ok else 'REGRESSION'}"
+    )
+
+    equiv_ok = bool(fresh["results"].get("equivalence_ok"))
+    print(
+        "openworld hot-vs-oracle: "
+        f"{'identical' if equiv_ok else 'DIVERGED'}"
+    )
+    return 0 if swaps_ok and rss_ok and equiv_ok else 1
+
+
 def main(argv):
     if len(argv) >= 2 and argv[1] == "--multichain":
         return check_multichain(argv)
+    if len(argv) >= 2 and argv[1] == "--openworld":
+        return check_openworld(argv)
     if len(argv) not in (3, 4, 5, 6):
         print(__doc__, file=sys.stderr)
         return 1

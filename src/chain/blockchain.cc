@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/chain/pow.h"
+#include "src/chain/tx_conflict.h"
 #include "src/common/logging.h"
 #include "src/common/worker_pool.h"
 
@@ -52,6 +53,11 @@ Blockchain::Blockchain(ChainParams params, std::vector<TxOutput> allocations,
 }
 
 namespace {
+
+/// Widened candidate selection is only worth the per-candidate snapshot
+/// copy + conflict bookkeeping once the pool has enough entries to spread
+/// (mirrors kMinParallelBodyTxs in ledger.cc).
+constexpr size_t kMinParallelSelection = 8;
 
 /// Clears the lowest set bit (Bitcoin's skip-height helper).
 uint64_t InvertLowestOne(uint64_t n) { return n & (n - 1); }
@@ -440,36 +446,166 @@ Result<Block> Blockchain::AssembleBlock(
     const crypto::Hash256& parent_hash,
     const std::vector<Transaction>& candidates,
     const crypto::PublicKey& miner, TimePoint now, Rng* rng) const {
+  std::vector<const Transaction*> pointers;
+  pointers.reserve(candidates.size());
+  for (const Transaction& tx : candidates) pointers.push_back(&tx);
+  return AssembleBlock(parent_hash, pointers, miner, now, rng);
+}
+
+Result<Block> Blockchain::AssembleBlock(
+    const crypto::Hash256& parent_hash,
+    std::span<const Transaction* const> candidates,
+    const crypto::PublicKey& miner, TimePoint now, Rng* rng,
+    bool mine) const {
+  common::WorkerPool* pool = ExecPool();
+  // Same gating as ApplyBlockBodyParallel: the serial loop wins on small
+  // candidate sets, single-threaded pools, and under the env pin.
+  if (pool->threads() <= 1 || BlockExecutionPinnedSerial() ||
+      candidates.size() < kMinParallelSelection) {
+    pool = nullptr;
+  }
+  return AssembleBlockOn(pool, parent_hash, candidates, miner, now, rng, mine);
+}
+
+Result<Block> Blockchain::AssembleBlockOn(
+    common::WorkerPool* pool, const crypto::Hash256& parent_hash,
+    std::span<const Transaction* const> candidates,
+    const crypto::PublicKey& miner, TimePoint now, Rng* rng,
+    bool mine) const {
   const BlockEntry* parent = Get(parent_hash);
   if (parent == nullptr) return Status::NotFound("unknown parent");
+  if (pool != nullptr &&
+      (pool->threads() <= 1 || candidates.size() < kMinParallelSelection)) {
+    pool = nullptr;
+  }
 
   BlockEnv env{params_.id, parent->block.header.height + 1, now};
 
   // Selection pass: FIFO, skip invalid / duplicate transactions. The
   // per-candidate scratch snapshot is O(1) thanks to the persistent state.
   LedgerState working = parent->state;
-  std::vector<Transaction> chosen;
+  std::vector<const Transaction*> chosen;
   std::vector<Receipt> chosen_receipts;
   std::set<crypto::Hash256> chosen_ids;
   Amount total_fees = 0;
-  for (const Transaction& tx : candidates) {
-    if (chosen.size() >= params_.max_block_txs) break;
-    const crypto::Hash256 tx_id = tx.Id();
-    if (TxOnBranch(*parent, tx_id) || chosen_ids.count(tx_id) > 0) {
-      continue;
-    }
+
+  // Serial acceptance of one candidate against the current working state —
+  // the oracle semantics every candidate ultimately gets (directly in the
+  // serial loop; as the re-run fallback in the widened one).
+  const auto try_accept = [&](const Transaction& tx,
+                              const crypto::Hash256& tx_id) {
     LedgerState scratch = working;  // Roll back cleanly on failure.
     auto receipt = ApplyTransaction(&scratch, tx, env);
     if (!receipt.ok()) {
       AC3_LOG(kDebug) << params_.name << ": skip tx " << tx_id.ShortHex()
                       << " — " << receipt.status().ToString();
-      continue;
+      return false;
     }
     working = std::move(scratch);
-    chosen.push_back(tx);
     chosen_receipts.push_back(std::move(*receipt));
-    chosen_ids.insert(tx_id);
-    total_fees += tx.fee;
+    return true;
+  };
+
+  if (pool == nullptr) {
+    for (const Transaction* tx : candidates) {
+      if (chosen.size() >= params_.max_block_txs) break;
+      const crypto::Hash256 tx_id = tx->Id();
+      if (TxOnBranch(*parent, tx_id) || chosen_ids.count(tx_id) > 0) {
+        continue;
+      }
+      if (!try_accept(*tx, tx_id)) continue;
+      chosen.push_back(tx);
+      chosen_ids.insert(tx_id);
+      total_fees += tx->fee;
+    }
+  } else {
+    // Widened selection: execute a FIFO window of candidates speculatively
+    // against the round-start snapshot in parallel, then adopt serially in
+    // candidate order. A speculative result is adopted as-is only when its
+    // read/write key set (tx_conflict.h) is disjoint from everything
+    // accepted since the snapshot — disjointness means the speculative
+    // execution observed exactly the keys the serial loop would have shown
+    // it, so its receipt and write log ARE the serial ones, and replaying
+    // the log through the aggregate-maintaining mutators reproduces the
+    // serial post-state. Anything else (speculation failed, or a conflict
+    // with an accepted candidate) re-runs serially against the current
+    // working state — literally the oracle path for that candidate. The
+    // round window rides ahead of the remaining capacity so a tail of
+    // skipped candidates cannot starve the block.
+    struct Spec {
+      TxRwSet rw;
+      Status status = Status::OK();
+      Receipt receipt;
+      TxWrites writes;
+      bool pre_skip = false;  ///< On-branch / already chosen at round start.
+    };
+    std::vector<Spec> specs;
+    size_t next = 0;
+    while (next < candidates.size() && chosen.size() < params_.max_block_txs) {
+      const size_t capacity_left = params_.max_block_txs - chosen.size();
+      const size_t window = std::min(
+          candidates.size() - next,
+          std::max<size_t>(2 * capacity_left, kMinParallelSelection));
+      specs.assign(window, Spec{});
+      pool->ParallelFor(window, [&](size_t k) {
+        const Transaction& tx = *candidates[next + k];
+        Spec& spec = specs[k];
+        spec.rw = ExtractRwSet(tx);
+        if (TxOnBranch(*parent, spec.rw.id) ||
+            chosen_ids.count(spec.rw.id) > 0) {
+          spec.pre_skip = true;
+          return;
+        }
+        // O(1) snapshot of the round-start state; concurrent snapshot
+        // reads are safe via the persistent maps' atomic refcounts.
+        LedgerState scratch = working;
+        auto receipt = ApplyTransactionRecorded(&scratch, tx, env,
+                                                &spec.writes);
+        if (receipt.ok()) {
+          spec.receipt = std::move(*receipt);
+        } else {
+          spec.status = receipt.status();
+        }
+      });
+      // Serial FIFO adoption.
+      std::vector<const TxRwSet*> accepted_this_round;
+      for (size_t k = 0; k < window; ++k) {
+        if (chosen.size() >= params_.max_block_txs) break;
+        Spec& spec = specs[k];
+        const Transaction& tx = *candidates[next + k];
+        // Re-check the duplicate set: it may have grown this round.
+        if (spec.pre_skip || chosen_ids.count(spec.rw.id) > 0) continue;
+        bool adopted = false;
+        if (spec.status.ok()) {
+          bool conflict = false;
+          for (const TxRwSet* other : accepted_this_round) {
+            if (RwSetsConflict(*other, spec.rw)) {
+              conflict = true;
+              break;
+            }
+          }
+          if (!conflict) {
+            for (const OutPoint& outpoint : spec.writes.spent) {
+              working.SpendUtxo(outpoint);
+            }
+            for (const auto& [outpoint, output] : spec.writes.created) {
+              working.AddUtxo(outpoint, output);
+            }
+            for (const auto& [id, contract] : spec.writes.contract_puts) {
+              working.contracts.Put(id, contract);
+            }
+            chosen_receipts.push_back(std::move(spec.receipt));
+            adopted = true;
+          }
+        }
+        if (!adopted && !try_accept(tx, spec.rw.id)) continue;
+        chosen.push_back(&tx);
+        chosen_ids.insert(spec.rw.id);
+        total_fees += tx.fee;
+        accepted_this_round.push_back(&spec.rw);
+      }
+      next += window;
+    }
   }
 
   // Coinbase pays the reward plus the collected fees to the miner.
@@ -486,8 +622,9 @@ Result<Block> Blockchain::AssembleBlock(
   block.header.prev_hash = parent_hash;
   block.header.time = now;
   block.header.difficulty_bits = params_.difficulty_bits;
+  block.txs.reserve(1 + chosen.size());
   block.txs.push_back(std::move(coinbase));
-  for (Transaction& tx : chosen) block.txs.push_back(std::move(tx));
+  for (const Transaction* tx : chosen) block.txs.push_back(*tx);
 
   // Declared receipts come straight from the selection pass: each chosen
   // transaction's receipt was produced by the same ApplyTransaction call
@@ -508,7 +645,7 @@ Result<Block> Blockchain::AssembleBlock(
   }
   block.header.tx_root = block.ComputeTxRoot();
   block.header.receipt_root = block.ComputeReceiptRoot();
-  MineHeader(&block.header, rng);
+  if (mine) MineHeader(&block.header, rng);
   return block;
 }
 

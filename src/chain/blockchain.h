@@ -14,6 +14,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -169,11 +170,42 @@ class Blockchain {
 
   /// Builds a valid block on `parent_hash` from `candidates` (FIFO,
   /// capacity-capped, structurally-invalid and already-included ones
-  /// skipped), mines its PoW, and returns it WITHOUT submitting.
+  /// skipped), mines its PoW, and returns it WITHOUT submitting. The
+  /// candidate-selection loop is widened across the chain's execution
+  /// worker pool when it pays (enough candidates, pool wider than one
+  /// thread, AC3_EXEC_SERIAL unset); selected sets, receipts and the
+  /// returned block are identical to the serial loop at any width — see
+  /// AssembleBlockOn.
   Result<Block> AssembleBlock(const crypto::Hash256& parent_hash,
                               const std::vector<Transaction>& candidates,
                               const crypto::PublicKey& miner,
                               TimePoint now, Rng* rng) const;
+
+  /// The allocation-light overload for the ingestion hot path: candidates
+  /// by pointer (Mempool::CandidatePointersAt — rejected candidates are
+  /// never copied), and optionally unmined — `mine = false` skips the
+  /// nonce search, leaving header.nonce at zero, so a caller can batch
+  /// the search across many miners' assembled headers (MineHeaderBatch)
+  /// and submit only the contention winner.
+  Result<Block> AssembleBlock(const crypto::Hash256& parent_hash,
+                              std::span<const Transaction* const> candidates,
+                              const crypto::PublicKey& miner, TimePoint now,
+                              Rng* rng, bool mine = true) const;
+
+  /// AssembleBlock with an explicit selection worker pool — the
+  /// equivalence seam. `pool == nullptr` (or a single-threaded pool) runs
+  /// the serial FIFO selection loop, kept as the always-available oracle
+  /// (same discipline as MineHeaderScalar / ApplyBlockBody). A wider pool
+  /// runs speculative candidate execution against the round-start
+  /// snapshot with conflict-checked FIFO adoption (tx_conflict.h) and a
+  /// serial re-run for every candidate the speculation cannot prove
+  /// bit-identical — so selected sets, receipts and block bytes match the
+  /// serial loop exactly, whatever the width.
+  Result<Block> AssembleBlockOn(common::WorkerPool* pool,
+                                const crypto::Hash256& parent_hash,
+                                std::span<const Transaction* const> candidates,
+                                const crypto::PublicKey& miner, TimePoint now,
+                                Rng* rng, bool mine = true) const;
 
  private:
   /// Full validation of `block` against its parent entry: PoW, linkage,

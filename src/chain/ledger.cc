@@ -74,16 +74,6 @@ void EnsureBuiltinContracts() {
   std::call_once(builtin_contracts_once, contracts::RegisterBuiltinContracts);
 }
 
-/// The state writes one transaction performed, captured while executing
-/// against a private snapshot and replayed onto the shared state by the
-/// wave merger — the full mutation vocabulary of ApplyTransaction.
-struct TxWrites {
-  std::vector<OutPoint> spent;
-  std::vector<std::pair<OutPoint, TxOutput>> created;
-  std::vector<std::pair<crypto::Hash256, contracts::ContractPtr>>
-      contract_puts;
-};
-
 /// Checks input ownership and computes the total input value.
 Result<Amount> ConsumeInputs(LedgerState* state, const Transaction& tx,
                              TxWrites* writes) {
@@ -270,6 +260,13 @@ Result<Receipt> ApplyTransaction(LedgerState* state, const Transaction& tx,
                                  const BlockEnv& env) {
   return ApplyTransactionImpl(state, tx, env, /*verify_sig=*/true,
                               /*writes=*/nullptr);
+}
+
+Result<Receipt> ApplyTransactionRecorded(LedgerState* state,
+                                         const Transaction& tx,
+                                         const BlockEnv& env,
+                                         TxWrites* writes) {
+  return ApplyTransactionImpl(state, tx, env, /*verify_sig=*/true, writes);
 }
 
 Result<std::vector<Receipt>> ApplyBlockBody(LedgerState* state,

@@ -99,6 +99,28 @@ struct BlockEnv {
 Result<Receipt> ApplyTransaction(LedgerState* state, const Transaction& tx,
                                  const BlockEnv& env);
 
+/// The state writes one transaction performed, captured while executing
+/// against a private snapshot and replayed onto the shared state by a
+/// merger (the wave executor, the widened assembly loop) — the full
+/// mutation vocabulary of ApplyTransaction.
+struct TxWrites {
+  std::vector<OutPoint> spent;
+  std::vector<std::pair<OutPoint, TxOutput>> created;
+  std::vector<std::pair<crypto::Hash256, contracts::ContractPtr>>
+      contract_puts;
+};
+
+/// ApplyTransaction that additionally records every state mutation into
+/// `*writes` (appended in execution order). Replaying the log through
+/// SpendUtxo/AddUtxo/contracts.Put onto a state whose observed keys match
+/// the execution snapshot reproduces the direct application exactly —
+/// aggregates included, since the replay goes through the same
+/// aggregate-maintaining mutators.
+Result<Receipt> ApplyTransactionRecorded(LedgerState* state,
+                                         const Transaction& tx,
+                                         const BlockEnv& env,
+                                         TxWrites* writes);
+
 /// Applies a full block body (coinbase included) to `state`, returning the
 /// receipts in transaction order. Enforces the coinbase value rule
 /// (outputs <= block reward + total fees).

@@ -24,6 +24,38 @@ Status Mempool::Submit(const Transaction& tx, TimePoint arrival) {
   return Status::OK();
 }
 
+Mempool::BatchResult Mempool::SubmitBatch(std::span<const Transaction> txs,
+                                          TimePoint arrival) {
+  BatchResult result;
+  result.statuses.reserve(txs.size());
+  if (!entries_.empty() && entries_.back().arrival > arrival) {
+    // Out-of-order arrival (tests, replays): the per-entry insert position
+    // matters, so delegate to the stable-sort Submit path.
+    for (const Transaction& tx : txs) {
+      Status status = Submit(tx, arrival);
+      if (status.ok()) ++result.accepted;
+      result.statuses.push_back(std::move(status));
+    }
+    return result;
+  }
+  // Monotone (production) path: every accepted entry appends, so both
+  // containers grow at most once for the whole batch.
+  entries_.reserve(entries_.size() + txs.size());
+  ids_.reserve(ids_.size() + txs.size());
+  for (const Transaction& tx : txs) {
+    const crypto::Hash256 id = tx.Id();
+    if (!ids_.insert(id).second) {  // Covers in-batch duplicates too.
+      result.statuses.push_back(
+          Status::AlreadyExists("transaction already in mempool"));
+      continue;
+    }
+    entries_.push_back(Entry{arrival, tx, id});
+    ++result.accepted;
+    result.statuses.push_back(Status::OK());
+  }
+  return result;
+}
+
 std::vector<Transaction> Mempool::CandidatesAt(
     TimePoint now, const TxFilter& already_included) const {
   std::vector<Transaction> out;
@@ -53,6 +85,33 @@ void Mempool::Prune(const std::set<crypto::Hash256>& included) {
     ++keep;
   }
   entries_.resize(keep);
+}
+
+void Mempool::Prune(std::span<const crypto::Hash256> included) {
+  // Unindex first: O(1) per id, and ids not in the pool cost one lookup.
+  size_t dropped = 0;
+  for (const crypto::Hash256& id : included) dropped += ids_.erase(id);
+  if (dropped == 0) return;
+  // Compact survivors — an entry survives iff its id is still indexed
+  // (entries_ and ids_ are exact mirrors).
+  size_t keep = 0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (ids_.count(entries_[i].id) == 0) continue;
+    if (keep != i) entries_[keep] = std::move(entries_[i]);
+    ++keep;
+  }
+  entries_.resize(keep);
+}
+
+std::vector<const Transaction*> Mempool::CandidatePointersAt(
+    TimePoint now, const TxFilter& already_included) const {
+  std::vector<const Transaction*> out;
+  for (const Entry& entry : entries_) {
+    if (entry.arrival > now) break;  // Sorted: nothing later is visible.
+    if (already_included && already_included(entry.id)) continue;
+    out.push_back(&entry.tx);
+  }
+  return out;
 }
 
 }  // namespace ac3::chain

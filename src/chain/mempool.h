@@ -16,6 +16,7 @@
 
 #include <functional>
 #include <set>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
@@ -34,6 +35,22 @@ class Mempool {
   /// Queues `tx`; duplicates by id are rejected.
   Status Submit(const Transaction& tx, TimePoint arrival);
 
+  /// Outcome of one SubmitBatch call.
+  struct BatchResult {
+    size_t accepted = 0;  ///< Transactions queued.
+    /// One status per input transaction, in input order — exactly what a
+    /// serial Submit loop over the same sequence would have returned
+    /// (in-batch duplicates reject like cross-batch ones).
+    std::vector<Status> statuses;
+  };
+
+  /// Queues a batch sharing one arrival time — the open-world ingestion
+  /// path (a node draining its network queue once per tick). Semantically
+  /// identical to calling Submit(tx, arrival) on each element in order,
+  /// but the id index and entry vector grow once for the whole batch and
+  /// the duplicate check is a single pass.
+  BatchResult SubmitBatch(std::span<const Transaction> txs, TimePoint arrival);
+
   /// Transactions visible at `now` for which `already_included` returns
   /// false, in arrival order.
   std::vector<Transaction> CandidatesAt(TimePoint now,
@@ -43,9 +60,22 @@ class Mempool {
   std::vector<Transaction> CandidatesAt(
       TimePoint now, const std::set<crypto::Hash256>& already_included) const;
 
+  /// CandidatesAt without copying any Transaction: arrival-ordered
+  /// pointers into the pool, for the assembly hot path (a miner inspects
+  /// hundreds of candidates per block and copies none of the rejects).
+  /// Pointers are invalidated by the next Submit/SubmitBatch/Prune.
+  std::vector<const Transaction*> CandidatePointersAt(
+      TimePoint now, const TxFilter& already_included) const;
+
   /// Drops entries whose ids appear in `included` (canonical cleanup).
   /// One pass over the pool; ids are unindexed as their entries drop.
   void Prune(const std::set<crypto::Hash256>& included);
+
+  /// Prune for an arbitrary id list (unsorted, duplicates allowed): no
+  /// ordered-set build at the call site. Ids are unindexed first (O(1)
+  /// hash erases); the entry vector is compacted only when something was
+  /// actually dropped. Same post-state as the set overload.
+  void Prune(std::span<const crypto::Hash256> included);
 
   size_t size() const { return entries_.size(); }
   bool Contains(const crypto::Hash256& tx_id) const {

@@ -1,6 +1,7 @@
 #include "src/chain/mining.h"
 
 #include <cassert>
+#include <span>
 
 #include "src/chain/pow.h"
 #include "src/common/logging.h"
@@ -120,11 +121,13 @@ void MiningNetwork::ProduceBlock() {
   // No duplicate filter here: AssembleBlock's selection loop already skips
   // on-branch transactions (without consuming block capacity), so filtering
   // in CandidatesAt would just walk the tx index a second time per block.
-  std::vector<Transaction> candidates =
-      mempool_->CandidatesAt(now, Mempool::TxFilter());
-  auto block = chain_->AssembleBlock(parent->hash, candidates,
-                                     miner_keys_[miner].public_key(), now,
-                                     &rng_);
+  // Pointer candidates: rejected entries are never copied out of the pool
+  // (the pool is not mutated between here and assembly).
+  std::vector<const Transaction*> candidates =
+      mempool_->CandidatePointersAt(now, Mempool::TxFilter());
+  auto block = chain_->AssembleBlock(
+      parent->hash, std::span<const Transaction* const>(candidates),
+      miner_keys_[miner].public_key(), now, &rng_);
   if (block.ok()) {
     const crypto::Hash256 hash = block->header.Hash();
     Status submitted = chain_->SubmitBlock(*block, now);

@@ -1,7 +1,8 @@
 #include "src/core/environment.h"
 
 #include <cassert>
-#include <set>
+#include <span>
+#include <vector>
 
 namespace ac3::core {
 
@@ -28,12 +29,17 @@ void PruneIncludedOnHeadMove(const chain::Blockchain* chain,
     fork = fork->parent;
     other = other->parent;
   }
-  std::set<crypto::Hash256> included;
+  // Ids on one branch are unique, so the flat list needs no dedup; the
+  // span-form Prune skips the ordered-set build the old std::set path
+  // paid on every canonical head move.
+  std::vector<crypto::Hash256> included;
   for (const chain::BlockEntry* walk = chain->head(); walk != fork;
        walk = walk->parent) {
-    for (const auto& [tx_id, index] : walk->tx_index) included.insert(tx_id);
+    for (const auto& [tx_id, index] : walk->tx_index) included.push_back(tx_id);
   }
-  if (!included.empty()) pool->Prune(included);
+  if (!included.empty()) {
+    pool->Prune(std::span<const crypto::Hash256>(included));
+  }
   // Disconnected (reorged-out) blocks: anything not re-included on the
   // winning branch goes back into the pool at its original arrival time.
   for (const chain::BlockEntry* walk = &old_head; walk != fork;

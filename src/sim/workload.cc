@@ -1,0 +1,280 @@
+#include "src/sim/workload.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ac3::sim {
+
+namespace {
+
+TimePoint ToTimePoint(double ms) {
+  return static_cast<TimePoint>(std::llround(ms));
+}
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig config, uint64_t seed)
+    : config_(config),
+      faucet_key_(crypto::KeyPair::FromSeed(config.key_seed_base)),
+      arrival_rng_(0),
+      entity_rng_(0) {
+  assert(config_.chains >= 1);
+  assert(config_.accounts >= 1);
+  assert(config_.arrivals_per_sec > 0.0);
+  assert(config_.faucet_lanes >= 1);
+  // Independent streams: reshaping the arrival process never perturbs
+  // which entities a given swap index picks, and vice versa.
+  Rng root(seed);
+  arrival_rng_ = root.Fork();
+  entity_rng_ = root.Fork();
+  slots_.resize(config_.chains);
+  // Inverse-CDF constants over ranks [1, N+1] (continuous approximation
+  // of the discrete Zipf; see SampleZipf).
+  const double n1 = static_cast<double>(config_.accounts) + 1.0;
+  zipf_log_n_ = std::log(n1);
+  zipf_q_ = std::pow(n1, 1.0 - config_.zipf_s);
+  if (config_.process == ArrivalProcess::kBursty) {
+    assert(config_.burst_on_mean_ms > 0.0);
+    assert(config_.burst_off_mean_ms > 0.0);
+    assert(config_.burst_multiplier > 0.0);
+    // The traffic opens in an on phase, so short runs see arrivals.
+    burst_on_ = true;
+    current_on_start_ms_ = 0.0;
+    phase_end_ms_ = arrival_rng_.NextExponential(config_.burst_on_mean_ms);
+  }
+}
+
+std::vector<chain::TxOutput> WorkloadGenerator::GenesisAllocations(
+    size_t chain) const {
+  assert(chain < slots_.size());
+  (void)chain;  // Identical per slot; the parameter documents intent.
+  std::vector<chain::TxOutput> allocations(
+      config_.faucet_lanes,
+      chain::TxOutput{config_.faucet_lane_value, faucet_key_.public_key()});
+  return allocations;
+}
+
+void WorkloadGenerator::BindChain(size_t chain, chain::ChainId chain_id,
+                                  const chain::Transaction& genesis_tx) {
+  assert(chain < slots_.size());
+  ChainSlot& slot = slots_[chain];
+  slot.chain_id = chain_id;
+  slot.bound = true;
+  const crypto::Hash256 genesis_id = genesis_tx.Id();
+  slot.faucet_utxos.clear();
+  slot.faucet_values.clear();
+  for (uint32_t i = 0; i < genesis_tx.outputs.size(); ++i) {
+    if (genesis_tx.outputs[i].owner == faucet_key_.public_key()) {
+      slot.faucet_utxos.push_back(chain::OutPoint{genesis_id, i});
+      slot.faucet_values.push_back(genesis_tx.outputs[i].value);
+    }
+  }
+  assert(!slot.faucet_utxos.empty());
+}
+
+uint64_t WorkloadGenerator::SampleZipf(Rng* rng) const {
+  const uint64_t n = config_.accounts;
+  if (n <= 1) return 0;
+  const double u = rng->NextDouble();
+  const double s = config_.zipf_s;
+  double x;  // Continuous rank in [1, N+1).
+  if (s <= 0.0) {
+    x = 1.0 + u * static_cast<double>(n);
+  } else if (std::abs(s - 1.0) < 1e-9) {
+    // s = 1: F(x) = ln(x) / ln(N+1).
+    x = std::exp(u * zipf_log_n_);
+  } else {
+    // F(x) = (x^(1-s) - 1) / ((N+1)^(1-s) - 1).
+    x = std::pow(u * (zipf_q_ - 1.0) + 1.0, 1.0 / (1.0 - s));
+  }
+  uint64_t rank = static_cast<uint64_t>(x) - 1;
+  if (rank >= n) rank = n - 1;
+  return rank;
+}
+
+double WorkloadGenerator::NextArrival() {
+  const double base_rate_per_ms = config_.arrivals_per_sec / 1000.0;
+  if (config_.process == ArrivalProcess::kPoisson) {
+    clock_ms_ += arrival_rng_.NextExponential(1.0 / base_rate_per_ms);
+    return clock_ms_;
+  }
+  // Bursty: a Poisson process at multiplier * rate gated to on phases.
+  // Discarding a draw that crosses the phase end is exact (the process is
+  // memoryless), so phase boundaries never bias inter-arrival spacing.
+  const double on_mean_ms =
+      1.0 / (base_rate_per_ms * config_.burst_multiplier);
+  while (true) {
+    if (burst_on_) {
+      const double dt = arrival_rng_.NextExponential(on_mean_ms);
+      if (clock_ms_ + dt <= phase_end_ms_) {
+        clock_ms_ += dt;
+        return clock_ms_;
+      }
+      clock_ms_ = phase_end_ms_;
+      burst_windows_.emplace_back(ToTimePoint(current_on_start_ms_),
+                                  ToTimePoint(phase_end_ms_));
+      burst_on_ = false;
+      phase_end_ms_ =
+          clock_ms_ + arrival_rng_.NextExponential(config_.burst_off_mean_ms);
+    } else {
+      clock_ms_ = phase_end_ms_;
+      burst_on_ = true;
+      current_on_start_ms_ = clock_ms_;
+      phase_end_ms_ =
+          clock_ms_ + arrival_rng_.NextExponential(config_.burst_on_mean_ms);
+    }
+  }
+}
+
+chain::Amount WorkloadGenerator::DrawFee(size_t chain) {
+  const chain::Amount floor =
+      config_.fee_floor + static_cast<chain::Amount>(chain) *
+                              config_.fee_chain_step;
+  return floor + entity_rng_.NextBelow(config_.fee_spread + 1);
+}
+
+WorkloadGenerator::AccountState* WorkloadGenerator::EnsureFunded(
+    ChainSlot* slot, size_t chain, uint64_t index, TimePoint arrival,
+    WorkloadBatch* out) {
+  auto it = slot->accounts.find(index);
+  if (it == slot->accounts.end()) {
+    // Lazy materialization: the key exists implicitly for every index in
+    // the universe; wallet state is allocated only on first touch.
+    it = slot->accounts
+             .emplace(index,
+                      AccountState{crypto::KeyPair::FromSeed(
+                                       config_.key_seed_base + 1 + index),
+                                   chain::OutPoint{}, 0, 0, false})
+             .first;
+  }
+  AccountState* account = &it->second;
+  // A leg needs swap_amount + fee and at least 1 unit of change (so the
+  // tracked output never degenerates to zero value).
+  const chain::Amount worst_fee = config_.fee_floor +
+                                  static_cast<chain::Amount>(chain) *
+                                      config_.fee_chain_step +
+                                  config_.fee_spread;
+  const chain::Amount min_balance = config_.swap_amount + worst_fee + 1;
+  if (account->funded && account->balance >= min_balance) return account;
+
+  // Faucet grant. Lanes rotate so back-to-back grants chain off distinct
+  // change outputs instead of one serial dependency string.
+  const size_t lane = slot->next_lane;
+  slot->next_lane = (slot->next_lane + 1) % slot->faucet_utxos.size();
+  const chain::Amount fee = DrawFee(chain);
+  const chain::Amount lane_value = slot->faucet_values[lane];
+  assert(lane_value >= config_.grant_amount + fee + 1);
+
+  chain::Transaction grant;
+  grant.type = chain::TxType::kTransfer;
+  grant.chain_id = slot->chain_id;
+  grant.inputs.push_back(slot->faucet_utxos[lane]);
+  grant.outputs.push_back(
+      chain::TxOutput{config_.grant_amount, account->key.public_key()});
+  grant.outputs.push_back(chain::TxOutput{lane_value - config_.grant_amount -
+                                              fee,
+                                          faucet_key_.public_key()});
+  grant.fee = fee;
+  grant.nonce = slot->faucet_nonce++;
+  grant.SignWith(faucet_key_);
+  const crypto::Hash256 grant_id = grant.Id();
+  slot->faucet_utxos[lane] = chain::OutPoint{grant_id, 1};
+  slot->faucet_values[lane] = lane_value - config_.grant_amount - fee;
+  // Any residual balance on a previously tracked output is abandoned as
+  // dust — the harness tracks one spendable output per (account, chain).
+  account->utxo = chain::OutPoint{grant_id, 0};
+  account->balance = config_.grant_amount;
+  account->funded = true;
+  out->txs.push_back(GeneratedTx{arrival, chain, std::move(grant)});
+  return account;
+}
+
+chain::Transaction WorkloadGenerator::BuildLeg(ChainSlot* slot,
+                                               AccountState* payer,
+                                               const crypto::PublicKey& payee,
+                                               chain::Amount amount,
+                                               chain::Amount fee) {
+  assert(payer->balance >= amount + fee + 1);
+  chain::Transaction tx;
+  tx.type = chain::TxType::kTransfer;
+  tx.chain_id = slot->chain_id;
+  tx.inputs.push_back(payer->utxo);
+  tx.outputs.push_back(chain::TxOutput{amount, payee});
+  tx.outputs.push_back(
+      chain::TxOutput{payer->balance - amount - fee, payer->key.public_key()});
+  tx.fee = fee;
+  tx.nonce = payer->nonce++;
+  tx.SignWith(payer->key);
+  payer->utxo = chain::OutPoint{tx.Id(), 1};
+  payer->balance -= amount + fee;
+  return tx;
+}
+
+WorkloadBatch WorkloadGenerator::NextBatch(TimePoint until) {
+  for (const ChainSlot& slot : slots_) {
+    assert(slot.bound && "BindChain every slot before NextBatch");
+    (void)slot;
+  }
+  WorkloadBatch batch;
+  while (true) {
+    if (pending_arrival_ms_ < 0.0) pending_arrival_ms_ = NextArrival();
+    const TimePoint arrival = ToTimePoint(pending_arrival_ms_);
+    if (arrival > until) break;
+    pending_arrival_ms_ = -1.0;
+
+    // Participants: payer u pays payee v on chain_a, v pays u back on
+    // chain_b — the two legs of the paper's atomic swap shape, here as
+    // raw traffic (protocol contracts are exercised elsewhere).
+    const uint64_t u = SampleZipf(&entity_rng_);
+    uint64_t v = u;
+    if (config_.accounts >= 2) {
+      while (v == u) v = SampleZipf(&entity_rng_);
+    }
+    const size_t chain_a = static_cast<size_t>(
+        entity_rng_.NextBelow(static_cast<uint64_t>(config_.chains)));
+    const size_t chain_b =
+        config_.chains >= 2
+            ? (chain_a + 1 +
+               static_cast<size_t>(entity_rng_.NextBelow(
+                   static_cast<uint64_t>(config_.chains - 1)))) %
+                  config_.chains
+            : chain_a;
+
+    SwapRecord record;
+    record.swap_index = swaps_generated_++;
+    record.arrival = arrival;
+    record.chain_a = chain_a;
+    record.chain_b = chain_b;
+
+    // Leg A: u -> v on chain_a.
+    {
+      ChainSlot* slot = &slots_[chain_a];
+      const chain::Amount fee = DrawFee(chain_a);
+      AccountState* payer = EnsureFunded(slot, chain_a, u, arrival, &batch);
+      const crypto::PublicKey payee =
+          crypto::KeyPair::FromSeed(config_.key_seed_base + 1 + v)
+              .public_key();
+      chain::Transaction leg =
+          BuildLeg(slot, payer, payee, config_.swap_amount, fee);
+      record.leg_a_id = leg.Id();
+      batch.txs.push_back(GeneratedTx{arrival, chain_a, std::move(leg)});
+    }
+    // Leg B: v -> u on chain_b.
+    {
+      ChainSlot* slot = &slots_[chain_b];
+      const chain::Amount fee = DrawFee(chain_b);
+      AccountState* payer = EnsureFunded(slot, chain_b, v, arrival, &batch);
+      const crypto::PublicKey payee =
+          crypto::KeyPair::FromSeed(config_.key_seed_base + 1 + u)
+              .public_key();
+      chain::Transaction leg =
+          BuildLeg(slot, payer, payee, config_.swap_amount, fee);
+      record.leg_b_id = leg.Id();
+      batch.txs.push_back(GeneratedTx{arrival, chain_b, std::move(leg)});
+    }
+    batch.swaps.push_back(record);
+  }
+  return batch;
+}
+
+}  // namespace ac3::sim

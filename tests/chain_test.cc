@@ -15,6 +15,10 @@
 namespace ac3::chain {
 namespace {
 
+// Disambiguates the vector/span AssembleBlock overloads at empty-candidate
+// call sites ({} binds to both).
+const std::vector<Transaction> kNoCandidates;
+
 using testutil::Fund;
 using testutil::TestChain;
 
@@ -252,7 +256,7 @@ TEST(BlockchainTest, RejectsUnknownParent) {
 TEST(BlockchainTest, RejectsBadPow) {
   TestChain tc(FastParams(), {});
   Rng rng(3);
-  auto block = tc.chain().AssembleBlock(tc.chain().head()->hash, {},
+  auto block = tc.chain().AssembleBlock(tc.chain().head()->hash, kNoCandidates,
                                         Alice().public_key(), 50, &rng);
   ASSERT_TRUE(block.ok());
   Block bad = *block;
@@ -288,9 +292,9 @@ TEST(BlockchainTest, ForkResolvesToHeavierBranch) {
   const BlockEntry* root = tc.chain().head();
 
   // Two competing children.
-  auto a1 = tc.chain().AssembleBlock(root->hash, {}, Alice().public_key(),
+  auto a1 = tc.chain().AssembleBlock(root->hash, kNoCandidates, Alice().public_key(),
                                      100, &rng);
-  auto b1 = tc.chain().AssembleBlock(root->hash, {}, Bob().public_key(),
+  auto b1 = tc.chain().AssembleBlock(root->hash, kNoCandidates, Bob().public_key(),
                                      100, &rng);
   ASSERT_TRUE(a1.ok() && b1.ok());
   ASSERT_TRUE(tc.chain().SubmitBlock(*a1, 100).ok());
@@ -299,7 +303,7 @@ TEST(BlockchainTest, ForkResolvesToHeavierBranch) {
   EXPECT_EQ(tc.chain().head()->hash, a1->header.Hash());
 
   // Extend the b-branch: it becomes strictly heavier.
-  auto b2 = tc.chain().AssembleBlock(b1->header.Hash(), {},
+  auto b2 = tc.chain().AssembleBlock(b1->header.Hash(), kNoCandidates,
                                      Bob().public_key(), 200, &rng);
   ASSERT_TRUE(b2.ok());
   ASSERT_TRUE(tc.chain().SubmitBlock(*b2, 200).ok());
@@ -326,13 +330,13 @@ TEST(BlockchainTest, ReorgRevertsState) {
   const crypto::PublicKey miner = crypto::KeyPair::FromSeed(9999).public_key();
   auto with_tx =
       tc.chain().AssembleBlock(root->hash, {*tx}, miner, 100, &rng);
-  auto without1 = tc.chain().AssembleBlock(root->hash, {}, miner, 100, &rng);
+  auto without1 = tc.chain().AssembleBlock(root->hash, kNoCandidates, miner, 100, &rng);
   ASSERT_TRUE(with_tx.ok() && without1.ok());
   ASSERT_TRUE(tc.chain().SubmitBlock(*with_tx, 100).ok());
   ASSERT_TRUE(tc.chain().SubmitBlock(*without1, 101).ok());
   EXPECT_EQ(tc.chain().StateAtHead().BalanceOf(Bob().public_key()), 50u);
 
-  auto without2 = tc.chain().AssembleBlock(without1->header.Hash(), {}, miner,
+  auto without2 = tc.chain().AssembleBlock(without1->header.Hash(), kNoCandidates, miner,
                                            200, &rng);
   ASSERT_TRUE(without2.ok());
   ASSERT_TRUE(tc.chain().SubmitBlock(*without2, 200).ok());

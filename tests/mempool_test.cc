@@ -4,6 +4,8 @@
 
 #include "src/chain/mempool.h"
 
+#include <span>
+
 #include <gtest/gtest.h>
 
 #include "src/chain/wallet.h"
@@ -117,6 +119,118 @@ TEST_F(MempoolTest, CapacityIsEnforcedByBlockAssemblyNotThePool) {
   ASSERT_TRUE(block.ok());
   // +1 coinbase; the overflow stays pooled for the next block.
   EXPECT_LE(block->txs.size(), capacity + 1);
+}
+
+// ---------------------------------------------- batched ingestion
+
+TEST_F(MempoolTest, SubmitBatchMatchesSerialSubmit) {
+  std::vector<Transaction> batch;
+  for (uint64_t i = 1; i <= 20; ++i) batch.push_back(MakeTransfer(i));
+
+  Mempool serial;
+  for (const Transaction& tx : batch) {
+    ASSERT_TRUE(serial.Submit(tx, /*arrival=*/40).ok());
+  }
+  Mempool batched;
+  auto result =
+      batched.SubmitBatch(std::span<const Transaction>(batch), /*arrival=*/40);
+  EXPECT_EQ(result.accepted, batch.size());
+  ASSERT_EQ(result.statuses.size(), batch.size());
+  for (const Status& status : result.statuses) {
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+  EXPECT_EQ(batched.size(), serial.size());
+  auto serial_candidates = serial.CandidatesAt(100, none_);
+  auto batched_candidates = batched.CandidatesAt(100, none_);
+  ASSERT_EQ(batched_candidates.size(), serial_candidates.size());
+  for (size_t i = 0; i < serial_candidates.size(); ++i) {
+    EXPECT_EQ(batched_candidates[i].Id(), serial_candidates[i].Id());
+  }
+}
+
+TEST_F(MempoolTest, SubmitBatchRejectsDuplicateInsideBatch) {
+  Transaction t1 = MakeTransfer(1);
+  Transaction t2 = MakeTransfer(2);
+  std::vector<Transaction> batch{t1, t2, t1};
+  auto result = pool_.SubmitBatch(std::span<const Transaction>(batch), 10);
+  EXPECT_EQ(result.accepted, 2u);
+  ASSERT_EQ(result.statuses.size(), 3u);
+  EXPECT_TRUE(result.statuses[0].ok());
+  EXPECT_TRUE(result.statuses[1].ok());
+  EXPECT_FALSE(result.statuses[2].ok());
+  EXPECT_EQ(pool_.size(), 2u);
+}
+
+TEST_F(MempoolTest, SubmitBatchRejectsCrossBatchDuplicate) {
+  Transaction t1 = MakeTransfer(1);
+  ASSERT_TRUE(pool_.Submit(t1, 0).ok());
+  Transaction t2 = MakeTransfer(2);
+  std::vector<Transaction> batch{t1, t2};
+  auto result = pool_.SubmitBatch(std::span<const Transaction>(batch), 10);
+  EXPECT_EQ(result.accepted, 1u);
+  EXPECT_FALSE(result.statuses[0].ok());
+  EXPECT_TRUE(result.statuses[1].ok());
+  EXPECT_EQ(pool_.size(), 2u);
+  // The duplicate kept its original (earlier) arrival.
+  auto candidates = pool_.CandidatesAt(100, none_);
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0].Id(), t1.Id());
+}
+
+TEST_F(MempoolTest, SubmitBatchKeepsArrivalOrderWhenBatchArrivesEarlier) {
+  // A batch whose arrival predates the pool tail takes the non-monotone
+  // path; visibility ordering must still be arrival-sorted.
+  Transaction late = MakeTransfer(1);
+  ASSERT_TRUE(pool_.Submit(late, /*arrival=*/100).ok());
+  std::vector<Transaction> batch{MakeTransfer(2), MakeTransfer(3)};
+  auto result = pool_.SubmitBatch(std::span<const Transaction>(batch),
+                                  /*arrival=*/50);
+  EXPECT_EQ(result.accepted, 2u);
+  auto candidates = pool_.CandidatesAt(200, none_);
+  ASSERT_EQ(candidates.size(), 3u);
+  EXPECT_EQ(candidates[0].Id(), batch[0].Id());
+  EXPECT_EQ(candidates[1].Id(), batch[1].Id());
+  EXPECT_EQ(candidates[2].Id(), late.Id());
+  EXPECT_TRUE(pool_.CandidatesAt(60, none_).size() == 2u);
+}
+
+TEST_F(MempoolTest, CandidatePointersMatchValueCandidates) {
+  std::vector<Transaction> batch;
+  for (uint64_t i = 1; i <= 8; ++i) batch.push_back(MakeTransfer(i));
+  ASSERT_EQ(pool_.SubmitBatch(std::span<const Transaction>(batch), 5).accepted,
+            batch.size());
+  std::set<crypto::Hash256> included{batch[2].Id(), batch[6].Id()};
+  auto values = pool_.CandidatesAt(100, included);
+  auto pointers = pool_.CandidatePointersAt(
+      100, [&](const crypto::Hash256& id) { return included.count(id) > 0; });
+  ASSERT_EQ(pointers.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(pointers[i]->Id(), values[i].Id());
+  }
+}
+
+TEST_F(MempoolTest, PruneSpanMatchesSetPrune) {
+  std::vector<Transaction> batch;
+  for (uint64_t i = 1; i <= 10; ++i) batch.push_back(MakeTransfer(i));
+  Mempool set_pool;
+  Mempool span_pool;
+  for (const Transaction& tx : batch) {
+    ASSERT_TRUE(set_pool.Submit(tx, 0).ok());
+    ASSERT_TRUE(span_pool.Submit(tx, 0).ok());
+  }
+  // Unsorted, with an unknown id mixed in.
+  std::vector<crypto::Hash256> drop{batch[7].Id(), batch[1].Id(),
+                                    crypto::Hash256::Of(Bytes{9, 9}),
+                                    batch[4].Id()};
+  set_pool.Prune(std::set<crypto::Hash256>(drop.begin(), drop.end()));
+  span_pool.Prune(std::span<const crypto::Hash256>(drop));
+  EXPECT_EQ(span_pool.size(), set_pool.size());
+  auto expected = set_pool.CandidatesAt(100, none_);
+  auto actual = span_pool.CandidatesAt(100, none_);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].Id(), expected[i].Id());
+  }
 }
 
 }  // namespace

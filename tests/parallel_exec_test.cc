@@ -8,6 +8,7 @@
 // transfers, deploys, calls and reverted redeems, on hand-built invalid
 // bodies, and across SubmitBlocks catch-up at several thread counts.
 
+#include <span>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -515,6 +516,161 @@ TEST_F(ParallelExecTest, DeepCatchupThreadInvariant) {
     ASSERT_EQ(replica.head()->hash, chain().head()->hash);
     ExpectStatesEqual(replica.head()->state, chain().head()->state);
   }
+}
+
+// ------------------------------- widened block assembly equivalence
+
+void ExpectBlocksIdentical(const Block& a, const Block& b) {
+  EXPECT_EQ(a.header.Encode(), b.header.Encode());
+  ASSERT_EQ(a.txs.size(), b.txs.size());
+  for (size_t i = 0; i < a.txs.size(); ++i) {
+    EXPECT_EQ(a.txs[i].Encode(), b.txs[i].Encode()) << "tx " << i;
+  }
+  ASSERT_EQ(a.receipts.size(), b.receipts.size());
+  for (size_t i = 0; i < a.receipts.size(); ++i) {
+    EXPECT_EQ(a.receipts[i].Encode(), b.receipts[i].Encode())
+        << "receipt " << i;
+  }
+}
+
+/// Assembles from `candidates` through the serial oracle
+/// (AssembleBlockOn with a null pool), then through explicit pools of
+/// several widths and the implicit-pool span overload, asserting the
+/// returned blocks are byte-identical (selected set, order, receipts,
+/// roots). mine=false keeps headers nonce-free so blocks compare whole.
+void ExpectWidenedAssemblyMatchesSerial(
+    chain::Blockchain& chain, const std::vector<Transaction>& candidates,
+    const crypto::PublicKey& miner, TimePoint now) {
+  std::vector<const Transaction*> pointers;
+  pointers.reserve(candidates.size());
+  for (const Transaction& tx : candidates) pointers.push_back(&tx);
+  const std::span<const Transaction* const> span(pointers);
+
+  Rng serial_rng(777);
+  auto serial = chain.AssembleBlockOn(nullptr, chain.head()->hash, span, miner,
+                                      now, &serial_rng, /*mine=*/false);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  for (int threads : {2, 4, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    common::WorkerPool pool(threads);
+    Rng wide_rng(777);
+    auto wide = chain.AssembleBlockOn(&pool, chain.head()->hash, span, miner,
+                                      now, &wide_rng, /*mine=*/false);
+    ASSERT_TRUE(wide.ok()) << wide.status().ToString();
+    ExpectBlocksIdentical(*serial, *wide);
+  }
+  Rng implicit_rng(777);
+  auto implicit = chain.AssembleBlock(chain.head()->hash, span, miner, now,
+                                      &implicit_rng, /*mine=*/false);
+  ASSERT_TRUE(implicit.ok()) << implicit.status().ToString();
+  ExpectBlocksIdentical(*serial, *implicit);
+}
+
+TEST_F(ParallelExecTest, AssembleBlockWidenedMatchesSerialOnIndependentSet) {
+  std::vector<Transaction> txs;
+  for (size_t i = 0; i < 15; ++i) {
+    Wallet w = WalletFor(i);
+    auto tx = w.BuildTransfer(chain().head()->state,
+                              keys_[(i + 1) % keys_.size()].public_key(),
+                              40 + static_cast<Amount>(i), 1, i);
+    ASSERT_TRUE(tx.ok());
+    txs.push_back(std::move(*tx));
+  }
+  ExpectWidenedAssemblyMatchesSerial(chain(), txs, keys_[0].public_key(), 100);
+}
+
+TEST_F(ParallelExecTest, AssembleBlockWidenedMatchesSerialOnConflictHeavySet) {
+  // Pairs of transactions double-spending the same wallet funds (two
+  // independent Wallet instances over one key do not see each other's
+  // reservations), an exact duplicate, a bad signature and a spend of a
+  // nonexistent output. FIFO selection keeps the first of each pair and
+  // skips the rest; the widened loop must reproduce that exactly.
+  std::vector<Transaction> txs;
+  const LedgerState& state = chain().head()->state;
+  for (size_t i = 0; i < 6; ++i) {
+    Wallet first(keys_[i], chain().id());
+    Wallet second(keys_[i], chain().id());
+    auto a = first.BuildTransfer(state, keys_[i + 1].public_key(), 900, 1, 1);
+    auto b = second.BuildTransfer(state, keys_[i + 2].public_key(), 900, 1, 2);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    txs.push_back(std::move(*a));
+    txs.push_back(std::move(*b));
+  }
+  txs.push_back(txs[0]);  // Exact duplicate id.
+  Transaction corrupt = txs[2];
+  corrupt.fee += 1;  // Invalidates the signature.
+  txs.push_back(std::move(corrupt));
+  Transaction phantom;
+  phantom.type = TxType::kTransfer;
+  phantom.chain_id = chain().id();
+  phantom.inputs.push_back(Op(0x5e));
+  phantom.outputs.push_back(TxOutput{1, keys_[0].public_key()});
+  phantom.SignWith(keys_[0]);
+  txs.push_back(std::move(phantom));
+  ExpectWidenedAssemblyMatchesSerial(chain(), txs, keys_[0].public_key(), 100);
+}
+
+TEST_F(ParallelExecTest, AssembleBlockWidenedMatchesSerialOnDependentChain) {
+  // tx[k+1] spends tx[k]'s payment output (a fresh key unfunded at
+  // genesis, so the input can only come from the previous candidate).
+  // Speculation against the round-start snapshot fails for every link but
+  // the first; the serial re-run must adopt them all, in order.
+  std::vector<crypto::KeyPair> fresh;
+  for (int i = 0; i < 5; ++i) {
+    fresh.push_back(crypto::KeyPair::FromSeed(5000 + i));
+  }
+  std::vector<Transaction> txs;
+  LedgerState scratch = chain().head()->state;
+  const chain::BlockEnv env{chain().id(), chain().head()->height() + 1, 100};
+  {
+    Wallet w = WalletFor(0);
+    auto tx = w.BuildTransfer(scratch, fresh[0].public_key(), 500, 1, 9);
+    ASSERT_TRUE(tx.ok());
+    ASSERT_TRUE(chain::ApplyTransaction(&scratch, *tx, env).ok());
+    txs.push_back(std::move(*tx));
+  }
+  for (size_t i = 0; i + 1 < fresh.size(); ++i) {
+    Wallet w(fresh[i], chain().id());
+    auto tx = w.BuildTransfer(scratch, fresh[i + 1].public_key(),
+                              400 - static_cast<Amount>(i) * 50, 1, 9);
+    ASSERT_TRUE(tx.ok());
+    ASSERT_TRUE(chain::ApplyTransaction(&scratch, *tx, env).ok());
+    txs.push_back(std::move(*tx));
+  }
+  ExpectWidenedAssemblyMatchesSerial(chain(), txs, keys_[0].public_key(), 100);
+}
+
+TEST(AssembleBlockWidenedTest, CapacityCapRespectedAtAllWidths) {
+  // More valid candidates than max_block_txs: the window walk must stop
+  // at capacity with exactly the serial prefix, at every width.
+  ChainParams params = chain::TestChainParams();
+  params.max_block_txs = 7;
+  std::vector<crypto::KeyPair> keys;
+  std::vector<crypto::PublicKey> pks;
+  for (int i = 0; i < 24; ++i) {
+    keys.push_back(crypto::KeyPair::FromSeed(7000 + i));
+    pks.push_back(keys.back().public_key());
+  }
+  testutil::TestChain tc(params, testutil::Fund(pks, 1000));
+  std::vector<Transaction> txs;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Wallet w(keys[i], tc.chain().id());
+    auto tx = w.BuildTransfer(tc.chain().head()->state,
+                              pks[(i + 1) % pks.size()], 100, 1, i);
+    ASSERT_TRUE(tx.ok());
+    txs.push_back(std::move(*tx));
+  }
+  ExpectWidenedAssemblyMatchesSerial(tc.chain(), txs, pks[0], 100);
+  std::vector<const Transaction*> pointers;
+  for (const Transaction& tx : txs) pointers.push_back(&tx);
+  Rng rng(777);
+  auto block = tc.chain().AssembleBlockOn(
+      nullptr, tc.chain().head()->hash,
+      std::span<const Transaction* const>(pointers), pks[0], 100, &rng,
+      /*mine=*/false);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(block->txs.size(), params.max_block_txs + 1);  // +1 coinbase.
 }
 
 TEST(ParallelExecEnvTest, SerialPinReadsEnvironmentOnce) {

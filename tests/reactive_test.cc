@@ -18,6 +18,10 @@
 namespace ac3 {
 namespace {
 
+// Disambiguates the vector/span AssembleBlock overloads at empty-candidate
+// call sites ({} binds to both).
+const std::vector<chain::Transaction> kNoCandidates;
+
 using testutil::Fund;
 using testutil::TestChain;
 
@@ -172,11 +176,11 @@ TEST(MempoolAutoPruneTest, ReorgedOutTransactionsReturnToThePool) {
 
   // An empty two-block side branch reorgs A out: the transaction is on
   // neither branch any more, so the disconnect path re-queues it.
-  auto side_1 = chain->AssembleBlock(genesis, {}, miner.public_key(), 101,
+  auto side_1 = chain->AssembleBlock(genesis, kNoCandidates, miner.public_key(), 101,
                                      &rng);
   ASSERT_TRUE(side_1.ok());
   ASSERT_TRUE(chain->SubmitBlock(*side_1, 101).ok());
-  auto side_2 = chain->AssembleBlock(side_1->header.Hash(), {},
+  auto side_2 = chain->AssembleBlock(side_1->header.Hash(), kNoCandidates,
                                      miner.public_key(), 102, &rng);
   ASSERT_TRUE(side_2.ok());
   ASSERT_TRUE(chain->SubmitBlock(*side_2, 102).ok());
