@@ -37,6 +37,17 @@ The many-chain world-state envelope has its own mode:
     the same absolute budget the full run promised.
   * the fresh sharded-vs-oracle equivalence verdict must be true.
 
+The commit-study envelope has its own mode:
+
+  check_bench_floor.py --commit-study FRESH.json COMMITTED.json [WORLDS_FACTOR]
+
+  * correctness — the fresh run's separation_reproduced verdict (blocking
+    baselines stall/strand under coordinator crash, the quorum engine
+    reaches an atomic verdict everywhere) and its thread_invariant
+    verdict must both be true.
+  * throughput — the fresh grid's worlds/sec must reach at least
+    WORLDS_FACTOR (default 0.05) times the committed full run's.
+
 The open-world traffic envelope has its own mode:
 
   check_bench_floor.py --openworld FRESH.json COMMITTED.json [SWAPS_FACTOR]
@@ -148,6 +159,35 @@ def check_multichain(argv):
     return 0 if ops_ok and rss_ok and equiv_ok else 1
 
 
+def check_commit_study(argv):
+    if len(argv) not in (4, 5):
+        print(__doc__, file=sys.stderr)
+        return 1
+    fresh_path, committed_path = argv[2], argv[3]
+    worlds_factor = float(argv[4]) if len(argv) == 5 else 0.05
+
+    fresh = load(fresh_path)
+    committed = load(committed_path)
+
+    separation_ok = bool(fresh["results"].get("separation_reproduced"))
+    print(
+        "commit-study separation (blocking baselines vs quorum engine): "
+        f"{'reproduced' if separation_ok else 'NOT REPRODUCED'}"
+    )
+    invariant_ok = bool(fresh["results"].get("thread_invariant"))
+    print(
+        "commit-study 1-vs-N thread grids: "
+        f"{'identical' if invariant_ok else 'DIVERGED'}"
+    )
+    worlds_ok = check(
+        "commit-study grid throughput (worlds/s)",
+        fresh["wall"]["worlds_per_sec"],
+        committed["wall"]["worlds_per_sec"],
+        worlds_factor,
+    )
+    return 0 if separation_ok and invariant_ok and worlds_ok else 1
+
+
 def min_swap_rate(doc, path):
     cells = doc["wall"]["cells"]
     if not cells:
@@ -192,6 +232,8 @@ def main(argv):
         return check_multichain(argv)
     if len(argv) >= 2 and argv[1] == "--openworld":
         return check_openworld(argv)
+    if len(argv) >= 2 and argv[1] == "--commit-study":
+        return check_commit_study(argv)
     if len(argv) not in (3, 4, 5, 6):
         print(__doc__, file=sys.stderr)
         return 1

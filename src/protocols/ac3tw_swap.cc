@@ -18,7 +18,9 @@ Ac3twSwapEngine::Ac3twSwapEngine(core::Environment* env,
           WatchConfig{config.confirm_depth, config.resubmit_interval},
           "AC3TW"),
       trent_(trent),
-      config_(config) {}
+      config_(config) {
+  SetCoordinatorCrashPlan(config.coordinator_crash);
+}
 
 Status Ac3twSwapEngine::OnStart() {
   // Step 1: all participants multisign (D, t). Even a participant that will
@@ -68,6 +70,13 @@ void Ac3twSwapEngine::TryRegister() {
                                RequestWakeAt(registered_at_ +
                                              config_.publish_patience);
                                ScheduleStep();
+                               // kAtPrepare anchor: Trent dies the moment
+                               // the swap is registered — participants go
+                               // on to lock funds into contracts whose
+                               // only decision point is gone.
+                               MaybeCrashCoordinator(
+                                   CoordinatorCrashPhase::kAtPrepare,
+                                   trent_->node());
                              }
                            });
   });
@@ -112,6 +121,12 @@ void Ac3twSwapEngine::RequestDecision(crypto::CommitmentTag tag) {
   if (requester == nullptr) return;
   last_request_attempt_ = now;
   RequestResubmitWake();
+
+  // kAtCommit anchor: Trent dies just as the first decision request is
+  // sent — the request (and every retry) is dropped at delivery, so
+  // neither secret is ever signed. The retry pacing stays armed so a late
+  // recovery can still answer.
+  MaybeCrashCoordinator(CoordinatorCrashPhase::kAtCommit, trent_->node());
 
   // Step 5 / 6: the request travels to Trent, who consults (and possibly
   // updates) his key/value store, and the value travels back.

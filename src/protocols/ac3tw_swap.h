@@ -51,6 +51,14 @@ struct Ac3twConfig {
   /// When true, a participant "changes her mind": request the refund secret
   /// immediately after registration (abort path, paper step 6).
   bool request_abort = false;
+  /// Phase-precise crash schedule for Trent (the AC3TW coordinator):
+  /// kAtPrepare fires the moment the swap registers (participants then
+  /// lock funds into contracts whose only decision point is dead);
+  /// kAtCommit fires as the first decision request is sent, before Trent
+  /// can sign either secret. Without a recovery, no decision ever exists
+  /// and every published contract strands — the blocking behavior the
+  /// quorum-commit study measures.
+  CoordinatorCrashPlan coordinator_crash;
 };
 
 class Ac3twSwapEngine : public SwapEngineBase {

@@ -18,7 +18,9 @@ Ac3wnSwapEngine::Ac3wnSwapEngine(core::Environment* env,
           WatchConfig{config.confirm_depth, config.resubmit_interval},
           "AC3WN"),
       witness_chain_(witness_chain),
-      config_(config) {}
+      config_(config) {
+  SetCoordinatorCrashPlan(config.coordinator_crash);
+}
 
 Status Ac3wnSwapEngine::OnStart() {
   if (env()->blockchain(witness_chain_) == nullptr) {
@@ -103,6 +105,14 @@ void Ac3wnSwapEngine::TrackWitnessDeployment() {
   mutable_report()->MarkPhase("scw_published", scw_confirmed_at_);
   // The patience clock starts now; guarantee a wake when it runs out.
   RequestWakeAt(scw_confirmed_at_ + config_.publish_patience);
+  // kAtPrepare anchor: the registrar dies the moment SCw confirms. Unlike
+  // Trent or the HTLC leader, it held no exclusive role — the remaining
+  // participants publish, authorize, and settle without it.
+  Participant* registrar = FirstLiveParticipant();
+  if (registrar != nullptr) {
+    MaybeCrashCoordinator(CoordinatorCrashPhase::kAtPrepare,
+                          registrar->node());
+  }
 }
 
 void Ac3wnSwapEngine::TryPublish(EdgeRt* rt) {
@@ -151,6 +161,14 @@ void Ac3wnSwapEngine::TryAuthorizeRedeem() {
   const TimePoint now = env()->sim()->Now();
   if (authorize_last_submit_ >= 0 &&
       now - authorize_last_submit_ < config_.resubmit_interval) {
+    return;
+  }
+  // kAtCommit anchor: the requester dies as it is about to move SCw. The
+  // next Step picks a new FirstLiveParticipant, which rebuilds the call
+  // with its own funds (the builder-tracking discipline below) — the
+  // nonblocking takeover the study contrasts with Trent and the leader.
+  if (MaybeCrashCoordinator(CoordinatorCrashPhase::kAtCommit,
+                            requester->node())) {
     return;
   }
 
@@ -207,6 +225,12 @@ void Ac3wnSwapEngine::TryAuthorizeRefund() {
   const TimePoint now = env()->sim()->Now();
   if (abort_last_submit_ >= 0 &&
       now - abort_last_submit_ < config_.resubmit_interval) {
+    return;
+  }
+  // kAtCommit anchor on the abort path — same takeover argument as the
+  // redeem path above.
+  if (MaybeCrashCoordinator(CoordinatorCrashPhase::kAtCommit,
+                            requester->node())) {
     return;
   }
 

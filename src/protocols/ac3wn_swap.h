@@ -58,6 +58,13 @@ struct Ac3wnConfig {
   /// A participant "changes her mind": request AuthorizeRefund immediately
   /// after SCw is published (abort path, protocol step 6).
   bool request_abort = false;
+  /// Phase-precise crash schedule for the coordinating participant:
+  /// kAtPrepare crashes the registrar the moment SCw confirms; kAtCommit
+  /// crashes the requester as it is about to submit the SCw state change.
+  /// AC3WN survives both — any live participant takes over the role (the
+  /// `*_builder_` rebuild discipline) — which is exactly the contrast the
+  /// quorum-commit study draws against the blocking baselines.
+  CoordinatorCrashPlan coordinator_crash;
 };
 
 class Ac3wnSwapEngine : public SwapEngineBase {

@@ -6,6 +6,18 @@
 
 namespace ac3::protocols {
 
+const char* CoordinatorCrashPhaseName(CoordinatorCrashPhase phase) {
+  switch (phase) {
+    case CoordinatorCrashPhase::kNone:
+      return "none";
+    case CoordinatorCrashPhase::kAtPrepare:
+      return "at_prepare";
+    case CoordinatorCrashPhase::kAtCommit:
+      return "at_commit";
+  }
+  return "?";
+}
+
 SwapEngineBase::SwapEngineBase(core::Environment* env, graph::Ac2tGraph graph,
                                std::vector<Participant*> participants,
                                WatchConfig watch, std::string protocol_name)
@@ -162,6 +174,27 @@ Participant* SwapEngineBase::FirstLiveParticipant() const {
     if (p->IsUp()) return p;
   }
   return nullptr;
+}
+
+bool SwapEngineBase::MaybeCrashCoordinator(CoordinatorCrashPhase phase,
+                                           sim::NodeId node) {
+  if (coordinator_crash_fired_ || phase == CoordinatorCrashPhase::kNone ||
+      coordinator_crash_plan_.phase != phase) {
+    return false;
+  }
+  coordinator_crash_fired_ = true;
+  report_.MarkPhase(
+      std::string("coordinator_crash_") + CoordinatorCrashPhaseName(phase),
+      env_->sim()->Now());
+  env_->network()->Crash(node);
+  if (coordinator_crash_plan_.recover_after >= 0) {
+    // The recovery event captures the world, not the engine — the engine
+    // may be destroyed before a long recovery fires.
+    core::Environment* env = env_;
+    env_->sim()->After(coordinator_crash_plan_.recover_after,
+                       [env, node]() { env->network()->Recover(node); });
+  }
+  return true;
 }
 
 void SwapEngineBase::FinalizeReport() {

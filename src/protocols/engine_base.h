@@ -43,6 +43,30 @@
 /// shared reactive substrate.
 namespace ac3::protocols {
 
+/// Protocol phases at which a scheduled coordinator crash can fire (the
+/// sweep grid's FailureMode::kCrashCoordinatorAt* schedules). Time-based
+/// injection (sim::FailureInjector) cannot hit an exact protocol phase, so
+/// engines fire these themselves through
+/// SwapEngineBase::MaybeCrashCoordinator at their phase anchors.
+enum class CoordinatorCrashPhase {
+  kNone,       ///< No scheduled crash.
+  kAtPrepare,  ///< As the coordinator finishes driving the prepare phase.
+  kAtCommit,   ///< At the commit point, before the decision propagates.
+};
+
+/// Stable lowercase name ("at_prepare"), used in report phase labels.
+const char* CoordinatorCrashPhaseName(CoordinatorCrashPhase phase);
+
+/// A phase-precise crash schedule for a protocol's coordinating node (the
+/// HTLC leader, Trent, AC3WN's registrar, the quorum-commit coordinator).
+struct CoordinatorCrashPlan {
+  /// Which phase anchor triggers the crash; kNone disables the plan.
+  CoordinatorCrashPhase phase = CoordinatorCrashPhase::kNone;
+  /// Recovery delay after the crash fires; negative = never recovers (the
+  /// blocking-vs-nonblocking separation study's setting).
+  Duration recover_after = -1;
+};
+
 /// Chain-observation knobs every engine shares.
 struct WatchConfig {
   /// Confirmations before a transaction counts as publicly recognized.
@@ -178,6 +202,23 @@ class SwapEngineBase {
   /// First participant that is currently up, if any.
   Participant* FirstLiveParticipant() const;
 
+  /// Arms the coordinator-crash schedule; engines call this from their
+  /// constructor with their config's plan (default kNone = no-op).
+  void SetCoordinatorCrashPlan(const CoordinatorCrashPlan& plan) {
+    coordinator_crash_plan_ = plan;
+  }
+  /// The armed schedule (engines may consult recover_after).
+  const CoordinatorCrashPlan& coordinator_crash_plan() const {
+    return coordinator_crash_plan_;
+  }
+  /// Fires the armed crash schedule when `phase` matches and it has not
+  /// fired yet: crashes `node` immediately, stamps a report phase, and
+  /// schedules the optional recovery. Returns true when the crash fired on
+  /// THIS call, so the caller can abandon the action the now-dead
+  /// coordinator was about to take. Safe to call from inside Step():
+  /// connectivity listeners triggered by the crash only schedule wakes.
+  bool MaybeCrashCoordinator(CoordinatorCrashPhase phase, sim::NodeId node);
+
   /// Edge reports, fee accounting, end time, and the engine verdict.
   void FinalizeReport();
 
@@ -224,6 +265,8 @@ class SwapEngineBase {
   TimePoint start_time_ = 0;
   bool started_ = false;
   bool done_ = false;
+  CoordinatorCrashPlan coordinator_crash_plan_;
+  bool coordinator_crash_fired_ = false;
   SwapReport report_;
 };
 

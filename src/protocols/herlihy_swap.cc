@@ -47,6 +47,7 @@ HerlihySwapEngine::HerlihySwapEngine(core::Environment* env,
   mutable_report()->protocol = this->graph().participant_count() == 2
                                    ? "Nolan-HTLC"
                                    : "Herlihy-HTLC";
+  SetCoordinatorCrashPlan(config.coordinator_crash);
 }
 
 Status HerlihySwapEngine::OnStart() {
@@ -145,6 +146,15 @@ void HerlihySwapEngine::TrySettle(EdgeRt* rt) {
   Participant* recipient = participant(rt->edge.to);
   const bool recipient_knows =
       rt->edge.to == leader_ ? AllPublished() : knows_secret_[rt->edge.to];
+  // kAtCommit anchor: the leader is about to redeem its first incoming
+  // contract — the reveal of s that commits the whole swap — and dies
+  // instead. The secret never reaches a chain, so nobody else can redeem.
+  if (!rt->redeem_submitted && recipient_knows && rt->edge.to == leader_ &&
+      now < rt->timelock &&
+      MaybeCrashCoordinator(CoordinatorCrashPhase::kAtCommit,
+                            recipient->node())) {
+    return;
+  }
   if (!rt->redeem_submitted && recipient_knows && recipient->IsUp() &&
       now < rt->timelock) {
     auto call = recipient->SubmitCall(rt->edge.chain_id, rt->contract_id,
@@ -215,7 +225,23 @@ bool HerlihySwapEngine::IsComplete() const {
   return true;
 }
 
+void HerlihySwapEngine::MaybeCrashLeader() {
+  // kAtPrepare anchor: every outgoing contract of the leader has been
+  // built and handed to the network — the leader's funds are committed —
+  // and the leader dies before the swap can advance further. Its outgoing
+  // contracts strand: refunds require the SENDER to submit the call.
+  bool leader_prepared = true;
+  for (const EdgeRt& rt : edges_) {
+    if (rt.edge.from == leader_ && !rt.deploy_built) leader_prepared = false;
+  }
+  if (leader_prepared) {
+    MaybeCrashCoordinator(CoordinatorCrashPhase::kAtPrepare,
+                          participant(leader_)->node());
+  }
+}
+
 void HerlihySwapEngine::Step() {
+  MaybeCrashLeader();
   ObserveSecrets();
   for (EdgeRt& rt : edges_) {
     if (rt.settled) continue;

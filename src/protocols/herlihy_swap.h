@@ -45,6 +45,14 @@ struct HtlcConfig {
   uint32_t confirm_depth = 1;
   /// Re-gossip an unconfirmed transaction after this long.
   Duration resubmit_interval = Seconds(2);
+  /// Phase-precise crash schedule for the leader (the HTLC coordinator):
+  /// kAtPrepare fires once the leader's outgoing contracts are all handed
+  /// to the network (its funds are committed); kAtCommit fires when every
+  /// contract is publicly recognized, before the leader redeems (so the
+  /// secret s is never revealed). Either strands the leader's outgoing
+  /// contracts when it never recovers — the blocking behavior the
+  /// quorum-commit study measures.
+  CoordinatorCrashPlan coordinator_crash;
 };
 
 class HerlihySwapEngine : public SwapEngineBase {
@@ -78,6 +86,8 @@ class HerlihySwapEngine : public SwapEngineBase {
   void TryPublish(EdgeRt* rt);
   void TrySettle(EdgeRt* rt);
   void ObserveSecrets();
+  /// Fires the configured coordinator-crash schedule at its phase anchor.
+  void MaybeCrashLeader();
 
   HtlcConfig config_;
   uint32_t leader_ = 0;

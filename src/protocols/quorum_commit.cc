@@ -1,0 +1,465 @@
+#include "src/protocols/quorum_commit.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/common/logging.h"
+#include "src/contracts/atomic_swap_contract.h"
+#include "src/contracts/centralized_contract.h"
+#include "src/graph/multisig_graph.h"
+
+namespace ac3::protocols {
+
+QuorumCommitEngine::QuorumCommitEngine(core::Environment* env,
+                                       graph::Ac2tGraph graph,
+                                       std::vector<Participant*> participants,
+                                       QuorumConfig config)
+    : SwapEngineBase(
+          env, std::move(graph), std::move(participants),
+          WatchConfig{config.confirm_depth, config.resubmit_interval},
+          "QuorumCommit"),
+      config_(config) {
+  SetCoordinatorCrashPlan(config.coordinator_crash);
+}
+
+uint32_t QuorumCommitEngine::VertexCount() const {
+  return graph().participant_count();
+}
+
+uint32_t QuorumCommitEngine::CoordinatorOf(uint64_t epoch) const {
+  return static_cast<uint32_t>(epoch % VertexCount());
+}
+
+int QuorumCommitEngine::quorum() const {
+  return static_cast<int>(VertexCount()) / 2 + 1;
+}
+
+std::optional<crypto::CommitmentTag> QuorumCommitEngine::decision_tag() const {
+  if (!decision_.has_value()) return std::nullopt;
+  return decision_->tag;
+}
+
+Status QuorumCommitEngine::OnStart() {
+  // Every participant multisigns (D, t) — the swap proposal.
+  std::vector<crypto::KeyPair> keys;
+  keys.reserve(participants().size());
+  for (Participant* p : participants()) keys.push_back(p->key());
+  AC3_ASSIGN_OR_RETURN(ms_, graph::SignGraph(graph(), keys));
+  ms_id_ = ms_.Id();
+
+  // The shared quorum decision key, deterministically derived from ms(D)
+  // so every participant reconstructs the same key at setup time (stands
+  // in for a DKG-established threshold key — see the file comment).
+  quorum_key_ = crypto::KeyPair::FromSeed(ms_id_.Prefix64() ^
+                                          0x71756f72756d6b65ull);
+
+  for (const graph::Ac2tEdge& e : graph().edges()) {
+    EdgeRt rt;
+    rt.edge = e;
+    edges_.push_back(std::move(rt));
+  }
+  members_.assign(VertexCount(), MemberState{});
+
+  // Guarantee a wake when the publish patience runs out, so the abort
+  // verdict is driven even if every chain has gone quiet.
+  RequestWakeAt(start_time() + config_.publish_patience);
+  return Status::OK();
+}
+
+void QuorumCommitEngine::TryPublish(EdgeRt* rt) {
+  Participant* sender = participant(rt->edge.from);
+  if (sender->behavior().decline_publish) return;
+  if (!sender->IsUp()) return;
+  const TimePoint now = env()->sim()->Now();
+
+  if (!rt->deploy_built) {
+    // The contract's decision commitment is (ms(D), quorum pk): redeem and
+    // refund secrets are quorum-key signatures over (ms(D), RD) / (ms(D),
+    // RF), so ANY holder of the signed decision can settle the edge.
+    const chain::Blockchain* chain = env()->blockchain(rt->edge.chain_id);
+    Bytes payload = contracts::CentralizedContract::MakeInitPayload(
+        participant(rt->edge.to)->pk(), ms_id_, quorum_key_->public_key());
+    auto tx = sender->WalletFor(rt->edge.chain_id)
+                  ->BuildDeploy(chain->StateAtHead(),
+                                contracts::kCentralizedKind, payload,
+                                rt->edge.amount, chain->params().deploy_fee,
+                                static_cast<uint64_t>(now) ^ rt->edge.to);
+    if (!tx.ok()) {
+      AC3_LOG(kWarn) << sender->name() << " cannot fund quorum contract: "
+                     << tx.status().ToString();
+      return;
+    }
+    rt->deploy_tx = *tx;
+    rt->contract_id = tx->Id();
+    rt->deploy_built = true;
+    rt->publish_submitted_at = now;
+    rt->outcome = EdgeOutcome::kPublished;
+  }
+  GossipDeploy(rt, sender);
+}
+
+Participant* QuorumCommitEngine::FirstLiveKnower(uint32_t* vertex_out) const {
+  for (uint32_t v = 0; v < VertexCount(); ++v) {
+    if (members_[v].knows_decision && participant(v)->IsUp()) {
+      if (vertex_out != nullptr) *vertex_out = v;
+      return participant(v);
+    }
+  }
+  return nullptr;
+}
+
+bool QuorumCommitEngine::DecisionKnownToLiveMember() const {
+  return FirstLiveKnower(nullptr) != nullptr;
+}
+
+bool QuorumCommitEngine::PaceBroadcast(TimePoint now) {
+  if (last_broadcast_ >= 0 &&
+      now - last_broadcast_ < config_.resubmit_interval) {
+    return false;
+  }
+  last_broadcast_ = now;
+  RequestResubmitWake();
+  return true;
+}
+
+bool QuorumCommitEngine::ApplyPreCommit(uint32_t v, uint64_t epoch,
+                                        crypto::CommitmentTag tag) {
+  MemberState& m = members_[v];
+  if (epoch < m.epoch) return false;  // Stale epoch: fenced off.
+  if (m.phase == MemberPhase::kDecided) {
+    // Terminal; support the round only when it matches the decision.
+    return m.tag == tag;
+  }
+  m.epoch = epoch;
+  m.phase = MemberPhase::kPreCommitted;
+  m.tag = tag;
+  return true;
+}
+
+void QuorumCommitEngine::BroadcastStateReq(uint32_t coordinator,
+                                           TimePoint now) {
+  if (!PaceBroadcast(now)) return;
+  const uint64_t epoch = epoch_;
+  for (uint32_t v = 0; v < VertexCount(); ++v) {
+    if (v == coordinator || state_replies_.count(v) > 0) continue;
+    env()->network()->Send(
+        participant(coordinator)->node(), participant(v)->node(),
+        [this, v, epoch, coordinator]() {
+          // Delivered at member v (dropped if v is down): reply with v's
+          // recorded round state.
+          ReplyInfo info;
+          info.epoch = members_[v].epoch;
+          info.phase = members_[v].phase;
+          info.tag = members_[v].tag;
+          info.knows_decision = members_[v].knows_decision;
+          env()->network()->Send(
+              participant(v)->node(), participant(coordinator)->node(),
+              [this, v, epoch, info]() {
+                if (epoch != epoch_) return;  // Fenced: takeover moved on.
+                state_replies_.emplace(v, info);
+                ScheduleStep();
+              });
+        });
+  }
+}
+
+void QuorumCommitEngine::BroadcastPreCommit(uint32_t coordinator,
+                                            TimePoint now) {
+  if (!PaceBroadcast(now)) return;
+  const uint64_t epoch = epoch_;
+  const crypto::CommitmentTag tag = round_tag_;
+  for (uint32_t v = 0; v < VertexCount(); ++v) {
+    if (v == coordinator || acks_.count(v) > 0) continue;
+    env()->network()->Send(
+        participant(coordinator)->node(), participant(v)->node(),
+        [this, v, epoch, tag, coordinator]() {
+          if (!ApplyPreCommit(v, epoch, tag)) return;
+          env()->network()->Send(
+              participant(v)->node(), participant(coordinator)->node(),
+              [this, v, epoch, tag]() {
+                if (epoch != epoch_ || tag != round_tag_ ||
+                    !precommit_active_) {
+                  return;  // Stale acknowledgement.
+                }
+                acks_.insert(v);
+                ScheduleStep();
+              });
+        });
+  }
+}
+
+void QuorumCommitEngine::BroadcastDecision(uint32_t sender, TimePoint now) {
+  if (!PaceBroadcast(now)) return;
+  for (uint32_t v = 0; v < VertexCount(); ++v) {
+    if (v == sender || members_[v].knows_decision) continue;
+    env()->network()->Send(participant(sender)->node(),
+                           participant(v)->node(), [this, v]() {
+                             MemberState& m = members_[v];
+                             m.knows_decision = true;
+                             m.phase = MemberPhase::kDecided;
+                             m.tag = decision_->tag;
+                             ScheduleStep();
+                           });
+  }
+}
+
+void QuorumCommitEngine::SignDecision(uint32_t coordinator, TimePoint now) {
+  if (!decision_.has_value()) {
+    Decision d;
+    d.tag = round_tag_;
+    d.secret = quorum_key_->Sign(
+        crypto::SignatureCommitmentMessage(ms_id_, round_tag_));
+    decision_ = d;
+    mutable_report()->decision_time = now;
+    mutable_report()->MarkPhase(
+        round_tag_ == crypto::CommitmentTag::kRedeem
+            ? "quorum_commit_decided"
+            : "quorum_abort_decided",
+        now);
+  }
+  MemberState& m = members_[coordinator];
+  m.knows_decision = true;
+  m.phase = MemberPhase::kDecided;
+  m.tag = decision_->tag;
+}
+
+void QuorumCommitEngine::StartEpoch(uint64_t epoch, TimePoint now) {
+  epoch_ = epoch;
+  state_replies_.clear();
+  acks_.clear();
+  precommit_active_ = false;
+  recovery_resolved_ = false;
+  forced_tag_.reset();
+  coordinator_down_since_ = -1;
+  last_broadcast_ = -1;
+  mutable_report()->MarkPhase("epoch_" + std::to_string(epoch) + "_takeover",
+                              now);
+  ScheduleStep();
+}
+
+void QuorumCommitEngine::DriveCoordinator(TimePoint now) {
+  const uint32_t c = CoordinatorOf(epoch_);
+  Participant* coordinator = participant(c);
+  if (!coordinator->IsUp()) return;
+
+  if (members_[c].knows_decision) {
+    BroadcastDecision(c, now);
+    return;
+  }
+
+  // Recovery epochs first collect a quorum of member states and apply the
+  // termination rule; epoch 0 needs neither (everyone starts kWaiting).
+  if (epoch_ > 0 && !recovery_resolved_) {
+    ReplyInfo own;
+    own.epoch = members_[c].epoch;
+    own.phase = members_[c].phase;
+    own.tag = members_[c].tag;
+    own.knows_decision = members_[c].knows_decision;
+    state_replies_.insert_or_assign(c, own);
+    if (static_cast<int>(state_replies_.size()) < quorum()) {
+      BroadcastStateReq(c, now);
+      return;
+    }
+    // Termination rule over the collected quorum: a known decision wins;
+    // else the highest-epoch pre-committed verdict is resumed (quorum
+    // intersection keeps this consistent with any signed decision); else
+    // the verdict is chosen fresh from chain observation below.
+    uint64_t best_epoch = 0;
+    for (const auto& [v, info] : state_replies_) {
+      if (info.knows_decision) {
+        // decision_ exists iff any member holds the secret (engine-global
+        // by construction), so adopting it here is the re-broadcast path.
+        SignDecision(c, now);
+        BroadcastDecision(c, now);
+        return;
+      }
+      if (info.phase == MemberPhase::kPreCommitted &&
+          (!forced_tag_.has_value() || info.epoch >= best_epoch)) {
+        best_epoch = info.epoch;
+        forced_tag_ = info.tag;
+      }
+    }
+    recovery_resolved_ = true;
+    last_broadcast_ = -1;  // Fresh pacer for the pre-commit round.
+  }
+
+  if (!precommit_active_) {
+    // Choose the verdict to drive: a resumed pre-commit first, else commit
+    // when every contract is publicly recognized, else abort on request or
+    // expired patience.
+    if (forced_tag_.has_value()) {
+      round_tag_ = *forced_tag_;
+    } else if (config_.request_abort) {
+      round_tag_ = crypto::CommitmentTag::kRefund;
+    } else if (AllPublished()) {
+      round_tag_ = crypto::CommitmentTag::kRedeem;
+    } else if (now - start_time() >= config_.publish_patience) {
+      round_tag_ = crypto::CommitmentTag::kRefund;
+    } else {
+      RequestWakeAt(start_time() + config_.publish_patience);
+      return;
+    }
+    // kAtPrepare anchor: the coordinator dies the instant the prepare
+    // outcome is determined, before any other member learns the verdict.
+    if (MaybeCrashCoordinator(CoordinatorCrashPhase::kAtPrepare,
+                              coordinator->node())) {
+      return;
+    }
+    precommit_active_ = true;
+    acks_.insert(c);
+    (void)ApplyPreCommit(c, epoch_, round_tag_);
+    if (!precommit_marked_) {
+      precommit_marked_ = true;
+      mutable_report()->MarkPhase("precommit_round_started", now);
+    }
+  }
+  if (static_cast<int>(acks_.size()) < quorum()) {
+    BroadcastPreCommit(c, now);
+    return;
+  }
+
+  // Quorum acknowledged: the commit point. kAtCommit anchor: the
+  // coordinator dies after collecting the quorum, before signing — the
+  // survivors' pre-committed records carry the round to a verdict.
+  if (MaybeCrashCoordinator(CoordinatorCrashPhase::kAtCommit,
+                            coordinator->node())) {
+    return;
+  }
+  SignDecision(c, now);
+  BroadcastDecision(c, now);
+}
+
+void QuorumCommitEngine::MaybeTakeOver(TimePoint now) {
+  const uint32_t c = CoordinatorOf(epoch_);
+  if (participant(c)->IsUp()) {
+    coordinator_down_since_ = -1;
+    return;
+  }
+  if (coordinator_down_since_ < 0) {
+    coordinator_down_since_ = now;
+  }
+  const TimePoint takeover_at =
+      coordinator_down_since_ + config_.takeover_timeout;
+  if (now < takeover_at) {
+    RequestWakeAt(takeover_at);
+    return;
+  }
+  uint32_t successor = VertexCount();
+  for (uint32_t v = 0; v < VertexCount(); ++v) {
+    if (v != c && participant(v)->IsUp()) {
+      successor = v;
+      break;
+    }
+  }
+  if (successor == VertexCount()) return;  // Nobody alive to take over.
+  uint64_t epoch = epoch_ + 1;
+  while (CoordinatorOf(epoch) != successor) ++epoch;
+  StartEpoch(epoch, now);
+}
+
+void QuorumCommitEngine::TrySettle(EdgeRt* rt, TimePoint now) {
+  if (!decision_.has_value()) return;
+  uint32_t actor_vertex = 0;
+  Participant* actor = FirstLiveKnower(&actor_vertex);
+  if (actor == nullptr) return;
+  if (rt->settle_submitted && rt->last_settle_submit >= 0 &&
+      now - rt->last_settle_submit < config_.resubmit_interval) {
+    return;
+  }
+
+  const chain::Blockchain* chain = env()->blockchain(rt->edge.chain_id);
+  const bool redeem = decision_->tag == crypto::CommitmentTag::kRedeem;
+  // Build the call once and re-gossip the SAME transaction on retries;
+  // rebuild only when the cached builder crashed and another knower takes
+  // over with its own funds.
+  if (rt->settle_builder != static_cast<int>(actor_vertex) &&
+      (rt->settle_builder < 0 ||
+       !participant(static_cast<uint32_t>(rt->settle_builder))->IsUp())) {
+    auto tx = actor->WalletFor(rt->edge.chain_id)
+                  ->BuildCall(chain->StateAtHead(), rt->contract_id,
+                              redeem ? contracts::kRedeemFunction
+                                     : contracts::kRefundFunction,
+                              decision_->secret.Encode(),
+                              chain->params().call_fee,
+                              static_cast<uint64_t>(now) ^ rt->edge.from);
+    if (!tx.ok()) {
+      AC3_LOG(kDebug) << "cannot build quorum settle call: "
+                      << tx.status().ToString();
+      return;
+    }
+    rt->settle_tx = *tx;
+    rt->settle_built = true;
+    rt->settle_builder = static_cast<int>(actor_vertex);
+  }
+  if (!rt->settle_built) return;
+  env()->SubmitTransaction(actor->node(), rt->edge.chain_id, rt->settle_tx);
+  rt->settle_submitted = true;
+  rt->last_settle_submit = now;
+  RequestResubmitWake();
+}
+
+bool QuorumCommitEngine::IsComplete() const {
+  if (!decision_.has_value()) return false;
+  for (const EdgeRt& rt : edges_) {
+    if (!rt.deploy_built) continue;  // Never published: nothing locked.
+    // Refund-path contracts that never reached a chain cannot settle; give
+    // up on them (mirrors the AC3TW terminal rule).
+    const chain::Blockchain* chain = env()->blockchain(rt.edge.chain_id);
+    const bool on_chain = chain->FindTx(rt.contract_id).has_value();
+    if (!on_chain && decision_->tag == crypto::CommitmentTag::kRefund) {
+      continue;
+    }
+    if (!rt.settled) return false;
+  }
+  return true;
+}
+
+void QuorumCommitEngine::Step() {
+  const TimePoint now = env()->sim()->Now();
+
+  // Prepare phase: parallel deployments, always driven (senders act on
+  // their own behalf regardless of the commit round's state).
+  bool was_all_published = AllPublished();
+  for (EdgeRt& rt : edges_) {
+    if (!rt.publish_confirmed) {
+      TryPublish(&rt);
+      if (rt.deploy_built) TrackPublishConfirmation(&rt);
+    }
+  }
+  if (!was_all_published && AllPublished() && !prepare_marked_) {
+    prepare_marked_ = true;
+    mutable_report()->MarkPhase("contracts_published", now);
+  }
+
+  // The commit round: drive the current epoch's coordinator; survivors
+  // watch for a dead coordinator and take over.
+  if (!DecisionKnownToLiveMember()) {
+    DriveCoordinator(now);
+    MaybeTakeOver(now);
+  } else {
+    uint32_t knower = 0;
+    (void)FirstLiveKnower(&knower);
+    BroadcastDecision(knower, now);
+  }
+
+  // Settlement: any live holder of the signed decision settles every edge.
+  if (decision_.has_value()) {
+    for (EdgeRt& rt : edges_) {
+      if (rt.settled) continue;
+      const chain::Blockchain* chain = env()->blockchain(rt.edge.chain_id);
+      if (rt.deploy_built && chain->FindTx(rt.contract_id)) {
+        TrySettle(&rt, now);
+        TrackSettlement(&rt);
+      }
+    }
+  }
+}
+
+void QuorumCommitEngine::FillVerdict(SwapReport* report) const {
+  report->committed = decision_.has_value() &&
+                      decision_->tag == crypto::CommitmentTag::kRedeem;
+  report->aborted = decision_.has_value() &&
+                    decision_->tag == crypto::CommitmentTag::kRefund;
+}
+
+}  // namespace ac3::protocols

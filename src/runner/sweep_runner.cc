@@ -11,6 +11,7 @@
 #include "src/protocols/ac3tw_swap.h"
 #include "src/protocols/ac3wn_swap.h"
 #include "src/protocols/herlihy_swap.h"
+#include "src/protocols/quorum_commit.h"
 #include "src/protocols/trent.h"
 
 namespace ac3::runner {
@@ -39,12 +40,15 @@ constexpr NameRow<Protocol> kProtocolNames[] = {
     {Protocol::kHerlihy, "herlihy"},
     {Protocol::kAc3tw, "ac3tw"},
     {Protocol::kAc3wn, "ac3wn"},
+    {Protocol::kQuorum, "quorum"},
 };
 
 constexpr NameRow<FailureMode> kFailureModeNames[] = {
     {FailureMode::kNone, "none"},
     {FailureMode::kCrashParticipant, "crash_participant"},
     {FailureMode::kPartitionParticipant, "partition_participant"},
+    {FailureMode::kCrashCoordinatorAtPrepare, "crash_coordinator_at_prepare"},
+    {FailureMode::kCrashCoordinatorAtCommit, "crash_coordinator_at_commit"},
 };
 
 constexpr NameRow<Topology> kTopologyNames[] = {
@@ -227,6 +231,30 @@ core::ScenarioOptions WorldOptionsFor(const SweepGridConfig& config,
   return options;
 }
 
+/// Translates the coordinator-crash failure modes into the engine-driven
+/// CoordinatorCrashPlan (the crash is phase-precise, so it cannot be
+/// injected by wall-clock schedule the way kCrashParticipant is).
+protocols::CoordinatorCrashPlan CoordinatorPlanFor(
+    const SweepGridConfig& config, const SweepPoint& point) {
+  protocols::CoordinatorCrashPlan plan;
+  switch (point.failure) {
+    case FailureMode::kCrashCoordinatorAtPrepare:
+      plan.phase = protocols::CoordinatorCrashPhase::kAtPrepare;
+      break;
+    case FailureMode::kCrashCoordinatorAtCommit:
+      plan.phase = protocols::CoordinatorCrashPhase::kAtCommit;
+      break;
+    default:
+      return plan;
+  }
+  if (config.coordinator_recovery_deltas >= 0) {
+    plan.recover_after = static_cast<Duration>(
+        config.coordinator_recovery_deltas *
+        static_cast<double>(config.delta));
+  }
+  return plan;
+}
+
 void InjectFailure(const SweepGridConfig& config, const SweepPoint& point,
                    core::ScenarioWorld* world) {
   if (point.failure == FailureMode::kNone || point.size < 2) return;
@@ -242,6 +270,10 @@ void InjectFailure(const SweepGridConfig& config, const SweepPoint& point,
     case FailureMode::kPartitionParticipant:
       world->env()->failures()->SchedulePartition(
           sim::PartitionWindow{victim, onset, onset + length});
+      break;
+    case FailureMode::kCrashCoordinatorAtPrepare:
+    case FailureMode::kCrashCoordinatorAtCommit:
+      // Engine-driven (phase-precise): see CoordinatorPlanFor.
       break;
     case FailureMode::kNone:
       break;
@@ -276,8 +308,9 @@ RunOutcome TimedSwapPoint(const SweepGridConfig& config,
 
 }  // namespace
 
-RunOutcome RunSwapPoint(const SweepGridConfig& config,
-                        const SweepPoint& point) {
+Result<protocols::SwapReport> RunSwapReport(const SweepGridConfig& config,
+                                            const SweepPoint& point,
+                                            int64_t* sim_events_out) {
   core::ScenarioWorld world(WorldOptionsFor(config, point));
   InjectFailure(config, point, &world);
   world.StartMining();
@@ -288,11 +321,11 @@ RunOutcome RunSwapPoint(const SweepGridConfig& config,
   const TimePoint deadline = world.env()->sim()->Now() + config.deadline;
 
   auto finish = [&](Result<protocols::SwapReport> report) {
-    if (!report.ok()) return ErrorOutcome(point, report.status());
-    RunOutcome outcome = ReduceReport(point, *report);
-    outcome.sim_events =
-        static_cast<int64_t>(world.env()->sim()->events_executed());
-    return outcome;
+    if (sim_events_out != nullptr) {
+      *sim_events_out =
+          static_cast<int64_t>(world.env()->sim()->events_executed());
+    }
+    return report;
   };
 
   switch (point.protocol) {
@@ -301,6 +334,7 @@ RunOutcome RunSwapPoint(const SweepGridConfig& config,
       htlc.delta = config.delta;
       htlc.confirm_depth = config.confirm_depth;
       htlc.resubmit_interval = config.resubmit_interval;
+      htlc.coordinator_crash = CoordinatorPlanFor(config, point);
       protocols::HerlihySwapEngine engine(world.env(), graph,
                                           world.all_participants(), htlc);
       return finish(engine.Run(deadline));
@@ -311,6 +345,7 @@ RunOutcome RunSwapPoint(const SweepGridConfig& config,
       cfg.confirm_depth = config.confirm_depth;
       cfg.resubmit_interval = config.resubmit_interval;
       cfg.publish_patience = config.publish_patience;
+      cfg.coordinator_crash = CoordinatorPlanFor(config, point);
       protocols::TrustedWitness trent("Trent", 0x7e27 + point.seed,
                                       world.env(), config.confirm_depth);
       protocols::Ac3twSwapEngine engine(world.env(), graph,
@@ -324,13 +359,40 @@ RunOutcome RunSwapPoint(const SweepGridConfig& config,
       cfg.witness_depth_d = config.witness_depth_d;
       cfg.resubmit_interval = config.resubmit_interval;
       cfg.publish_patience = config.publish_patience;
+      cfg.coordinator_crash = CoordinatorPlanFor(config, point);
       protocols::Ac3wnSwapEngine engine(world.env(), graph,
                                         world.all_participants(),
                                         world.witness_chain(), cfg);
       return finish(engine.Run(deadline));
     }
+    case Protocol::kQuorum: {
+      protocols::QuorumConfig cfg;
+      cfg.delta = config.delta;
+      cfg.confirm_depth = config.confirm_depth;
+      cfg.resubmit_interval = config.resubmit_interval;
+      cfg.publish_patience = config.publish_patience;
+      // Takeover fires after two message-latency bounds of coordinator
+      // silence — long enough to rule out transient drops, short enough
+      // that recovery dominates neither patience nor the deadline.
+      cfg.takeover_timeout = 2 * config.delta;
+      cfg.coordinator_crash = CoordinatorPlanFor(config, point);
+      protocols::QuorumCommitEngine engine(world.env(), graph,
+                                           world.all_participants(), cfg);
+      return finish(engine.Run(deadline));
+    }
   }
-  return ErrorOutcome(point, Status::Internal("unknown protocol"));
+  return finish(Status::Internal("unknown protocol"));
+}
+
+RunOutcome RunSwapPoint(const SweepGridConfig& config,
+                        const SweepPoint& point) {
+  int64_t sim_events = 0;
+  Result<protocols::SwapReport> report =
+      RunSwapReport(config, point, &sim_events);
+  if (!report.ok()) return ErrorOutcome(point, report.status());
+  RunOutcome outcome = ReduceReport(point, *report);
+  outcome.sim_events = sim_events;
+  return outcome;
 }
 
 LatencyStats ComputeLatencyStats(std::vector<double> samples_ms) {

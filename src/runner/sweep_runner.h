@@ -57,6 +57,7 @@ enum class Protocol {
   kHerlihy,  ///< Nolan/Herlihy HTLC baseline (single-leader spanning order).
   kAc3tw,    ///< AC3 with a centralized trusted witness (Trent).
   kAc3wn,    ///< AC3 with a permissionless witness network.
+  kQuorum,   ///< Nonblocking quorum-commit (3PC-style) engine.
 };
 /// Stable lowercase name (the JSON/CLI spelling), e.g. "ac3wn".
 const char* ProtocolName(Protocol protocol);
@@ -72,6 +73,16 @@ enum class FailureMode {
   kCrashParticipant,
   /// Participant 1 is partitioned from every chain for the same window.
   kPartitionParticipant,
+  /// The protocol's coordinator (leader / Trent / requester / quorum
+  /// coordinator) crashes at its prepare anchor — after contracts are
+  /// set up but before any decision round starts. Engine-driven (see
+  /// protocols::CoordinatorCrashPlan); recovery is governed by
+  /// SweepGridConfig::coordinator_recovery_deltas.
+  kCrashCoordinatorAtPrepare,
+  /// The coordinator crashes at its commit anchor — the instant it would
+  /// sign/request/submit the decision, the worst window for 2PC-style
+  /// blocking.
+  kCrashCoordinatorAtCommit,
 };
 /// Stable lowercase name (the JSON/CLI spelling), e.g. "crash_participant".
 const char* FailureModeName(FailureMode mode);
@@ -137,6 +148,11 @@ struct SweepGridConfig {
   /// Crash/partition onset and length for the failure modes, in Δs.
   double failure_onset_deltas = 1.0;
   double failure_length_deltas = 6.0;
+
+  /// Recovery delay (in Δs) for the coordinator-crash failure modes:
+  /// < 0 means the coordinator never recovers — the schedule the
+  /// commit study uses to expose 2PC-style blocking.
+  double coordinator_recovery_deltas = -1.0;
 };
 
 /// The grid flattened in deterministic order:
@@ -196,6 +212,16 @@ struct RunOutcome {
 /// Reduces an engine's SwapReport (already run) to a RunOutcome.
 RunOutcome ReduceReport(const SweepPoint& point,
                         const protocols::SwapReport& report);
+
+/// Builds a fresh seeded world for `point` and runs one swap to a verdict,
+/// returning the engine's full SwapReport (phase markers included) rather
+/// than the reduced RunOutcome — the hook property/unit tests use to
+/// assert on phase-level behavior. `sim_events_out`, when non-null,
+/// receives the world's executed-event count. Thread-safe for distinct
+/// points (each call owns its world).
+Result<protocols::SwapReport> RunSwapReport(const SweepGridConfig& config,
+                                            const SweepPoint& point,
+                                            int64_t* sim_events_out = nullptr);
 
 /// Builds a fresh seeded world for `point` and runs one swap to a verdict.
 /// Thread-safe for distinct points (each call owns its world).

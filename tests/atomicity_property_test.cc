@@ -16,6 +16,7 @@
 #include "src/graph/ac2t_graph.h"
 #include "src/protocols/ac3tw_swap.h"
 #include "src/protocols/ac3wn_swap.h"
+#include "src/runner/sweep_runner.h"
 #include "tests/test_util.h"
 
 namespace ac3::protocols {
@@ -203,6 +204,112 @@ TEST_P(CrashOnsetSweepTest, Ac3wnAtomicUnderAnyCrashOnset) {
 
 INSTANTIATE_TEST_SUITE_P(Onsets, CrashOnsetSweepTest,
                          ::testing::Range(0, 16));
+
+// ---- randomized fault injection over the full protocol matrix -------------
+//
+// Seeded worlds × all four engines × every sweep failure mode, through the
+// runner's own world builder. Two layers of assertion:
+//
+//  * Universal safety floor (every engine, even the blocking baselines):
+//    no participant ends with an outgoing leg redeemed away and an
+//    incoming leg lost while the protocol never reached a verdict. Losing
+//    an asset without a decision would be theft-by-crash; blocking
+//    protocols lock funds (recoverable in principle) but never do this.
+//  * Separation pins: the quorum engine finishes atomically with nothing
+//    stranded under EVERY mode, while the blocking baselines demonstrably
+//    stall or strand under a phase-precise coordinator crash — the exact
+//    gap bench_commit_study measures.
+
+struct FaultCell {
+  runner::Protocol protocol;
+  runner::FailureMode failure;
+  uint64_t seed;
+
+  friend std::ostream& operator<<(std::ostream& os, const FaultCell& c) {
+    return os << runner::ProtocolName(c.protocol) << "/"
+              << runner::FailureModeName(c.failure) << "/seed" << c.seed;
+  }
+};
+
+/// True when some participant's outgoing edge was redeemed (asset gone)
+/// while one of its incoming edges was refunded or stranded, without any
+/// verdict ever being reached.
+bool SomeoneLostBothLegsWithoutVerdict(const SwapReport& report) {
+  if (report.committed || report.aborted) return false;
+  for (const EdgeReport& out : report.edges) {
+    if (out.outcome != EdgeOutcome::kRedeemed) continue;
+    for (const EdgeReport& in : report.edges) {
+      if (in.edge.to != out.edge.from) continue;
+      if (in.outcome == EdgeOutcome::kRefunded ||
+          in.outcome == EdgeOutcome::kPublished) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+class FaultInjectionPropertyTest : public ::testing::TestWithParam<FaultCell> {
+};
+
+TEST_P(FaultInjectionPropertyTest, NoVerdictFreeLossAndQuorumStaysAtomic) {
+  const FaultCell cell = GetParam();
+  runner::SweepGridConfig grid;
+  grid.deadline = Seconds(90);  // Blocked cells run to this deadline.
+  runner::SweepPoint point;
+  point.protocol = cell.protocol;
+  point.topology = runner::Topology::kRing;
+  point.size = 4;
+  point.failure = cell.failure;
+  point.seed = cell.seed;
+  auto report = runner::RunSwapReport(grid, point);
+  ASSERT_TRUE(report.ok()) << cell << ": " << report.status();
+
+  EXPECT_FALSE(SomeoneLostBothLegsWithoutVerdict(*report))
+      << cell << "\n" << report->Summary();
+
+  const bool coordinator_crash =
+      cell.failure == runner::FailureMode::kCrashCoordinatorAtPrepare ||
+      cell.failure == runner::FailureMode::kCrashCoordinatorAtCommit;
+  if (cell.protocol == runner::Protocol::kQuorum) {
+    // Nonblocking: an atomic verdict with nothing stranded, whatever the
+    // injected failure.
+    EXPECT_TRUE(report->finished) << cell << "\n" << report->Summary();
+    EXPECT_FALSE(report->AtomicityViolated()) << cell;
+    EXPECT_EQ(report->CountOutcome(EdgeOutcome::kPublished), 0) << cell;
+  } else if (coordinator_crash &&
+             (cell.protocol == runner::Protocol::kHerlihy ||
+              cell.protocol == runner::Protocol::kAc3tw)) {
+    // Expected separation: the blocking baselines either never reach a
+    // verdict or strand locked funds when their coordinator dies in the
+    // commit window.
+    EXPECT_TRUE(!report->finished ||
+                report->CountOutcome(EdgeOutcome::kPublished) > 0)
+        << cell << " unexpectedly survived a coordinator crash\n"
+        << report->Summary();
+  }
+}
+
+std::vector<FaultCell> AllFaultCells() {
+  std::vector<FaultCell> out;
+  for (runner::Protocol protocol :
+       {runner::Protocol::kHerlihy, runner::Protocol::kAc3tw,
+        runner::Protocol::kAc3wn, runner::Protocol::kQuorum}) {
+    for (runner::FailureMode failure :
+         {runner::FailureMode::kNone, runner::FailureMode::kCrashParticipant,
+          runner::FailureMode::kPartitionParticipant,
+          runner::FailureMode::kCrashCoordinatorAtPrepare,
+          runner::FailureMode::kCrashCoordinatorAtCommit}) {
+      for (uint64_t seed : {301ull, 302ull, 303ull}) {
+        out.push_back(FaultCell{protocol, failure, seed});
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, FaultInjectionPropertyTest,
+                         ::testing::ValuesIn(AllFaultCells()));
 
 }  // namespace
 }  // namespace ac3::protocols

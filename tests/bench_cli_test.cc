@@ -90,6 +90,24 @@ TEST(BenchCliTest, ParsesAxisListsThroughTheSharedTables) {
   EXPECT_EQ(grid.failures, options.failures);
 }
 
+TEST(BenchCliTest, ParsesCoordinatorCrashFailureSpellings) {
+  // The commit-study axis rows flow to the CLI through the shared name
+  // tables — no bench-side registration needed.
+  const char* argv[] = {"bench", "--failures",
+                        "crash_coordinator_at_prepare,"
+                        "crash_coordinator_at_commit",
+                        "--protocols", "quorum"};
+  Options options = Options::Parse(5, const_cast<char**>(argv));
+  ASSERT_FALSE(options.exit_early);
+  ASSERT_EQ(options.failures.size(), 2u);
+  EXPECT_EQ(options.failures[0],
+            runner::FailureMode::kCrashCoordinatorAtPrepare);
+  EXPECT_EQ(options.failures[1],
+            runner::FailureMode::kCrashCoordinatorAtCommit);
+  ASSERT_EQ(options.protocols.size(), 1u);
+  EXPECT_EQ(options.protocols[0], runner::Protocol::kQuorum);
+}
+
 TEST(BenchCliTest, EmptyAxisOverridesKeepTheGridDefaults) {
   const char* argv[] = {"bench", "--smoke"};
   Options options = Options::Parse(2, const_cast<char**>(argv));

@@ -222,15 +222,17 @@ TEST(SweepGridTest, PointsEnumerateInDeterministicOrder) {
 }
 
 TEST(SweepGridTest, NameTablesRoundTripThroughParse) {
-  for (Protocol protocol :
-       {Protocol::kHerlihy, Protocol::kAc3tw, Protocol::kAc3wn}) {
+  for (Protocol protocol : {Protocol::kHerlihy, Protocol::kAc3tw,
+                            Protocol::kAc3wn, Protocol::kQuorum}) {
     auto parsed = ParseProtocol(ProtocolName(protocol));
     ASSERT_TRUE(parsed.ok());
     EXPECT_EQ(*parsed, protocol);
   }
   for (FailureMode mode :
        {FailureMode::kNone, FailureMode::kCrashParticipant,
-        FailureMode::kPartitionParticipant}) {
+        FailureMode::kPartitionParticipant,
+        FailureMode::kCrashCoordinatorAtPrepare,
+        FailureMode::kCrashCoordinatorAtCommit}) {
     auto parsed = ParseFailureMode(FailureModeName(mode));
     ASSERT_TRUE(parsed.ok());
     EXPECT_EQ(*parsed, mode);
@@ -243,6 +245,13 @@ TEST(SweepGridTest, NameTablesRoundTripThroughParse) {
     ASSERT_TRUE(parsed.ok());
     EXPECT_EQ(*parsed, topology);
   }
+  // The JSON/CLI spellings of the quorum-commit additions are pinned: a
+  // rename would silently orphan committed BENCH files and CI flags.
+  EXPECT_STREQ(ProtocolName(Protocol::kQuorum), "quorum");
+  EXPECT_STREQ(FailureModeName(FailureMode::kCrashCoordinatorAtPrepare),
+               "crash_coordinator_at_prepare");
+  EXPECT_STREQ(FailureModeName(FailureMode::kCrashCoordinatorAtCommit),
+               "crash_coordinator_at_commit");
   EXPECT_FALSE(ParseProtocol("bitcoin").ok());
   EXPECT_FALSE(ParseTopology("mesh").ok());
   EXPECT_FALSE(ParseFailureMode("byzantine").ok());
