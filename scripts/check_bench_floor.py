@@ -48,6 +48,18 @@ The commit-study envelope has its own mode:
   * throughput — the fresh grid's worlds/sec must reach at least
     WORLDS_FACTOR (default 0.05) times the committed full run's.
 
+The message-overhead envelope has its own mode:
+
+  check_bench_floor.py --message-overhead FRESH.json COMMITTED.json [WORLDS_FACTOR]
+
+  * correctness — the fresh run's counts_match verdict (fault-free
+    per-protocol message counts equal their closed forms), its
+    loss_recovered / dup_recovered verdicts (every lossy cell reached an
+    atomic verdict via resends), and its thread_invariant verdict must
+    all be true.
+  * throughput — the fresh grid's worlds/sec must reach at least
+    WORLDS_FACTOR (default 0.05) times the committed full run's.
+
 The open-world traffic envelope has its own mode:
 
   check_bench_floor.py --openworld FRESH.json COMMITTED.json [SWAPS_FACTOR]
@@ -188,6 +200,43 @@ def check_commit_study(argv):
     return 0 if separation_ok and invariant_ok and worlds_ok else 1
 
 
+def check_message_overhead(argv):
+    if len(argv) not in (4, 5):
+        print(__doc__, file=sys.stderr)
+        return 1
+    fresh_path, committed_path = argv[2], argv[3]
+    worlds_factor = float(argv[4]) if len(argv) == 5 else 0.05
+
+    fresh = load(fresh_path)
+    committed = load(committed_path)
+
+    counts_ok = bool(fresh["results"].get("counts_match"))
+    print(
+        "message-overhead fault-free counts vs closed forms: "
+        f"{'match' if counts_ok else 'MISMATCH'}"
+    )
+    loss_ok = bool(fresh["results"].get("loss_recovered"))
+    dup_ok = bool(fresh["results"].get("dup_recovered"))
+    print(
+        "message-overhead lossy-cell recovery: "
+        f"drop {'recovered' if loss_ok else 'NOT RECOVERED'}, "
+        f"duplicate {'recovered' if dup_ok else 'NOT RECOVERED'}"
+    )
+    invariant_ok = bool(fresh["results"].get("thread_invariant"))
+    print(
+        "message-overhead 1-vs-N thread grids: "
+        f"{'identical' if invariant_ok else 'DIVERGED'}"
+    )
+    worlds_ok = check(
+        "message-overhead grid throughput (worlds/s)",
+        fresh["wall"]["worlds_per_sec"],
+        committed["wall"]["worlds_per_sec"],
+        worlds_factor,
+    )
+    correct = counts_ok and loss_ok and dup_ok and invariant_ok
+    return 0 if correct and worlds_ok else 1
+
+
 def min_swap_rate(doc, path):
     cells = doc["wall"]["cells"]
     if not cells:
@@ -234,6 +283,8 @@ def main(argv):
         return check_openworld(argv)
     if len(argv) >= 2 and argv[1] == "--commit-study":
         return check_commit_study(argv)
+    if len(argv) >= 2 and argv[1] == "--message-overhead":
+        return check_message_overhead(argv)
     if len(argv) not in (3, 4, 5, 6):
         print(__doc__, file=sys.stderr)
         return 1

@@ -4,6 +4,8 @@
 #include <span>
 #include <vector>
 
+#include "src/protocols/messages.h"
+
 namespace ac3::core {
 
 namespace {
@@ -120,8 +122,21 @@ void Environment::SubmitTransaction(sim::NodeId from, chain::ChainId id,
   assert(id < chains_.size());
   chain::Mempool* pool = chains_[id].mempool.get();
   sim::Simulation* sim = &sim_;
-  network_.Send(from, chains_[id].gateway, [pool, sim, tx]() {
-    // Ignore duplicate-submission errors: gossip is at-least-once.
+  // Transaction gossip rides the typed message path so the per-message
+  // fault model (drop/duplicate/delay) applies to every protocol's chain
+  // traffic, not only to the engines' off-chain exchanges. The payload
+  // carries the wire size, not the transaction itself — the handler
+  // closure holds the real object, exactly like the old closure path.
+  proto::Message msg;
+  msg.swap_id = tx.Id();
+  msg.seq = next_gossip_seq_++;
+  msg.sender = from;
+  msg.receiver = chains_[id].gateway;
+  msg.payload = proto::TxSubmitPayload{
+      id, static_cast<uint32_t>(tx.Encode().size())};
+  network_.SendMessage(msg, [pool, sim, tx](const proto::Message&) {
+    // Ignore duplicate-submission errors: gossip is at-least-once, and a
+    // fault-duplicated delivery is rejected by transaction id.
     (void)pool->Submit(tx, sim->Now());
   });
 }

@@ -61,8 +61,9 @@ class Environment {
   /// Registers an end-user endpoint on the network.
   sim::NodeId AddUserNode(const std::string& label);
 
-  /// Sends `tx` from `from` to the chain's gateway; it reaches the mempool
-  /// after network latency unless dropped (crash / partition).
+  /// Sends `tx` from `from` to the chain's gateway as a typed kTxSubmit
+  /// envelope; it reaches the mempool after network latency unless dropped
+  /// (crash / partition / injected message loss).
   void SubmitTransaction(sim::NodeId from, chain::ChainId id,
                          const chain::Transaction& tx);
 
@@ -78,6 +79,9 @@ class Environment {
   sim::Network network_;
   sim::FailureInjector failures_;
   std::vector<ChainRuntime> chains_;
+  /// Envelope seq for gossip submissions (informational — the mempool
+  /// dedups by transaction id, not by seq).
+  uint64_t next_gossip_seq_ = 1;
 };
 
 }  // namespace ac3::core

@@ -41,45 +41,20 @@ Status Ac3twSwapEngine::OnStart() {
 }
 
 void Ac3twSwapEngine::TryRegister() {
-  const TimePoint now = env()->sim()->Now();
-  if (last_register_attempt_ >= 0 &&
-      now - last_register_attempt_ < config_.resubmit_interval) {
-    return;
-  }
   Participant* registrar = FirstLiveParticipant();
   if (registrar == nullptr) return;
-  last_register_attempt_ = now;
-  RequestResubmitWake();
+  if (!PaceResend(&last_register_attempt_)) return;
 
-  // Step 2: the registration message travels to Trent; his acknowledgement
-  // travels back. Either leg can be lost to a crash.
-  env()->network()->Send(registrar->node(), trent_->node(), [this,
-                                                             registrar]() {
-    Status status = trent_->HandleRegister(ms_);
-    const bool accepted =
-        status.ok() || status.code() == StatusCode::kAlreadyExists;
-    env()->network()->Send(trent_->node(), registrar->node(),
-                           [this, accepted]() {
-                             if (accepted && !registered_) {
-                               registered_ = true;
-                               registered_at_ = env()->sim()->Now();
-                               mutable_report()->MarkPhase(
-                                   "registered_at_trent", registered_at_);
-                               // The patience clock starts now; guarantee a
-                               // wake when it runs out.
-                               RequestWakeAt(registered_at_ +
-                                             config_.publish_patience);
-                               ScheduleStep();
-                               // kAtPrepare anchor: Trent dies the moment
-                               // the swap is registered — participants go
-                               // on to lock funds into contracts whose
-                               // only decision point is gone.
-                               MaybeCrashCoordinator(
-                                   CoordinatorCrashPhase::kAtPrepare,
-                                   trent_->node());
-                             }
-                           });
-  });
+  // Step 2: the registration envelope travels to Trent; his acknowledgement
+  // travels back. Either leg can be lost to a crash (or, under the message
+  // fault model, dropped outright) — PaceResend re-sends until the ack
+  // lands.
+  proto::Message msg;
+  msg.swap_id = ms_id_;
+  msg.sender = registrar->node();
+  msg.receiver = trent_->node();
+  msg.payload = proto::PreparePayload{ms_.Encode()};
+  SendProtocolMessage(std::move(msg));
 }
 
 void Ac3twSwapEngine::TryPublish(EdgeRt* rt) {
@@ -112,15 +87,9 @@ void Ac3twSwapEngine::TryPublish(EdgeRt* rt) {
 }
 
 void Ac3twSwapEngine::RequestDecision(crypto::CommitmentTag tag) {
-  const TimePoint now = env()->sim()->Now();
-  if (last_request_attempt_ >= 0 &&
-      now - last_request_attempt_ < config_.resubmit_interval) {
-    return;
-  }
   Participant* requester = FirstLiveParticipant();
   if (requester == nullptr) return;
-  last_request_attempt_ = now;
-  RequestResubmitWake();
+  if (!PaceResend(&last_request_attempt_)) return;
 
   // kAtCommit anchor: Trent dies just as the first decision request is
   // sent — the request (and every retry) is dropped at delivery, so
@@ -129,32 +98,93 @@ void Ac3twSwapEngine::RequestDecision(crypto::CommitmentTag tag) {
   MaybeCrashCoordinator(CoordinatorCrashPhase::kAtCommit, trent_->node());
 
   // Step 5 / 6: the request travels to Trent, who consults (and possibly
-  // updates) his key/value store, and the value travels back.
-  env()->network()->Send(requester->node(), trent_->node(), [this, tag,
-                                                             requester]() {
-    Result<TrentDecision> result =
-        tag == crypto::CommitmentTag::kRedeem
-            ? trent_->HandleRedeemRequest(ms_id_)
-            : trent_->HandleRefundRequest(ms_id_);
-    if (!result.ok()) {
-      AC3_LOG(kDebug) << "Trent declines: " << result.status().ToString();
+  // updates) his key/value store, and the value travels back as a
+  // kDecision envelope.
+  proto::Message msg;
+  msg.swap_id = ms_id_;
+  msg.sender = requester->node();
+  msg.receiver = trent_->node();
+  msg.payload = proto::RedeemNotifyPayload{static_cast<uint8_t>(tag)};
+  SendProtocolMessage(std::move(msg));
+}
+
+void Ac3twSwapEngine::OnMessage(const proto::Message& msg) {
+  switch (msg.kind()) {
+    case proto::MessageKind::kPrepare: {
+      // Trent's side of step 2. The ack is sent unconditionally — gossip
+      // is at-least-once and a duplicate registration still deserves its
+      // (possibly lost) acknowledgement.
+      Status status = trent_->HandleRegister(ms_);
+      const bool accepted =
+          status.ok() || status.code() == StatusCode::kAlreadyExists;
+      proto::Message ack;
+      ack.swap_id = ms_id_;
+      ack.sender = trent_->node();
+      ack.receiver = msg.sender;
+      ack.payload = proto::AckPayload{0, 0, accepted};
+      SendProtocolMessage(std::move(ack));
       return;
     }
-    TrentDecision decision = *result;
-    env()->network()->Send(trent_->node(), requester->node(),
-                           [this, decision]() {
-                             if (decision_.has_value()) return;
-                             decision_ = decision;
-                             mutable_report()->decision_time =
-                                 env()->sim()->Now();
-                             mutable_report()->MarkPhase(
-                                 decision.tag == crypto::CommitmentTag::kRedeem
-                                     ? "trent_signed_redeem"
-                                     : "trent_signed_refund",
-                                 env()->sim()->Now());
-                             ScheduleStep();
-                           });
-  });
+    case proto::MessageKind::kAck: {
+      const auto& ack = std::get<proto::AckPayload>(msg.payload);
+      if (ack.accepted && !registered_) {
+        registered_ = true;
+        registered_at_ = env()->sim()->Now();
+        mutable_report()->MarkPhase("registered_at_trent", registered_at_);
+        // The patience clock starts now; guarantee a wake when it runs
+        // out.
+        RequestWakeAt(registered_at_ + config_.publish_patience);
+        ScheduleStep();
+        // kAtPrepare anchor: Trent dies the moment the swap is registered
+        // — participants go on to lock funds into contracts whose only
+        // decision point is gone.
+        MaybeCrashCoordinator(CoordinatorCrashPhase::kAtPrepare,
+                              trent_->node());
+      }
+      return;
+    }
+    case proto::MessageKind::kRedeemNotify: {
+      // Trent's side of steps 5/6: consult (and possibly update) the
+      // key/value store; reply only when a value exists.
+      const auto& req = std::get<proto::RedeemNotifyPayload>(msg.payload);
+      const auto tag = static_cast<crypto::CommitmentTag>(req.tag);
+      Result<TrentDecision> result =
+          tag == crypto::CommitmentTag::kRedeem
+              ? trent_->HandleRedeemRequest(ms_id_)
+              : trent_->HandleRefundRequest(ms_id_);
+      if (!result.ok()) {
+        AC3_LOG(kDebug) << "Trent declines: " << result.status().ToString();
+        return;
+      }
+      proto::Message reply;
+      reply.swap_id = ms_id_;
+      reply.sender = trent_->node();
+      reply.receiver = msg.sender;
+      reply.payload = proto::DecisionPayload{
+          0, static_cast<uint8_t>(result->tag), result->signature.Encode()};
+      SendProtocolMessage(std::move(reply));
+      return;
+    }
+    case proto::MessageKind::kDecision: {
+      if (decision_.has_value()) return;
+      const auto& d = std::get<proto::DecisionPayload>(msg.payload);
+      ByteReader reader(d.signature_encoded);
+      Result<crypto::Signature> sig = crypto::Signature::Decode(&reader);
+      if (!sig.ok()) return;
+      decision_ =
+          TrentDecision{static_cast<crypto::CommitmentTag>(d.tag), *sig};
+      mutable_report()->decision_time = env()->sim()->Now();
+      mutable_report()->MarkPhase(
+          decision_->tag == crypto::CommitmentTag::kRedeem
+              ? "trent_signed_redeem"
+              : "trent_signed_refund",
+          env()->sim()->Now());
+      ScheduleStep();
+      return;
+    }
+    default:
+      return;
+  }
 }
 
 void Ac3twSwapEngine::TrySettle(EdgeRt* rt) {

@@ -76,6 +76,10 @@ class Ac3twSwapEngine : public SwapEngineBase {
   size_t EdgeCount() const override { return edges_.size(); }
   EdgeState* Edge(size_t i) override { return &edges_[i]; }
   void FillVerdict(SwapReport* report) const override;
+  /// The four typed exchanges of steps 2 and 5/6: kPrepare (register at
+  /// Trent) answered by kAck, and kRedeemNotify (secret request) answered
+  /// by kDecision carrying Trent's signature.
+  void OnMessage(const proto::Message& msg) override;
 
  private:
   using EdgeRt = EdgeState;

@@ -104,6 +104,49 @@ void SwapEngineBase::RequestResubmitWake() {
   RequestWakeAt(env_->sim()->Now() + watch_.resubmit_interval);
 }
 
+void SwapEngineBase::SendProtocolMessage(proto::Message msg) {
+  msg.seq = next_message_seq_++;
+  report_.messages_sent += 1;
+  report_.message_bytes_sent += static_cast<int64_t>(msg.EncodedSize());
+  env_->network()->SendMessage(
+      msg, [this](const proto::Message& m) { HandleMessage(m); });
+}
+
+void SwapEngineBase::HandleMessage(const proto::Message& msg) {
+  // A finished engine fences everything: its verdict is final and late
+  // traffic must not mutate the report.
+  if (done_) {
+    report_.messages_fenced += 1;
+    return;
+  }
+  // Duplicate fence: each *send* is dispatched at most once. A second copy
+  // (fault-injected duplication shares the original's seq) is dropped; a
+  // resend is a fresh send with a fresh seq, so it passes.
+  if (!seen_message_seqs_.insert(msg.seq).second) {
+    report_.messages_fenced += 1;
+    return;
+  }
+  // Epoch fence: traffic from a retired round (e.g. pre-takeover quorum
+  // broadcasts) is discarded before the engine sees it.
+  if (msg.epoch < MessageEpochFloor()) {
+    report_.messages_fenced += 1;
+    return;
+  }
+  report_.messages_delivered += 1;
+  OnMessage(msg);
+}
+
+bool SwapEngineBase::PaceResend(TimePoint* last_attempt) {
+  const TimePoint now = env_->sim()->Now();
+  if (*last_attempt >= 0 &&
+      now - *last_attempt < watch_.resubmit_interval) {
+    return false;
+  }
+  *last_attempt = now;
+  RequestResubmitWake();
+  return true;
+}
+
 void SwapEngineBase::RunStep() {
   if (done_ || !started_) return;
   Step();

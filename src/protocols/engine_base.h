@@ -36,6 +36,7 @@
 
 #include "src/core/environment.h"
 #include "src/graph/ac2t_graph.h"
+#include "src/protocols/messages.h"
 #include "src/protocols/participant.h"
 #include "src/protocols/swap_report.h"
 
@@ -162,6 +163,16 @@ class SwapEngineBase {
   virtual chain::Amount ExtraFees() const { return 0; }
   /// Called when an edge's settlement is first observed confirmed.
   virtual void OnEdgeSettled(EdgeState* edge) { (void)edge; }
+  /// Typed protocol messages that survived HandleMessage's fencing,
+  /// dispatched on kind/receiver. Engines that exchange off-chain messages
+  /// (AC3TW, QuorumCommit) override; the purely on-chain engines keep the
+  /// no-op default.
+  virtual void OnMessage(const proto::Message& msg) { (void)msg; }
+  /// Epoch fence floor: deliveries with msg.epoch below this are discarded
+  /// before OnMessage. Default 0 (single-round protocols never fence); the
+  /// quorum engine returns its current epoch so a takeover retires the old
+  /// round's in-flight traffic.
+  virtual uint64_t MessageEpochFloor() const { return 0; }
 
   // ---- wake plumbing -----------------------------------------------------
 
@@ -177,6 +188,29 @@ class SwapEngineBase {
   /// RequestWakeAt(Now + resubmit_interval): the retry heartbeat after any
   /// submission or request attempt.
   void RequestResubmitWake();
+
+  // ---- typed protocol messages ------------------------------------------
+
+  /// Sends `msg` on the network's typed path. Stamps the envelope's
+  /// per-engine sequence number (the duplicate fence's identity), routes
+  /// delivery back through HandleMessage, and charges the report's
+  /// per-swap message/byte counters. Loss recovery is the caller's pacing
+  /// discipline: pace the send with PaceResend and Step() re-sends until
+  /// the exchange is answered.
+  void SendProtocolMessage(proto::Message msg);
+
+  /// Delivery entry point for typed messages: fences exact duplicates of
+  /// an already handled send (same seq — fault-injected re-deliveries) and
+  /// stale epochs (msg.epoch < MessageEpochFloor()), then dispatches to
+  /// OnMessage. Tests inject envelopes through a subclass.
+  void HandleMessage(const proto::Message& msg);
+
+  /// Resend-on-timeout helper — the shared pacing discipline of every
+  /// unanswered exchange (registration, decision requests, broadcast
+  /// rounds, settle gossip): true when `*last_attempt` is unset (< 0) or
+  /// at least resubmit_interval old, in which case it is stamped to now
+  /// and the retry heartbeat is armed so Step() runs again to re-send.
+  bool PaceResend(TimePoint* last_attempt);
 
   // ---- ChainWatcher helpers ---------------------------------------------
 
@@ -261,6 +295,13 @@ class SwapEngineBase {
   bool step_pending_ = false;
   sim::EventHandle step_handle_;
   std::map<TimePoint, sim::EventHandle> pending_wakes_;
+
+  /// Stamped into each sent envelope; the duplicate fence's identity.
+  uint64_t next_message_seq_ = 1;
+  /// Seqs already dispatched — a second delivery of the same send (a
+  /// fault-injected duplicate) is fenced. Resends are distinct sends with
+  /// fresh seqs, so they pass.
+  std::set<uint64_t> seen_message_seqs_;
 
   TimePoint start_time_ = 0;
   bool started_ = false;

@@ -139,52 +139,31 @@ bool QuorumCommitEngine::ApplyPreCommit(uint32_t v, uint64_t epoch,
 void QuorumCommitEngine::BroadcastStateReq(uint32_t coordinator,
                                            TimePoint now) {
   if (!PaceBroadcast(now)) return;
-  const uint64_t epoch = epoch_;
   for (uint32_t v = 0; v < VertexCount(); ++v) {
     if (v == coordinator || state_replies_.count(v) > 0) continue;
-    env()->network()->Send(
-        participant(coordinator)->node(), participant(v)->node(),
-        [this, v, epoch, coordinator]() {
-          // Delivered at member v (dropped if v is down): reply with v's
-          // recorded round state.
-          ReplyInfo info;
-          info.epoch = members_[v].epoch;
-          info.phase = members_[v].phase;
-          info.tag = members_[v].tag;
-          info.knows_decision = members_[v].knows_decision;
-          env()->network()->Send(
-              participant(v)->node(), participant(coordinator)->node(),
-              [this, v, epoch, info]() {
-                if (epoch != epoch_) return;  // Fenced: takeover moved on.
-                state_replies_.emplace(v, info);
-                ScheduleStep();
-              });
-        });
+    proto::Message msg;
+    msg.swap_id = ms_id_;
+    msg.epoch = epoch_;
+    msg.sender = participant(coordinator)->node();
+    msg.receiver = participant(v)->node();
+    msg.payload = proto::StateReqPayload{v, coordinator};
+    SendProtocolMessage(std::move(msg));
   }
 }
 
 void QuorumCommitEngine::BroadcastPreCommit(uint32_t coordinator,
                                             TimePoint now) {
   if (!PaceBroadcast(now)) return;
-  const uint64_t epoch = epoch_;
-  const crypto::CommitmentTag tag = round_tag_;
   for (uint32_t v = 0; v < VertexCount(); ++v) {
     if (v == coordinator || acks_.count(v) > 0) continue;
-    env()->network()->Send(
-        participant(coordinator)->node(), participant(v)->node(),
-        [this, v, epoch, tag, coordinator]() {
-          if (!ApplyPreCommit(v, epoch, tag)) return;
-          env()->network()->Send(
-              participant(v)->node(), participant(coordinator)->node(),
-              [this, v, epoch, tag]() {
-                if (epoch != epoch_ || tag != round_tag_ ||
-                    !precommit_active_) {
-                  return;  // Stale acknowledgement.
-                }
-                acks_.insert(v);
-                ScheduleStep();
-              });
-        });
+    proto::Message msg;
+    msg.swap_id = ms_id_;
+    msg.epoch = epoch_;
+    msg.sender = participant(coordinator)->node();
+    msg.receiver = participant(v)->node();
+    msg.payload =
+        proto::PreCommitPayload{v, static_cast<uint8_t>(round_tag_)};
+    SendProtocolMessage(std::move(msg));
   }
 }
 
@@ -192,14 +171,85 @@ void QuorumCommitEngine::BroadcastDecision(uint32_t sender, TimePoint now) {
   if (!PaceBroadcast(now)) return;
   for (uint32_t v = 0; v < VertexCount(); ++v) {
     if (v == sender || members_[v].knows_decision) continue;
-    env()->network()->Send(participant(sender)->node(),
-                           participant(v)->node(), [this, v]() {
-                             MemberState& m = members_[v];
-                             m.knows_decision = true;
-                             m.phase = MemberPhase::kDecided;
-                             m.tag = decision_->tag;
-                             ScheduleStep();
-                           });
+    proto::Message msg;
+    msg.swap_id = ms_id_;
+    msg.epoch = epoch_;
+    msg.sender = participant(sender)->node();
+    msg.receiver = participant(v)->node();
+    msg.payload = proto::DecisionPayload{
+        v, static_cast<uint8_t>(decision_->tag), decision_->secret.Encode()};
+    SendProtocolMessage(std::move(msg));
+  }
+}
+
+void QuorumCommitEngine::OnMessage(const proto::Message& msg) {
+  switch (msg.kind()) {
+    case proto::MessageKind::kStateReq: {
+      // Delivered at member v (dropped if v is down): reply with v's
+      // recorded round state, under the requesting round's epoch so the
+      // reply is fenced if the takeover has moved on by the time it lands.
+      const auto& req = std::get<proto::StateReqPayload>(msg.payload);
+      const MemberState& m = members_[req.vertex];
+      proto::Message reply;
+      reply.swap_id = ms_id_;
+      reply.epoch = msg.epoch;
+      reply.sender = msg.receiver;
+      reply.receiver = msg.sender;
+      reply.payload = proto::StateReplyPayload{
+          req.vertex, m.epoch, static_cast<uint8_t>(m.phase),
+          static_cast<uint8_t>(m.tag), m.knows_decision};
+      SendProtocolMessage(std::move(reply));
+      return;
+    }
+    case proto::MessageKind::kStateReply: {
+      if (msg.epoch != epoch_) return;  // Fenced: takeover moved on.
+      const auto& rep = std::get<proto::StateReplyPayload>(msg.payload);
+      ReplyInfo info;
+      info.epoch = rep.recorded_epoch;
+      info.phase = static_cast<MemberPhase>(rep.phase);
+      info.tag = static_cast<crypto::CommitmentTag>(rep.tag);
+      info.knows_decision = rep.knows_decision;
+      state_replies_.emplace(rep.vertex, info);
+      ScheduleStep();
+      return;
+    }
+    case proto::MessageKind::kPreCommit: {
+      const auto& pc = std::get<proto::PreCommitPayload>(msg.payload);
+      if (!ApplyPreCommit(pc.vertex, msg.epoch,
+                          static_cast<crypto::CommitmentTag>(pc.tag))) {
+        return;
+      }
+      proto::Message ack;
+      ack.swap_id = ms_id_;
+      ack.epoch = msg.epoch;
+      ack.sender = msg.receiver;
+      ack.receiver = msg.sender;
+      ack.payload = proto::AckPayload{pc.vertex, pc.tag, true};
+      SendProtocolMessage(std::move(ack));
+      return;
+    }
+    case proto::MessageKind::kAck: {
+      const auto& ack = std::get<proto::AckPayload>(msg.payload);
+      if (msg.epoch != epoch_ ||
+          static_cast<crypto::CommitmentTag>(ack.tag) != round_tag_ ||
+          !precommit_active_) {
+        return;  // Stale acknowledgement.
+      }
+      acks_.insert(ack.vertex);
+      ScheduleStep();
+      return;
+    }
+    case proto::MessageKind::kDecision: {
+      const auto& d = std::get<proto::DecisionPayload>(msg.payload);
+      MemberState& m = members_[d.vertex];
+      m.knows_decision = true;
+      m.phase = MemberPhase::kDecided;
+      m.tag = static_cast<crypto::CommitmentTag>(d.tag);
+      ScheduleStep();
+      return;
+    }
+    default:
+      return;
   }
 }
 

@@ -106,6 +106,14 @@ class QuorumCommitEngine : public SwapEngineBase {
   size_t EdgeCount() const override { return edges_.size(); }
   EdgeState* Edge(size_t i) override { return &edges_[i]; }
   void FillVerdict(SwapReport* report) const override;
+  /// The five typed exchanges of the commit round: kStateReq answered by
+  /// kStateReply (recovery state collection), kPreCommit answered by kAck
+  /// (the acknowledgement round), and kDecision (secret dissemination).
+  void OnMessage(const proto::Message& msg) override;
+  /// Epoch fencing at the envelope layer: deliveries stamped with an epoch
+  /// below the current one belong to a superseded round — a late-recovering
+  /// old coordinator cannot drive a conflicting round.
+  uint64_t MessageEpochFloor() const override { return epoch_; }
 
  private:
   /// What a member has recorded about the protocol round, replicated via

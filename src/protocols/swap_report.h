@@ -58,6 +58,20 @@ struct SwapReport {
   /// Total transaction fees paid by participants for this AC2T.
   chain::Amount total_fees = 0;
 
+  /// Typed protocol messages the engine sent for this swap (registration,
+  /// decision requests/replies, pre-commit rounds — NOT transaction
+  /// gossip, which is charged to the network's per-node counters). The
+  /// per-protocol message-overhead study checks these against closed-form
+  /// counts at zero loss.
+  int64_t messages_sent = 0;
+  /// Sum of the sent envelopes' EncodedSize() — the swap's wire bytes.
+  int64_t message_bytes_sent = 0;
+  /// Messages that re-entered the engine and were dispatched to OnMessage.
+  int64_t messages_delivered = 0;
+  /// Deliveries fenced before dispatch: exact duplicates of an already
+  /// handled send (fault-injected re-deliveries) or stale-epoch traffic.
+  int64_t messages_fenced = 0;
+
   /// Named phase-completion timestamps, in order — the raw data behind the
   /// Figure 8 / Figure 9 timelines.
   std::vector<std::pair<std::string, TimePoint>> phases;

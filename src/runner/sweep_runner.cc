@@ -49,6 +49,8 @@ constexpr NameRow<FailureMode> kFailureModeNames[] = {
     {FailureMode::kPartitionParticipant, "partition_participant"},
     {FailureMode::kCrashCoordinatorAtPrepare, "crash_coordinator_at_prepare"},
     {FailureMode::kCrashCoordinatorAtCommit, "crash_coordinator_at_commit"},
+    {FailureMode::kDropMessages, "drop_messages"},
+    {FailureMode::kDuplicateMessages, "duplicate_messages"},
 };
 
 constexpr NameRow<Topology> kTopologyNames[] = {
@@ -215,6 +217,8 @@ RunOutcome ReduceReport(const SweepPoint& point,
       report.CountOutcome(protocols::EdgeOutcome::kPublished);
   outcome.edges_unpublished =
       report.CountOutcome(protocols::EdgeOutcome::kUnpublished);
+  outcome.messages_sent = report.messages_sent;
+  outcome.message_bytes_sent = report.message_bytes_sent;
   return outcome;
 }
 
@@ -275,6 +279,18 @@ void InjectFailure(const SweepGridConfig& config, const SweepPoint& point,
     case FailureMode::kCrashCoordinatorAtCommit:
       // Engine-driven (phase-precise): see CoordinatorPlanFor.
       break;
+    case FailureMode::kDropMessages: {
+      sim::MessageFaults faults;
+      faults.drop_prob = config.message_drop_prob;
+      world->env()->network()->set_message_faults(faults);
+      break;
+    }
+    case FailureMode::kDuplicateMessages: {
+      sim::MessageFaults faults;
+      faults.duplicate_prob = config.message_duplicate_prob;
+      world->env()->network()->set_message_faults(faults);
+      break;
+    }
     case FailureMode::kNone:
       break;
   }

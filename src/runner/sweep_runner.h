@@ -83,6 +83,15 @@ enum class FailureMode {
   /// sign/request/submit the decision, the worst window for 2PC-style
   /// blocking.
   kCrashCoordinatorAtCommit,
+  /// Every typed message (protocol exchanges AND transaction gossip) is
+  /// independently lost with SweepGridConfig::message_drop_prob — the
+  /// lossy-network axis of the message-overhead study. Engines recover by
+  /// resending on their resubmit heartbeats.
+  kDropMessages,
+  /// Every typed message is independently delivered twice with
+  /// SweepGridConfig::message_duplicate_prob; receivers must fence the
+  /// second copy (seq fencing in SwapEngineBase, tx-id dedup in mempools).
+  kDuplicateMessages,
 };
 /// Stable lowercase name (the JSON/CLI spelling), e.g. "crash_participant".
 const char* FailureModeName(FailureMode mode);
@@ -153,6 +162,12 @@ struct SweepGridConfig {
   /// < 0 means the coordinator never recovers — the schedule the
   /// commit study uses to expose 2PC-style blocking.
   double coordinator_recovery_deltas = -1.0;
+
+  /// P(any typed message is lost) under FailureMode::kDropMessages.
+  double message_drop_prob = 0.10;
+  /// P(any typed message is delivered twice) under
+  /// FailureMode::kDuplicateMessages.
+  double message_duplicate_prob = 0.25;
 };
 
 /// The grid flattened in deterministic order:
@@ -202,6 +217,15 @@ struct RunOutcome {
   /// the direct measure of the reactive-substrate win (the fixed-poll
   /// engines executed O(duration / poll_interval) events per run).
   int64_t sim_events = 0;
+
+  /// Typed protocol messages the engine sent (SwapReport::messages_sent);
+  /// deterministic, but deliberately excluded from OutcomeToJson so the
+  /// pinned sweep fingerprints certify the message-layer migration — the
+  /// message-overhead bench publishes these through its own rows.
+  int64_t messages_sent = 0;
+  /// Wire bytes of those messages (SwapReport::message_bytes_sent); same
+  /// exclusion rule as messages_sent.
+  int64_t message_bytes_sent = 0;
 
   /// Wall-clock cost of this cell's world (machine-dependent; excluded
   /// from OutcomeToJson so the determinism contract stays intact — see

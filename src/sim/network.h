@@ -27,6 +27,10 @@
 #include "src/common/status.h"
 #include "src/sim/simulation.h"
 
+namespace ac3::proto {
+struct Message;  // src/protocols/messages.h — the typed envelope.
+}  // namespace ac3::proto
+
 namespace ac3::sim {
 
 /// Identifies an endpoint (participant, miner, witness service).
@@ -36,6 +40,30 @@ using NodeId = uint32_t;
 struct LatencyModel {
   Duration base = Milliseconds(50);
   Duration jitter = Milliseconds(50);  ///< Uniform extra in [0, jitter].
+};
+
+/// Per-message fault injection for the typed SendMessage path. All draws
+/// come from the network's own forked run-RNG stream, and every draw is
+/// gated on its knob being active — with the model at its all-zero default
+/// the typed path consumes the exact RNG sequence of the closure Send
+/// oracle, which is how the golden fingerprints certify the message-layer
+/// migration. The closure Send path is never fault-injected.
+struct MessageFaults {
+  double drop_prob = 0.0;       ///< P(a delivery copy is silently lost).
+  double duplicate_prob = 0.0;  ///< P(one extra copy is delivered).
+  Duration max_extra_delay = 0; ///< Uniform extra latency in [0, max].
+};
+
+/// Per-node message/byte counters for the typed SendMessage path. Sent is
+/// charged to the sender at send time; delivered and dropped are charged
+/// to the receiver at (non-)delivery — a fault-dropped or crash-dropped
+/// message counts against the node that never saw it.
+struct NodeTraffic {
+  uint64_t messages_sent = 0;       ///< Envelopes handed to the network.
+  uint64_t bytes_sent = 0;          ///< Sum of their EncodedSize().
+  uint64_t messages_delivered = 0;  ///< Copies whose handler ran.
+  uint64_t bytes_delivered = 0;     ///< Sum of delivered EncodedSize().
+  uint64_t messages_dropped = 0;    ///< Copies lost (fault/crash/partition).
 };
 
 class Network {
@@ -78,6 +106,27 @@ class Network {
   /// Broadcast to every other node (gossip primitive used by miners).
   void Broadcast(NodeId from, const std::function<void(NodeId)>& on_deliver);
 
+  // ------------------------------------------------------ typed messages
+
+  /// Delivery callback of the typed message path.
+  using MessageHandler = std::function<void(const proto::Message&)>;
+
+  /// Typed counterpart of Send: routes `msg` from msg.sender to
+  /// msg.receiver, runs `handler(msg)` at the receiver after the sampled
+  /// latency, and applies the armed per-message fault model (drop,
+  /// duplication, bounded extra delay — see MessageFaults). Liveness and
+  /// partition membership are still evaluated at delivery time, exactly
+  /// like the closure path. Per-node traffic counters are updated on both
+  /// ends.
+  void SendMessage(const proto::Message& msg, MessageHandler handler);
+
+  /// Arms (or clears, with the default) the per-message fault model.
+  void set_message_faults(const MessageFaults& faults) { faults_ = faults; }
+  const MessageFaults& message_faults() const { return faults_; }
+
+  /// Typed-path traffic counters of `id` (zero until it sends/receives).
+  const NodeTraffic& traffic(NodeId id) const { return traffic_.at(id); }
+
   /// Samples one latency value (exposed for tests).
   Duration SampleLatency();
 
@@ -109,7 +158,9 @@ class Network {
   Simulation* sim_;
   LatencyModel latency_;
   Rng rng_;
+  MessageFaults faults_;
   std::vector<NodeState> nodes_;
+  std::vector<NodeTraffic> traffic_;  ///< Parallel to nodes_.
   std::vector<std::pair<SubscriptionId, ConnectivityListener>>
       connectivity_listeners_;
   SubscriptionId next_subscription_id_ = 1;

@@ -215,6 +215,9 @@ INSTANTIATE_TEST_SUITE_P(Onsets, CrashOnsetSweepTest,
 //    incoming leg lost while the protocol never reached a verdict. Losing
 //    an asset without a decision would be theft-by-crash; blocking
 //    protocols lock funds (recoverable in principle) but never do this.
+//    One documented exception: Herlihy under message loss, whose
+//    timelock-expiry commitment genuinely races dropped redeem gossip
+//    (see the in-test comment).
 //  * Separation pins: the quorum engine finishes atomically with nothing
 //    stranded under EVERY mode, while the blocking baselines demonstrably
 //    stall or strand under a phase-precise coordinator crash — the exact
@@ -265,12 +268,34 @@ TEST_P(FaultInjectionPropertyTest, NoVerdictFreeLossAndQuorumStaysAtomic) {
   auto report = runner::RunSwapReport(grid, point);
   ASSERT_TRUE(report.ok()) << cell << ": " << report.status();
 
-  EXPECT_FALSE(SomeoneLostBothLegsWithoutVerdict(*report))
-      << cell << "\n" << report->Summary();
-
   const bool coordinator_crash =
       cell.failure == runner::FailureMode::kCrashCoordinatorAtPrepare ||
       cell.failure == runner::FailureMode::kCrashCoordinatorAtCommit;
+  const bool message_fault =
+      cell.failure == runner::FailureMode::kDropMessages ||
+      cell.failure == runner::FailureMode::kDuplicateMessages;
+  const bool htlc_timelock_race =
+      message_fault && cell.protocol == runner::Protocol::kHerlihy;
+  if (!htlc_timelock_race) {
+    EXPECT_FALSE(SomeoneLostBothLegsWithoutVerdict(*report))
+        << cell << "\n" << report->Summary();
+  }
+  if (message_fault) {
+    // Message-level faults are recoverable for every DECISION-BASED
+    // engine: resend pacing re-offers lost exchanges and lost tx gossip,
+    // while seq fencing and mempool tx-id dedup neutralize duplicates —
+    // an atomic verdict with nothing locked. Herlihy is the documented
+    // exception (the paper's §4 critique, reproduced rather than
+    // asserted away): its commitment is timelock expiry, so a dropped
+    // redeem gossip retried past a leg's timelock genuinely splits the
+    // swap — the last leg's redeem reveals the secret while an upstream
+    // leg refunds (seeds 301/303 hit exactly this race).
+    if (cell.protocol != runner::Protocol::kHerlihy) {
+      EXPECT_TRUE(report->finished) << cell << "\n" << report->Summary();
+      EXPECT_FALSE(report->AtomicityViolated()) << cell;
+      EXPECT_EQ(report->CountOutcome(EdgeOutcome::kPublished), 0) << cell;
+    }
+  }
   if (cell.protocol == runner::Protocol::kQuorum) {
     // Nonblocking: an atomic verdict with nothing stranded, whatever the
     // injected failure.
@@ -299,7 +324,9 @@ std::vector<FaultCell> AllFaultCells() {
          {runner::FailureMode::kNone, runner::FailureMode::kCrashParticipant,
           runner::FailureMode::kPartitionParticipant,
           runner::FailureMode::kCrashCoordinatorAtPrepare,
-          runner::FailureMode::kCrashCoordinatorAtCommit}) {
+          runner::FailureMode::kCrashCoordinatorAtCommit,
+          runner::FailureMode::kDropMessages,
+          runner::FailureMode::kDuplicateMessages}) {
       for (uint64_t seed : {301ull, 302ull, 303ull}) {
         out.push_back(FaultCell{protocol, failure, seed});
       }

@@ -108,6 +108,18 @@ TEST(BenchCliTest, ParsesCoordinatorCrashFailureSpellings) {
   EXPECT_EQ(options.protocols[0], runner::Protocol::kQuorum);
 }
 
+TEST(BenchCliTest, ParsesMessageFaultFailureSpellings) {
+  // The message-overhead study's fault axis rides the same shared tables;
+  // these spellings are what CI smoke flags and committed BENCH files use.
+  const char* argv[] = {"bench", "--failures",
+                        "drop_messages,duplicate_messages"};
+  Options options = Options::Parse(3, const_cast<char**>(argv));
+  ASSERT_FALSE(options.exit_early);
+  ASSERT_EQ(options.failures.size(), 2u);
+  EXPECT_EQ(options.failures[0], runner::FailureMode::kDropMessages);
+  EXPECT_EQ(options.failures[1], runner::FailureMode::kDuplicateMessages);
+}
+
 TEST(BenchCliTest, EmptyAxisOverridesKeepTheGridDefaults) {
   const char* argv[] = {"bench", "--smoke"};
   Options options = Options::Parse(2, const_cast<char**>(argv));

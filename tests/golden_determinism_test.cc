@@ -44,6 +44,14 @@ constexpr size_t kMiningSimBlocksStored = 213;
 // bit-for-bit identical; only the engines' action timing moved.
 constexpr char kSweepFingerprint[] =
     "22e7025e2f7207747862268faadcf48f438278e53a21ee89dec7d59de93c2edc";
+// Pinned from the closure-delivery engines immediately BEFORE the typed
+// protocol-message migration, over all four engines (quorum included, on
+// the 3-party ring where its majority quorum is meaningful). The migration
+// must keep this fingerprint bit-for-bit: at zero loss/duplication the
+// typed path draws the same latency stream and schedules the same events
+// as the closure oracle.
+constexpr char kFourEngineSweepFingerprint[] =
+    "5947e6f83c396242e20b321350f7a7fb5332dda082a5c6dbf9f335e058fb3c9d";
 
 // ---- scenario 1: manual chain build ---------------------------------------
 
@@ -130,16 +138,8 @@ TEST(GoldenDeterminismTest, MiningSimHeadHashMatchesPinned) {
 
 // ---- scenario 3: protocol sweep, thread-invariant --------------------------
 
-std::string SweepFingerprint(int threads) {
-  runner::SweepGridConfig config;
-  config.protocols = {runner::Protocol::kHerlihy, runner::Protocol::kAc3tw,
-                      runner::Protocol::kAc3wn};
-  config.topologies = {runner::Topology::kRing};
-  config.sizes = {2};
-  config.failures = {runner::FailureMode::kNone};
-  config.seeds = {11};
-  config.deadline = Minutes(20);
-
+std::string GridFingerprint(const runner::SweepGridConfig& config,
+                            int threads) {
   std::vector<runner::RunOutcome> outcomes =
       runner::SweepRunner(threads).RunGrid(config);
   runner::Json doc = runner::Json::Object();
@@ -153,6 +153,30 @@ std::string SweepFingerprint(int threads) {
   return crypto::Hash256::OfString(doc.Serialize()).ToHex();
 }
 
+std::string SweepFingerprint(int threads) {
+  runner::SweepGridConfig config;
+  config.protocols = {runner::Protocol::kHerlihy, runner::Protocol::kAc3tw,
+                      runner::Protocol::kAc3wn};
+  config.topologies = {runner::Topology::kRing};
+  config.sizes = {2};
+  config.failures = {runner::FailureMode::kNone};
+  config.seeds = {11};
+  config.deadline = Minutes(20);
+  return GridFingerprint(config, threads);
+}
+
+std::string FourEngineFingerprint(int threads) {
+  runner::SweepGridConfig config;
+  config.protocols = {runner::Protocol::kHerlihy, runner::Protocol::kAc3tw,
+                      runner::Protocol::kAc3wn, runner::Protocol::kQuorum};
+  config.topologies = {runner::Topology::kRing};
+  config.sizes = {3};
+  config.failures = {runner::FailureMode::kNone};
+  config.seeds = {11};
+  config.deadline = Minutes(20);
+  return GridFingerprint(config, threads);
+}
+
 TEST(GoldenDeterminismTest, SweepOutputsMatchPinnedGolden) {
   EXPECT_EQ(SweepFingerprint(/*threads=*/1), kSweepFingerprint)
       << "swap reports / aggregates drifted; if intentional, re-pin.";
@@ -160,6 +184,17 @@ TEST(GoldenDeterminismTest, SweepOutputsMatchPinnedGolden) {
 
 TEST(GoldenDeterminismTest, SweepOutputsThreadInvariant) {
   EXPECT_EQ(SweepFingerprint(/*threads=*/4), kSweepFingerprint)
+      << "thread count changed domain outputs — determinism bug.";
+}
+
+TEST(GoldenDeterminismTest, FourEngineSweepMatchesPinnedGolden) {
+  EXPECT_EQ(FourEngineFingerprint(/*threads=*/1), kFourEngineSweepFingerprint)
+      << "four-engine outputs drifted from the pre-migration pin; the "
+         "typed message layer must be behavior-preserving at zero faults.";
+}
+
+TEST(GoldenDeterminismTest, FourEngineSweepThreadInvariant) {
+  EXPECT_EQ(FourEngineFingerprint(/*threads=*/4), kFourEngineSweepFingerprint)
       << "thread count changed domain outputs — determinism bug.";
 }
 

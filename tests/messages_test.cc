@@ -1,0 +1,177 @@
+// Unit tests for src/protocols/messages: the typed protocol-message
+// envelope. Pins the canonical binary round trip for every MessageKind,
+// the EncodedSize() == Encode().size() contract the network's byte
+// counters rely on, and the decoder's rejection of truncated buffers,
+// unknown kinds, and trailing garbage.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/crypto/hash256.h"
+#include "src/protocols/messages.h"
+
+namespace ac3::proto {
+namespace {
+
+// One representative message per kind, with non-default field values so a
+// round trip that zeroes anything is caught.
+Message Envelope(Message::Payload payload) {
+  Message msg;
+  msg.swap_id = crypto::Hash256::OfString("messages-test-swap");
+  msg.epoch = 7;
+  msg.seq = 42;
+  msg.sender = 3;
+  msg.receiver = 11;
+  msg.payload = std::move(payload);
+  return msg;
+}
+
+std::vector<Message> OnePerKind() {
+  std::vector<Message> all;
+  all.push_back(Envelope(PreparePayload{Bytes{0xde, 0xad, 0xbe, 0xef}}));
+  all.push_back(Envelope(AckPayload{5, 1, true}));
+  all.push_back(Envelope(PreCommitPayload{2, 2}));
+  all.push_back(Envelope(DecisionPayload{1, 1, Bytes{0x01, 0x02, 0x03}}));
+  all.push_back(Envelope(StateReqPayload{4, 0}));
+  all.push_back(Envelope(StateReplyPayload{4, 9, 2, 1, true}));
+  all.push_back(Envelope(RedeemNotifyPayload{1}));
+  all.push_back(Envelope(TxSubmitPayload{6, 311}));
+  return all;
+}
+
+void ExpectSame(const Message& a, const Message& b) {
+  EXPECT_EQ(a.kind(), b.kind());
+  EXPECT_EQ(a.swap_id, b.swap_id);
+  EXPECT_EQ(a.epoch, b.epoch);
+  EXPECT_EQ(a.seq, b.seq);
+  EXPECT_EQ(a.sender, b.sender);
+  EXPECT_EQ(a.receiver, b.receiver);
+  EXPECT_EQ(a.Encode(), b.Encode());
+}
+
+TEST(MessagesTest, KindFollowsPayloadAlternative) {
+  const std::vector<Message> all = OnePerKind();
+  ASSERT_EQ(all.size(), 8u);
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(static_cast<uint8_t>(all[i].kind()), i + 1);
+  }
+}
+
+TEST(MessagesTest, EveryKindRoundTrips) {
+  for (const Message& msg : OnePerKind()) {
+    const Bytes wire = msg.Encode();
+    auto decoded = Message::Decode(wire);
+    ASSERT_TRUE(decoded.ok()) << MessageKindName(msg.kind()) << ": "
+                              << decoded.status().ToString();
+    ExpectSame(msg, *decoded);
+  }
+}
+
+TEST(MessagesTest, EncodedSizeMatchesEncode) {
+  for (const Message& msg : OnePerKind()) {
+    EXPECT_EQ(msg.EncodedSize(), msg.Encode().size())
+        << MessageKindName(msg.kind());
+  }
+}
+
+TEST(MessagesTest, KindNamesAreStable) {
+  EXPECT_STREQ(MessageKindName(MessageKind::kPrepare), "prepare");
+  EXPECT_STREQ(MessageKindName(MessageKind::kAck), "ack");
+  EXPECT_STREQ(MessageKindName(MessageKind::kPreCommit), "pre_commit");
+  EXPECT_STREQ(MessageKindName(MessageKind::kDecision), "decision");
+  EXPECT_STREQ(MessageKindName(MessageKind::kStateReq), "state_req");
+  EXPECT_STREQ(MessageKindName(MessageKind::kStateReply), "state_reply");
+  EXPECT_STREQ(MessageKindName(MessageKind::kRedeemNotify), "redeem_notify");
+  EXPECT_STREQ(MessageKindName(MessageKind::kTxSubmit), "tx_submit");
+}
+
+// Randomized envelopes and variable-length payloads: the round trip must
+// be lossless for arbitrary field values, including empty and large byte
+// strings.
+TEST(MessagesTest, FuzzedPayloadsRoundTrip) {
+  Rng rng(20260807);
+  for (int iter = 0; iter < 200; ++iter) {
+    Bytes blob(rng.NextBelow(300), 0);
+    for (auto& b : blob) b = static_cast<uint8_t>(rng.NextBelow(256));
+
+    Message msg;
+    msg.swap_id = crypto::Hash256::OfString("fuzz-" + std::to_string(iter));
+    msg.epoch = rng.NextU64();
+    msg.seq = rng.NextU64();
+    msg.sender = static_cast<sim::NodeId>(rng.NextBelow(1 << 20));
+    msg.receiver = static_cast<sim::NodeId>(rng.NextBelow(1 << 20));
+    switch (rng.NextBelow(4)) {
+      case 0:
+        msg.payload = PreparePayload{blob};
+        break;
+      case 1:
+        msg.payload = DecisionPayload{
+            static_cast<uint32_t>(rng.NextBelow(64)),
+            static_cast<uint8_t>(rng.NextBelow(3)), blob};
+        break;
+      case 2:
+        msg.payload = StateReplyPayload{
+            static_cast<uint32_t>(rng.NextBelow(64)), rng.NextU64(),
+            static_cast<uint8_t>(rng.NextBelow(4)),
+            static_cast<uint8_t>(rng.NextBelow(3)), rng.NextBool(0.5)};
+        break;
+      default:
+        msg.payload = TxSubmitPayload{
+            static_cast<chain::ChainId>(rng.NextBelow(1 << 16)),
+            static_cast<uint32_t>(rng.NextBelow(1 << 24))};
+        break;
+    }
+
+    const Bytes wire = msg.Encode();
+    EXPECT_EQ(msg.EncodedSize(), wire.size());
+    auto decoded = Message::Decode(wire);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ExpectSame(msg, *decoded);
+  }
+}
+
+// Every strict prefix of a valid encoding must be rejected — the decoder
+// never reads past the buffer and never accepts a partial message.
+TEST(MessagesTest, TruncatedBuffersAreRejected) {
+  for (const Message& msg : OnePerKind()) {
+    const Bytes wire = msg.Encode();
+    for (size_t len = 0; len < wire.size(); ++len) {
+      Bytes cut(wire.begin(), wire.begin() + static_cast<long>(len));
+      EXPECT_FALSE(Message::Decode(cut).ok())
+          << MessageKindName(msg.kind()) << " accepted prefix of " << len
+          << "/" << wire.size() << " bytes";
+    }
+  }
+}
+
+TEST(MessagesTest, TrailingBytesAreRejected) {
+  for (const Message& msg : OnePerKind()) {
+    Bytes wire = msg.Encode();
+    wire.push_back(0x00);
+    EXPECT_FALSE(Message::Decode(wire).ok())
+        << MessageKindName(msg.kind()) << " accepted trailing garbage";
+  }
+}
+
+TEST(MessagesTest, UnknownKindIsRejected) {
+  Bytes wire = OnePerKind().front().Encode();
+  wire[0] = 0;  // Below the kind range.
+  EXPECT_FALSE(Message::Decode(wire).ok());
+  wire[0] = 9;  // Above the kind range.
+  EXPECT_FALSE(Message::Decode(wire).ok());
+}
+
+// Booleans ride a single byte that must be exactly 0 or 1 — a sloppy
+// encoder (or bit-flipped wire) is surfaced, not silently truthified.
+TEST(MessagesTest, NonCanonicalBoolIsRejected) {
+  const Message msg = Envelope(AckPayload{5, 1, true});
+  Bytes wire = msg.Encode();
+  wire.back() = 2;  // accepted flag is the final payload byte.
+  EXPECT_FALSE(Message::Decode(wire).ok());
+}
+
+}  // namespace
+}  // namespace ac3::proto

@@ -4,6 +4,7 @@
 // swap world executes O(blocks + messages) simulation events, not
 // O(duration / poll_interval).
 
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -11,6 +12,10 @@
 #include "src/chain/blockchain.h"
 #include "src/chain/wallet.h"
 #include "src/core/environment.h"
+#include "src/core/scenario.h"
+#include "src/graph/ac2t_graph.h"
+#include "src/protocols/engine_base.h"
+#include "src/protocols/messages.h"
 #include "src/runner/sweep_runner.h"
 #include "src/sim/network.h"
 #include "tests/test_util.h"
@@ -221,6 +226,152 @@ TEST(ReactiveEngineTest, WaitingWorldExecutesFewerEventsThanPollingAlone) {
   EXPECT_LT(static_cast<double>(outcomes[0].sim_events), poll_floor)
       << "sim_events=" << outcomes[0].sim_events
       << " latency_ms=" << outcomes[0].latency_ms;
+}
+
+// ---- SwapEngineBase wake coalescing and message fencing -------------------
+//
+// The typed-message layer leans on two substrate guarantees: (1) any number
+// of same-instant wake requests — resend heartbeats included — execute
+// Step() once, so a burst of paced resends cannot stampede the state
+// machine; (2) HandleMessage fences fault-injected duplicate deliveries
+// (same seq) and stale epochs while letting genuine resends (fresh seqs)
+// through. A minimal probe engine exposes the protected plumbing.
+
+class ProbeEngine : public protocols::SwapEngineBase {
+ public:
+  ProbeEngine(core::Environment* env, graph::Ac2tGraph graph,
+              std::vector<protocols::Participant*> participants,
+              protocols::WatchConfig watch)
+      : SwapEngineBase(env, std::move(graph), std::move(participants), watch,
+                       "probe") {}
+
+  using SwapEngineBase::HandleMessage;
+  using SwapEngineBase::PaceResend;
+  using SwapEngineBase::RequestWakeAt;
+  using SwapEngineBase::SendProtocolMessage;
+
+  int steps = 0;
+  int messages = 0;
+  uint64_t epoch_floor = 0;
+
+ protected:
+  Status OnStart() override { return Status::OK(); }
+  void Step() override { ++steps; }
+  bool IsComplete() const override { return false; }
+  size_t EdgeCount() const override { return 0; }
+  EdgeState* Edge(size_t) override { return nullptr; }
+  void FillVerdict(protocols::SwapReport*) const override {}
+  void OnMessage(const proto::Message&) override { ++messages; }
+  uint64_t MessageEpochFloor() const override { return epoch_floor; }
+};
+
+struct ProbeWorld {
+  ProbeWorld() : world(MakeOptions()) {
+    graph::Ac2tGraph graph = graph::MakeTwoPartySwap(
+        world.participant(0)->pk(), world.participant(1)->pk(),
+        world.asset_chain(0), 300, world.asset_chain(1), 200,
+        world.env()->sim()->Now());
+    protocols::WatchConfig watch;
+    watch.resubmit_interval = Milliseconds(800);
+    engine = std::make_unique<ProbeEngine>(world.env(), graph,
+                                           world.all_participants(), watch);
+  }
+
+  static core::ScenarioOptions MakeOptions() {
+    core::ScenarioOptions options;
+    options.seed = 424242;
+    return options;
+  }
+
+  proto::Message Envelope(uint64_t seq, uint64_t epoch) {
+    proto::Message msg;
+    msg.swap_id = crypto::Hash256::OfString("probe-swap");
+    msg.epoch = epoch;
+    msg.seq = seq;
+    msg.sender = world.participant(0)->node();
+    msg.receiver = world.participant(1)->node();
+    msg.payload = proto::RedeemNotifyPayload{1};
+    return msg;
+  }
+
+  core::ScenarioWorld world;
+  std::unique_ptr<ProbeEngine> engine;
+};
+
+TEST(EngineWakeTest, SameInstantWakeRequestsExecuteStepOnce) {
+  ProbeWorld probe;
+  sim::Simulation* sim = probe.world.env()->sim();
+  ASSERT_TRUE(probe.engine->Start().ok());
+  sim->RunUntil(sim->Now() + Milliseconds(10));
+  ASSERT_EQ(probe.engine->steps, 1);  // The initial scheduled step.
+
+  // Three wakes at one instant plus two resend heartbeats (two distinct
+  // exchanges pacing at the same moment — both arm Now+interval): exactly
+  // TWO more steps, not five. A same-instant re-pace of an exchange is
+  // refused outright.
+  const TimePoint t = sim->Now();
+  probe.engine->RequestWakeAt(t + Milliseconds(500));
+  probe.engine->RequestWakeAt(t + Milliseconds(500));
+  probe.engine->RequestWakeAt(t + Milliseconds(500));
+  TimePoint exchange_a = -1;
+  TimePoint exchange_b = -1;
+  EXPECT_TRUE(probe.engine->PaceResend(&exchange_a));
+  EXPECT_TRUE(probe.engine->PaceResend(&exchange_b));
+  EXPECT_FALSE(probe.engine->PaceResend(&exchange_a));
+  sim->RunUntil(t + Seconds(2));
+  EXPECT_EQ(probe.engine->steps, 3);
+
+  // After the interval elapses the same exchange paces again.
+  EXPECT_TRUE(probe.engine->PaceResend(&exchange_a));
+  EXPECT_EQ(exchange_a, sim->Now());
+}
+
+TEST(EngineMessageFenceTest, DuplicateDeliveriesOfOneSendAreFenced) {
+  ProbeWorld probe;
+  ASSERT_TRUE(probe.engine->Start().ok());
+
+  const proto::Message msg = probe.Envelope(/*seq=*/7, /*epoch=*/0);
+  probe.engine->HandleMessage(msg);
+  probe.engine->HandleMessage(msg);  // Fault-injected duplicate: same seq.
+  EXPECT_EQ(probe.engine->messages, 1);
+  EXPECT_EQ(probe.engine->report().messages_delivered, 1);
+  EXPECT_EQ(probe.engine->report().messages_fenced, 1);
+
+  // A resend is a fresh send with a fresh seq — it passes the fence.
+  probe.engine->HandleMessage(probe.Envelope(/*seq=*/8, /*epoch=*/0));
+  EXPECT_EQ(probe.engine->messages, 2);
+}
+
+TEST(EngineMessageFenceTest, StaleEpochsAreFencedBeforeDispatch) {
+  ProbeWorld probe;
+  ASSERT_TRUE(probe.engine->Start().ok());
+  probe.engine->epoch_floor = 5;
+
+  probe.engine->HandleMessage(probe.Envelope(/*seq=*/9, /*epoch=*/4));
+  EXPECT_EQ(probe.engine->messages, 0);
+  EXPECT_EQ(probe.engine->report().messages_fenced, 1);
+
+  probe.engine->HandleMessage(probe.Envelope(/*seq=*/10, /*epoch=*/5));
+  EXPECT_EQ(probe.engine->messages, 1);
+}
+
+TEST(EngineMessageFenceTest, SentMessagesDeliverWithFreshSeqsAndAreCounted) {
+  ProbeWorld probe;
+  sim::Simulation* sim = probe.world.env()->sim();
+  ASSERT_TRUE(probe.engine->Start().ok());
+
+  // Two sends of the same logical exchange (a resend): distinct seqs are
+  // stamped, so BOTH deliveries pass the duplicate fence, and the report's
+  // send-side counters charge each send's wire size.
+  probe.engine->SendProtocolMessage(probe.Envelope(/*seq=*/0, /*epoch=*/0));
+  probe.engine->SendProtocolMessage(probe.Envelope(/*seq=*/0, /*epoch=*/0));
+  sim->RunUntil(sim->Now() + Seconds(2));
+  EXPECT_EQ(probe.engine->messages, 2);
+  EXPECT_EQ(probe.engine->report().messages_sent, 2);
+  EXPECT_EQ(probe.engine->report().messages_delivered, 2);
+  EXPECT_EQ(probe.engine->report().messages_fenced, 0);
+  EXPECT_EQ(probe.engine->report().message_bytes_sent,
+            2 * static_cast<int64_t>(probe.Envelope(1, 0).EncodedSize()));
 }
 
 }  // namespace

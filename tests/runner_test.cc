@@ -232,7 +232,8 @@ TEST(SweepGridTest, NameTablesRoundTripThroughParse) {
        {FailureMode::kNone, FailureMode::kCrashParticipant,
         FailureMode::kPartitionParticipant,
         FailureMode::kCrashCoordinatorAtPrepare,
-        FailureMode::kCrashCoordinatorAtCommit}) {
+        FailureMode::kCrashCoordinatorAtCommit, FailureMode::kDropMessages,
+        FailureMode::kDuplicateMessages}) {
     auto parsed = ParseFailureMode(FailureModeName(mode));
     ASSERT_TRUE(parsed.ok());
     EXPECT_EQ(*parsed, mode);
@@ -252,6 +253,9 @@ TEST(SweepGridTest, NameTablesRoundTripThroughParse) {
                "crash_coordinator_at_prepare");
   EXPECT_STREQ(FailureModeName(FailureMode::kCrashCoordinatorAtCommit),
                "crash_coordinator_at_commit");
+  EXPECT_STREQ(FailureModeName(FailureMode::kDropMessages), "drop_messages");
+  EXPECT_STREQ(FailureModeName(FailureMode::kDuplicateMessages),
+               "duplicate_messages");
   EXPECT_FALSE(ParseProtocol("bitcoin").ok());
   EXPECT_FALSE(ParseTopology("mesh").ok());
   EXPECT_FALSE(ParseFailureMode("byzantine").ok());
